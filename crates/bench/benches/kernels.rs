@@ -1,0 +1,64 @@
+//! Micro-benchmarks for the numeric-mode tensor kernels (GEMM, im2col
+//! convolution, pooling, batch-norm) — the real CPU compute substrate.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use sn_tensor::conv::{conv2d_backward, conv2d_forward, ConvParams};
+use sn_tensor::gemm::sgemm;
+use sn_tensor::norm::bn_forward;
+use sn_tensor::pool::{maxpool_forward, PoolParams};
+use sn_tensor::{Shape4, Tensor};
+
+fn bench_gemm(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gemm");
+    for &n in &[64usize, 128, 256] {
+        let a = Tensor::rand_uniform(Shape4::flat(n, n), 1.0, 1);
+        let b = Tensor::rand_uniform(Shape4::flat(n, n), 1.0, 2);
+        let mut out = vec![0.0f32; n * n];
+        g.throughput(Throughput::Elements((2 * n * n * n) as u64));
+        g.bench_function(format!("sgemm_{n}x{n}x{n}"), |bench| {
+            bench.iter(|| {
+                sgemm(n, n, n, 1.0, a.data(), b.data(), 0.0, black_box(&mut out));
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_conv(c: &mut Criterion) {
+    let p = ConvParams {
+        out_channels: 16,
+        kernel: 3,
+        stride: 1,
+        pad: 1,
+    };
+    let input = Tensor::rand_uniform(Shape4::new(4, 8, 32, 32), 1.0, 3);
+    let weight = Tensor::rand_uniform(p.weight_shape(8), 0.5, 4);
+    let bias = vec![0.0f32; 16];
+    c.bench_function("conv2d_forward_im2col_4x8x32x32", |b| {
+        b.iter(|| conv2d_forward(black_box(&input), &weight, &bias, &p));
+    });
+    let gout = Tensor::rand_uniform(p.out_shape(input.shape()), 1.0, 5);
+    c.bench_function("conv2d_backward_4x8x32x32", |b| {
+        b.iter(|| conv2d_backward(black_box(&input), &weight, &gout, &p));
+    });
+}
+
+fn bench_pool_bn(c: &mut Criterion) {
+    let input = Tensor::rand_uniform(Shape4::new(8, 16, 32, 32), 1.0, 6);
+    let p = PoolParams {
+        kernel: 2,
+        stride: 2,
+        pad: 0,
+    };
+    c.bench_function("maxpool_forward_8x16x32x32", |b| {
+        b.iter(|| maxpool_forward(black_box(&input), &p));
+    });
+    let gamma = vec![1.0f32; 16];
+    let beta = vec![0.0f32; 16];
+    c.bench_function("bn_forward_8x16x32x32", |b| {
+        b.iter(|| bn_forward(black_box(&input), &gamma, &beta));
+    });
+}
+
+criterion_group!(benches, bench_gemm, bench_conv, bench_pool_bn);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! End-to-end scheduler benchmarks: the wall-clock cost of scheduling one
+//! virtual training iteration (liveness + UTP + cache + recompute) — i.e.
+//! the runtime's own overhead, which must stay negligible next to the
+//! (simulated) kernel time it orchestrates.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use sn_graph::{LivenessPlan, NetCost, Route};
+use sn_runtime::{Executor, Policy};
+use sn_sim::DeviceSpec;
+
+fn bench_route_and_liveness(c: &mut Criterion) {
+    let net = sn_models::resnet50(16);
+    c.bench_function("route_construct_resnet50", |b| {
+        b.iter(|| Route::construct(black_box(&net)));
+    });
+    let route = Route::construct(&net);
+    c.bench_function("liveness_analyze_resnet50", |b| {
+        b.iter(|| {
+            LivenessPlan::analyze(
+                black_box(&net),
+                &route,
+                sn_graph::liveness::LivenessOptions::default(),
+            )
+        });
+    });
+    c.bench_function("cost_model_resnet50", |b| {
+        b.iter(|| NetCost::of(black_box(&net)));
+    });
+}
+
+fn bench_iterations(c: &mut Criterion) {
+    let mut g = c.benchmark_group("virtual_iteration");
+    g.sample_size(20);
+    for (name, net) in [
+        ("alexnet_b128", sn_models::alexnet(128)),
+        ("resnet50_b16", sn_models::resnet50(16)),
+        ("inception_v4_b8", sn_models::inception_v4(8)),
+    ] {
+        g.bench_function(format!("superneurons_{name}"), |b| {
+            let mut ex = Executor::new(&net, DeviceSpec::k40c(), Policy::superneurons()).unwrap();
+            b.iter(|| black_box(&mut ex).run_iteration().unwrap());
+        });
+        g.bench_function(format!("baseline_{name}"), |b| {
+            let mut ex =
+                Executor::new(&net, DeviceSpec::k40c(), Policy::liveness_only()).unwrap();
+            b.iter(|| black_box(&mut ex).run_iteration().unwrap());
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_route_and_liveness, bench_iterations);
+criterion_main!(benches);

@@ -1,0 +1,17 @@
+//! # sn-bench — the experiment harness
+//!
+//! One function per table/figure of the paper's evaluation (§4). Each
+//! returns the formatted report it prints, so integration tests can assert
+//! on the *shape* of the results (who wins, by roughly what factor, where
+//! the crossovers fall) without duplicating the measurement code.
+//!
+//! Run everything with `cargo run --release -p sn-bench --bin experiments --
+//! all` (or a single experiment id, e.g. `table4`). Criterion
+//! micro-benchmarks live in `benches/`.
+
+pub mod ablation;
+pub mod experiments;
+pub mod table;
+
+pub use ablation::run_ablations;
+pub use experiments::*;

@@ -1,0 +1,42 @@
+//! # sn-runtime — the SuperNeurons dynamic GPU memory scheduling runtime
+//!
+//! This crate is the paper's primary contribution, rebuilt in Rust on top of
+//! the simulated device substrate:
+//!
+//! * [`policy`] — every technique as an independent switch, with presets for
+//!   the paper's component studies (`baseline`, `liveness_only`,
+//!   `liveness_offload`, `full_memory`, `superneurons`);
+//! * [`device`] — the device bundle (timeline + allocator + pinned host);
+//! * [`convalgo`] — the cuDNN-style convolution algorithm catalogue and the
+//!   dynamic workspace selector (§3.5);
+//! * [`recompute`] — Cost-Aware Recomputation planning (§3.4);
+//! * [`executor`] — the scheduler: liveness frees, UTP offload/prefetch over
+//!   independent DMA engines, the Alg. 2 LRU Tensor Cache, recomputation
+//!   replay, workspace provisioning, per-step tracing;
+//! * [`numeric`] — a real compute backend proving the schedule preserves
+//!   exact training semantics;
+//! * [`session`] — a high-level training-session API used by examples and
+//!   the experiment harness.
+//!
+//! `peak_m` progression implemented (and asserted by tests):
+//! baseline `Σ l_f + Σ l_b` → liveness `Σ l_f + l_b_N` → +offload
+//! `Σ (l_f ∉ ckpt) + l_b_N` → +cost-aware recompute `max_i(l_i)`.
+
+pub mod convalgo;
+pub mod device;
+pub mod executor;
+pub mod numeric;
+pub mod parallel;
+pub mod policy;
+pub mod recompute;
+pub mod session;
+pub mod tiers;
+
+pub use convalgo::{select_algo, AlgoChoice, ConvAlgo};
+pub use device::{AllocatorImpl, Device};
+pub use executor::{ComputeBackend, Counters, ExecError, Executor, IterationReport};
+pub use parallel::{DataParallel, Interconnect, ParallelReport};
+pub use policy::{AllocatorKind, CachePolicy, Policy, RecomputeMode, WorkspacePolicy};
+pub use recompute::{RecomputePlan, Segment, SegmentStrategy};
+pub use session::{Session, SessionReport};
+pub use tiers::{Tier, TierConfig, TieredPool};

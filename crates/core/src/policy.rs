@@ -1,0 +1,220 @@
+//! Runtime policy knobs.
+//!
+//! Every memory/performance technique of the paper is an independent switch,
+//! so the component evaluations (§4.1) are literal policy diffs, and the
+//! framework emulations of `sn-frameworks` are just preset bundles.
+
+/// Which device allocator backs tensor memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AllocatorKind {
+    /// The SuperNeurons heap pool (§3.2.1).
+    HeapPool,
+    /// Raw `cudaMalloc`/`cudaFree` with modelled latencies (Table 2 baseline).
+    Cuda,
+}
+
+/// Recomputation strategy (§3.4, Fig. 9).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecomputeMode {
+    /// Keep everything needed by backward (no recomputation).
+    None,
+    /// Recompute each segment once, keep results for the whole segment
+    /// backward (MXNet-style; O(N) extra compute, memcost Σ l_f + l_b).
+    SpeedCentric,
+    /// Recompute dependencies afresh for every backward layer, freeing
+    /// intermediates immediately (O(N²) extra compute, memcost l_b).
+    MemoryCentric,
+    /// The paper's contribution: per segment, speed-centric when its
+    /// memcost stays ≤ l_peak, memory-centric otherwise.
+    CostAware,
+}
+
+/// Tensor Cache replacement policy. The paper uses LRU (§3.3.2) and notes
+/// other policies "might better fit the scenario" — FIFO and MRU are
+/// provided for the ablation study.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CachePolicy {
+    /// Least-recently-used (the paper's choice — backward's head-to-tail
+    /// pattern reuses the most recent tensors earliest).
+    Lru,
+    /// First-in-first-out: evict the oldest insertion.
+    Fifo,
+    /// Most-recently-used: the adversarial ordering for this access pattern.
+    Mru,
+}
+
+/// Convolution-workspace policy (§3.5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkspacePolicy {
+    /// Always the zero-workspace algorithm (implicit GEMM).
+    None,
+    /// At every step, profile free bytes and pick the fastest feasible
+    /// algorithm (the paper's dynamic strategy).
+    Dynamic,
+    /// The naive strategy of the emulated frameworks (§2.2): a fixed
+    /// per-conv workspace limit (cuDNN-era defaults were tens of MB),
+    /// regardless of how much memory is actually free.
+    Capped(u64),
+}
+
+/// Full policy bundle.
+#[derive(Debug, Clone, Copy)]
+pub struct Policy {
+    /// Liveness analysis (off = the naive baseline allocator).
+    pub liveness: bool,
+    /// Keep all forward outputs resident (Caffe/Torch-style).
+    pub keep_all_forward: bool,
+    /// In-place ReLU/Dropout.
+    pub inplace_act: bool,
+    /// UTP offloading of checkpoint (CONV/DATA) outputs to host.
+    pub offload: bool,
+    /// Offload eagerly after every checkpoint forward (true), or only under
+    /// memory pressure via the Tensor Cache's LRU eviction (false).
+    pub eager_offload: bool,
+    /// LRU Tensor Cache (Alg. 2): reuse resident tensors, evict on demand.
+    pub tensor_cache: bool,
+    /// Overlapped prefetch of the next checkpoint's tensors during backward.
+    pub prefetch: bool,
+    /// Pinned host staging (false halves PCIe bandwidth, as the paper notes
+    /// for TensorFlow).
+    pub pinned_host: bool,
+    pub recompute: RecomputeMode,
+    pub allocator: AllocatorKind,
+    pub workspace: WorkspacePolicy,
+    /// Tensor Cache replacement policy.
+    pub cache_policy: CachePolicy,
+    /// External UTP tier capacities (Fig. 7); default = local host only.
+    pub tiers: crate::tiers::TierConfig,
+}
+
+impl Policy {
+    /// The naive baseline of §3: one tensor per request, nothing freed,
+    /// no offload/recompute/workspace tricks.
+    pub fn baseline() -> Policy {
+        Policy {
+            liveness: false,
+            keep_all_forward: false,
+            inplace_act: false,
+            offload: false,
+            eager_offload: false,
+            tensor_cache: false,
+            prefetch: false,
+            pinned_host: true,
+            recompute: RecomputeMode::None,
+            allocator: AllocatorKind::HeapPool,
+            workspace: WorkspacePolicy::None,
+            cache_policy: CachePolicy::Lru,
+            tiers: crate::tiers::TierConfig::default(),
+        }
+    }
+
+    /// Liveness analysis only (Fig. 10a).
+    pub fn liveness_only() -> Policy {
+        Policy {
+            liveness: true,
+            ..Policy::baseline()
+        }
+    }
+
+    /// Liveness + eager offload/prefetch of checkpoints (Fig. 10b).
+    pub fn liveness_offload() -> Policy {
+        Policy {
+            liveness: true,
+            offload: true,
+            eager_offload: true,
+            prefetch: true,
+            ..Policy::baseline()
+        }
+    }
+
+    /// Liveness + offload + cost-aware recomputation (Fig. 10c): the full
+    /// memory stack, still without the performance features.
+    pub fn full_memory() -> Policy {
+        Policy {
+            recompute: RecomputeMode::CostAware,
+            ..Policy::liveness_offload()
+        }
+    }
+
+    /// The complete SuperNeurons runtime: all three memory techniques plus
+    /// the memory pool, Tensor Cache, overlapped transfers, and dynamic
+    /// convolution workspaces.
+    pub fn superneurons() -> Policy {
+        Policy {
+            liveness: true,
+            keep_all_forward: false,
+            inplace_act: false,
+            offload: true,
+            eager_offload: false, // cache decides: transfer only under pressure
+            tensor_cache: true,
+            prefetch: true,
+            pinned_host: true,
+            recompute: RecomputeMode::CostAware,
+            allocator: AllocatorKind::HeapPool,
+            workspace: WorkspacePolicy::Dynamic,
+            cache_policy: CachePolicy::Lru,
+            tiers: crate::tiers::TierConfig::default(),
+        }
+    }
+
+    /// SuperNeurons with the Tensor Cache disabled (Fig. 11 / Table 3
+    /// comparison point): every checkpoint offload is on-demand and eager.
+    pub fn superneurons_no_cache() -> Policy {
+        Policy {
+            tensor_cache: false,
+            eager_offload: true,
+            ..Policy::superneurons()
+        }
+    }
+
+    /// SuperNeurons on raw cudaMalloc (Table 2 comparison point).
+    pub fn superneurons_cuda_alloc() -> Policy {
+        Policy {
+            allocator: AllocatorKind::Cuda,
+            ..Policy::superneurons()
+        }
+    }
+
+    /// Liveness options implied by this policy.
+    pub fn liveness_options(&self) -> sn_graph::liveness::LivenessOptions {
+        sn_graph::liveness::LivenessOptions {
+            enabled: self.liveness,
+            recompute_non_checkpoints: self.recompute != RecomputeMode::None,
+            keep_all_forward: self.keep_all_forward,
+            inplace_act: self.inplace_act,
+        }
+    }
+}
+
+impl Default for Policy {
+    fn default() -> Self {
+        Policy::superneurons()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_differ_in_the_documented_knobs() {
+        let b = Policy::baseline();
+        assert!(!b.liveness && !b.offload && b.recompute == RecomputeMode::None);
+        let l = Policy::liveness_only();
+        assert!(l.liveness && !l.offload);
+        let lo = Policy::liveness_offload();
+        assert!(lo.offload && lo.eager_offload && lo.recompute == RecomputeMode::None);
+        let sn = Policy::superneurons();
+        assert!(sn.tensor_cache && !sn.eager_offload);
+        assert_eq!(sn.recompute, RecomputeMode::CostAware);
+        assert_eq!(sn.workspace, WorkspacePolicy::Dynamic);
+    }
+
+    #[test]
+    fn liveness_options_follow_policy() {
+        let o = Policy::superneurons().liveness_options();
+        assert!(o.enabled && o.recompute_non_checkpoints);
+        let o = Policy::baseline().liveness_options();
+        assert!(!o.enabled && !o.recompute_non_checkpoints);
+    }
+}

@@ -1,0 +1,310 @@
+//! Cost-Aware Recomputation planning (§3.4, Fig. 9, Table 1).
+//!
+//! Non-checkpoint layers (POOL/ACT/LRN/BN/DROPOUT — cheap to compute, ~50%
+//! of memory) have their forward outputs dropped after the last forward use;
+//! the backward pass reconstructs them from the nearest upstream checkpoint.
+//! Because every non-checkpoint layer is single-input (joins are
+//! checkpoints), the non-checkpoints anchored at a checkpoint form a tree —
+//! a *recomputation segment* — replayable by one forward sweep from the
+//! anchor.
+//!
+//! Strategies:
+//! * **speed-centric** — replay the whole segment once, keep the results
+//!   until their last backward use (extra compute O(N), memory
+//!   `Σ l_f + l_b`);
+//! * **memory-centric** — replay only the chain each backward step needs and
+//!   free it immediately afterwards (extra compute O(N²), memory `l_b`);
+//! * **cost-aware** — per segment: speed-centric iff its replay memory stays
+//!   within `l_peak = max_i(l_i)`, so the global peak is never raised by
+//!   recomputation itself.
+
+use sn_graph::{LayerId, Net, NetCost, Route};
+
+use crate::policy::RecomputeMode;
+
+/// Chosen strategy for one segment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SegmentStrategy {
+    SpeedCentric,
+    MemoryCentric,
+}
+
+/// One recomputation segment: the tree of non-checkpoints hanging off an
+/// anchor checkpoint.
+#[derive(Debug, Clone)]
+pub struct Segment {
+    /// The checkpoint whose stored (possibly offloaded) output seeds replay.
+    pub anchor: LayerId,
+    /// Member layers in route (thus dependency-respecting) order.
+    pub members: Vec<LayerId>,
+    /// Memory cost of a speed-centric replay:
+    /// `l_f(anchor) + Σ l_f(members) + l_b(last)`.
+    pub memcost: u64,
+    pub strategy: SegmentStrategy,
+}
+
+/// The per-network recomputation plan.
+#[derive(Debug, Clone)]
+pub struct RecomputePlan {
+    /// Per layer: the anchor checkpoint of its segment (None for
+    /// checkpoints themselves).
+    pub anchor_of: Vec<Option<LayerId>>,
+    pub segments: Vec<Segment>,
+    /// Per layer: index into `segments` (None for checkpoints).
+    pub segment_of: Vec<Option<usize>>,
+    /// `l_peak = max_i(l_i)` — the cost-aware threshold.
+    pub l_peak: u64,
+}
+
+impl RecomputePlan {
+    /// Build the plan. With `RecomputeMode::None` the plan is empty (every
+    /// layer is effectively a checkpoint).
+    pub fn build(net: &Net, route: &Route, cost: &NetCost, mode: RecomputeMode) -> RecomputePlan {
+        let n = net.len();
+        let l_peak = cost.l_peak();
+        if mode == RecomputeMode::None {
+            return RecomputePlan {
+                anchor_of: vec![None; n],
+                segments: Vec::new(),
+                segment_of: vec![None; n],
+                l_peak,
+            };
+        }
+
+        // Anchor resolution in route order: a non-checkpoint inherits the
+        // anchor of its (single) producer.
+        let mut anchor_of: Vec<Option<LayerId>> = vec![None; n];
+        for id in &route.fwd {
+            let layer = net.layer(*id);
+            if layer.kind.is_checkpoint() {
+                continue;
+            }
+            assert_eq!(
+                layer.prevs.len(),
+                1,
+                "non-checkpoint layer {} must be single-input",
+                layer.name
+            );
+            let p = layer.prevs[0];
+            anchor_of[id.0] = if net.layer(p).kind.is_checkpoint() {
+                Some(p)
+            } else {
+                anchor_of[p.0]
+            };
+            debug_assert!(anchor_of[id.0].is_some());
+        }
+
+        // Group members per anchor, in route order.
+        let mut seg_index: std::collections::HashMap<LayerId, usize> =
+            std::collections::HashMap::new();
+        let mut segments: Vec<Segment> = Vec::new();
+        let mut segment_of: Vec<Option<usize>> = vec![None; n];
+        for id in &route.fwd {
+            if let Some(anchor) = anchor_of[id.0] {
+                let si = *seg_index.entry(anchor).or_insert_with(|| {
+                    segments.push(Segment {
+                        anchor,
+                        members: Vec::new(),
+                        memcost: 0,
+                        strategy: SegmentStrategy::SpeedCentric,
+                    });
+                    segments.len() - 1
+                });
+                segments[si].members.push(*id);
+                segment_of[id.0] = Some(si);
+            }
+        }
+
+        // Memory cost and strategy per segment: the anchor's stored output
+        // (the replay seed) + every member output kept by the speed-centric
+        // strategy + the backward working set at the segment's end.
+        for seg in segments.iter_mut() {
+            let sum_lf: u64 = seg.members.iter().map(|m| cost.layer(*m).l_f()).sum();
+            let last = *seg.members.last().expect("segments are non-empty");
+            seg.memcost = cost.layer(seg.anchor).l_f() + sum_lf + cost.layer(last).l_b();
+            seg.strategy = match mode {
+                RecomputeMode::SpeedCentric => SegmentStrategy::SpeedCentric,
+                RecomputeMode::MemoryCentric => SegmentStrategy::MemoryCentric,
+                RecomputeMode::CostAware => {
+                    if seg.memcost <= l_peak {
+                        SegmentStrategy::SpeedCentric
+                    } else {
+                        SegmentStrategy::MemoryCentric
+                    }
+                }
+                RecomputeMode::None => unreachable!(),
+            };
+        }
+
+        RecomputePlan {
+            anchor_of,
+            segments,
+            segment_of,
+            l_peak,
+        }
+    }
+
+    /// The chain of layers from the anchor (exclusive) to `layer`
+    /// (inclusive), in forward order — the minimal replay for a
+    /// memory-centric reconstruction of `layer`'s output.
+    pub fn chain_to(&self, net: &Net, layer: LayerId) -> Vec<LayerId> {
+        let mut chain = vec![layer];
+        let mut cur = layer;
+        while self.anchor_of[cur.0].is_some() {
+            let p = net.layer(cur).prevs[0];
+            if net.layer(p).kind.is_checkpoint() {
+                break;
+            }
+            chain.push(p);
+            cur = p;
+        }
+        chain.reverse();
+        chain
+    }
+
+    /// Predicted extra forward computations for a pure speed-centric run:
+    /// each segment is replayed exactly once.
+    pub fn predicted_speed_centric_extra(&self) -> usize {
+        self.segments.iter().map(|s| s.members.len()).sum()
+    }
+
+    /// Total members (for reporting).
+    pub fn total_recomputable(&self) -> usize {
+        self.predicted_speed_centric_extra()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sn_graph::liveness::LivenessOptions;
+    use sn_graph::{LivenessPlan, Shape4};
+
+    /// AlexNet-shaped segment structure:
+    /// CONV-[ACT,LRN,POOL]-CONV-[ACT]-FC-[ACT,DROPOUT]-SOFTMAX
+    fn seg_net() -> (sn_graph::Net, Route, NetCost) {
+        let mut net = sn_graph::Net::new("seg", Shape4::new(4, 3, 16, 16));
+        let d = net.data();
+        let c1 = net.conv(d, 8, 3, 1, 1);
+        let a1 = net.relu(c1);
+        let l1 = net.lrn(a1);
+        let p1 = net.max_pool(l1, 2, 2, 0);
+        let c2 = net.conv(p1, 8, 3, 1, 1);
+        let a2 = net.relu(c2);
+        let f1 = net.fc(a2, 32);
+        let a3 = net.relu(f1);
+        let dr = net.dropout(a3, 0.5);
+        let f2 = net.fc(dr, 10);
+        net.softmax(f2);
+        let route = Route::construct(&net);
+        let cost = NetCost::of(&net);
+        (net, route, cost)
+    }
+
+    #[test]
+    fn segments_partition_non_checkpoints() {
+        let (net, route, cost) = seg_net();
+        let plan = RecomputePlan::build(&net, &route, &cost, RecomputeMode::CostAware);
+        // Segments: [ACT,LRN,POOL] @CONV1, [ACT] @CONV2, [ACT,DROPOUT] @FC1.
+        assert_eq!(plan.segments.len(), 3);
+        let sizes: Vec<usize> = plan.segments.iter().map(|s| s.members.len()).collect();
+        assert_eq!(sizes, vec![3, 1, 2]);
+        assert_eq!(plan.predicted_speed_centric_extra(), 6);
+        // Every non-checkpoint belongs to exactly one segment.
+        for layer in net.layers() {
+            assert_eq!(
+                plan.segment_of[layer.id.0].is_some(),
+                !layer.kind.is_checkpoint(),
+                "{}",
+                layer.name
+            );
+        }
+    }
+
+    #[test]
+    fn chains_walk_back_to_the_anchor() {
+        let (net, route, cost) = seg_net();
+        let plan = RecomputePlan::build(&net, &route, &cost, RecomputeMode::CostAware);
+        // chain to POOL (layer 4) = [ACT(2), LRN(3), POOL(4)].
+        let chain = plan.chain_to(&net, LayerId(4));
+        let ids: Vec<usize> = chain.iter().map(|l| l.0).collect();
+        assert_eq!(ids, vec![2, 3, 4]);
+        // chain to ACT(2) = [ACT(2)].
+        assert_eq!(plan.chain_to(&net, LayerId(2)).len(), 1);
+    }
+
+    #[test]
+    fn none_mode_produces_empty_plan() {
+        let (net, route, cost) = seg_net();
+        let plan = RecomputePlan::build(&net, &route, &cost, RecomputeMode::None);
+        assert!(plan.segments.is_empty());
+        assert!(plan.anchor_of.iter().all(|a| a.is_none()));
+    }
+
+    #[test]
+    fn cost_aware_defaults_to_speed_within_l_peak() {
+        let (net, route, cost) = seg_net();
+        let plan = RecomputePlan::build(&net, &route, &cost, RecomputeMode::CostAware);
+        for seg in &plan.segments {
+            if seg.memcost <= plan.l_peak {
+                assert_eq!(seg.strategy, SegmentStrategy::SpeedCentric);
+            } else {
+                assert_eq!(seg.strategy, SegmentStrategy::MemoryCentric);
+            }
+        }
+        // Forced modes override.
+        let m = RecomputePlan::build(&net, &route, &cost, RecomputeMode::MemoryCentric);
+        assert!(m
+            .segments
+            .iter()
+            .all(|s| s.strategy == SegmentStrategy::MemoryCentric));
+        let s = RecomputePlan::build(&net, &route, &cost, RecomputeMode::SpeedCentric);
+        assert!(s
+            .segments
+            .iter()
+            .all(|s| s.strategy == SegmentStrategy::SpeedCentric));
+    }
+
+    #[test]
+    fn residual_blocks_anchor_at_joins() {
+        // conv -> bn -> relu -> conv -> bn -> eltwise(join) -> relu
+        let mut net = sn_graph::Net::new("res", Shape4::new(2, 4, 8, 8));
+        let d = net.data();
+        let c1 = net.conv(d, 4, 3, 1, 1);
+        let b1 = net.bn(c1);
+        let r1 = net.relu(b1);
+        let c2 = net.conv(r1, 4, 3, 1, 1);
+        let b2 = net.bn(c2);
+        let e = net.eltwise(&[b2, c1]);
+        let r2 = net.relu(e);
+        let f = net.fc(r2, 10);
+        net.softmax(f);
+        let route = Route::construct(&net);
+        let cost = NetCost::of(&net);
+        let plan = RecomputePlan::build(&net, &route, &cost, RecomputeMode::CostAware);
+        // bn1/relu1 anchored at conv1; bn2 at conv2; relu2 at the eltwise.
+        assert_eq!(plan.anchor_of[b1.0], Some(c1));
+        assert_eq!(plan.anchor_of[r1.0], Some(c1));
+        assert_eq!(plan.anchor_of[b2.0], Some(c2));
+        assert_eq!(plan.anchor_of[e.0], None, "eltwise is a checkpoint");
+        assert_eq!(plan.anchor_of[r2.0], Some(e));
+    }
+
+    #[test]
+    fn recompute_liveness_shortens_non_checkpoint_lifetimes() {
+        // Sanity wiring between the plan and the liveness options.
+        let (net, route, _) = seg_net();
+        let with = LivenessPlan::analyze(
+            &net,
+            &route,
+            LivenessOptions {
+                recompute_non_checkpoints: true,
+                ..Default::default()
+            },
+        );
+        let without = LivenessPlan::analyze(&net, &route, LivenessOptions::default());
+        let (pw, _) = with.peak_resident(0, |_| 0);
+        let (po, _) = without.peak_resident(0, |_| 0);
+        assert!(pw < po, "recompute must reduce the analytic peak: {pw} vs {po}");
+    }
+}

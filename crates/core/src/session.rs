@@ -1,0 +1,204 @@
+//! High-level training-session API: build a network, pick a device and a
+//! policy, measure. Used by the examples and the experiment harness.
+
+use sn_graph::Net;
+use sn_sim::{DeviceSpec, SimTime};
+
+use crate::executor::{ExecError, Executor, IterationReport};
+use crate::policy::Policy;
+
+/// A measured training session.
+pub struct Session {
+    pub net: Net,
+    pub spec: DeviceSpec,
+    pub policy: Policy,
+    /// Warm-up iterations before measurement (allocator/cache warm state).
+    pub warmup: usize,
+    /// Measured iterations (averaged).
+    pub iters: usize,
+}
+
+/// Aggregated results of a session.
+#[derive(Debug, Clone)]
+pub struct SessionReport {
+    pub net_name: String,
+    pub batch: usize,
+    pub iter_time: SimTime,
+    pub imgs_per_sec: f64,
+    pub peak_bytes: u64,
+    pub h2d_bytes_per_iter: u64,
+    pub d2h_bytes_per_iter: u64,
+    pub recompute_forwards: u64,
+    pub alloc_time: SimTime,
+    pub alloc_calls: u64,
+    pub stall: SimTime,
+    pub last: IterationReport,
+}
+
+impl SessionReport {
+    /// Total PCIe traffic per iteration (Table 3's quantity).
+    pub fn traffic_per_iter(&self) -> u64 {
+        self.h2d_bytes_per_iter + self.d2h_bytes_per_iter
+    }
+}
+
+impl Session {
+    pub fn new(net: Net, spec: DeviceSpec, policy: Policy) -> Session {
+        Session {
+            net,
+            spec,
+            policy,
+            warmup: 1,
+            iters: 3,
+        }
+    }
+
+    /// Run the session and aggregate.
+    pub fn run(&self) -> Result<SessionReport, ExecError> {
+        let mut ex = Executor::new(&self.net, self.spec.clone(), self.policy)?;
+        for _ in 0..self.warmup {
+            ex.run_iteration()?;
+        }
+        let mut total_time = SimTime::ZERO;
+        let mut peak = 0u64;
+        let mut h2d = 0u64;
+        let mut d2h = 0u64;
+        let mut recomputes = 0u64;
+        let mut alloc_time = SimTime::ZERO;
+        let mut alloc_calls = 0u64;
+        let mut stall = SimTime::ZERO;
+        let mut last = None;
+        let iters = self.iters.max(1);
+        for _ in 0..iters {
+            let r = ex.run_iteration()?;
+            total_time += r.iter_time;
+            peak = peak.max(r.peak_bytes);
+            h2d += r.h2d_bytes;
+            d2h += r.d2h_bytes;
+            recomputes += r.counters.recompute_forwards;
+            alloc_time += r.alloc_time;
+            alloc_calls += r.alloc_calls;
+            stall += r.stall;
+            last = Some(r);
+        }
+        let iter_time = SimTime::from_ns(total_time.as_ns() / iters as u64);
+        let batch = self.net.batch();
+        Ok(SessionReport {
+            net_name: self.net.name.clone(),
+            batch,
+            iter_time,
+            imgs_per_sec: batch as f64 / iter_time.as_secs_f64(),
+            peak_bytes: peak,
+            h2d_bytes_per_iter: h2d / iters as u64,
+            d2h_bytes_per_iter: d2h / iters as u64,
+            recompute_forwards: recomputes / iters as u64,
+            alloc_time: SimTime::from_ns(alloc_time.as_ns() / iters as u64),
+            alloc_calls: alloc_calls / iters as u64,
+            stall: SimTime::from_ns(stall.as_ns() / iters as u64),
+            last: last.expect("iters >= 1"),
+        })
+    }
+}
+
+/// Does `net` train successfully on `spec` under `policy`? (One iteration —
+/// an iteration's peak is the steady-state peak.)
+pub fn feasible(net: &Net, spec: &DeviceSpec, policy: Policy) -> bool {
+    match Executor::new(net, spec.clone(), policy) {
+        Ok(mut ex) => ex.run_iteration().is_ok(),
+        Err(_) => false,
+    }
+}
+
+/// Largest `x` in `[lo, hi]` such that `build(x)` trains on `spec` under
+/// `policy`, by exponential probing + binary search. Returns `lo - 1`-ish 0
+/// when even `lo` fails.
+pub fn max_feasible_param(
+    build: &dyn Fn(usize) -> Net,
+    spec: &DeviceSpec,
+    policy: Policy,
+    lo: usize,
+    hi: usize,
+) -> usize {
+    if !feasible(&build(lo), spec, policy) {
+        return 0;
+    }
+    // Exponential growth from lo until failure or hi.
+    let mut good = lo;
+    let mut bad = None;
+    let mut probe = (lo * 2).max(lo + 1);
+    while probe <= hi {
+        if feasible(&build(probe), spec, policy) {
+            good = probe;
+            probe *= 2;
+        } else {
+            bad = Some(probe);
+            break;
+        }
+    }
+    let mut high = match bad {
+        Some(b) => b,
+        None => return good.min(hi).max(if feasible(&build(hi), spec, policy) { hi } else { good }),
+    };
+    // Binary search in (good, high).
+    while high - good > 1 {
+        let mid = good + (high - good) / 2;
+        if feasible(&build(mid), spec, policy) {
+            good = mid;
+        } else {
+            high = mid;
+        }
+    }
+    good
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sn_graph::Shape4;
+
+    fn netb(batch: usize) -> Net {
+        let mut net = Net::new("n", Shape4::new(batch, 3, 16, 16));
+        let d = net.data();
+        let c = net.conv(d, 8, 3, 1, 1);
+        let a = net.relu(c);
+        let f = net.fc(a, 10);
+        net.softmax(f);
+        net
+    }
+
+    #[test]
+    fn session_reports_throughput() {
+        let s = Session::new(netb(32), DeviceSpec::k40c(), Policy::superneurons());
+        let r = s.run().unwrap();
+        assert!(r.imgs_per_sec > 0.0);
+        assert_eq!(r.batch, 32);
+        assert!(r.peak_bytes > 0);
+    }
+
+    #[test]
+    fn max_feasible_param_finds_the_knee() {
+        // Tiny DRAM: find the max batch; then check batch+1 fails.
+        let spec = DeviceSpec::k40c().with_dram(24 << 20);
+        let best = max_feasible_param(&netb, &spec, Policy::liveness_only(), 1, 4096);
+        assert!(best >= 1);
+        assert!(feasible(&netb(best), &spec, Policy::liveness_only()));
+        assert!(!feasible(&netb(best + 1), &spec, Policy::liveness_only()));
+    }
+
+    #[test]
+    fn superneurons_beats_baseline_on_max_batch() {
+        let spec = DeviceSpec::k40c().with_dram(24 << 20);
+        let base = max_feasible_param(&netb, &spec, Policy::baseline(), 1, 4096);
+        let sn = max_feasible_param(&netb, &spec, Policy::superneurons(), 1, 4096);
+        assert!(sn > base, "superneurons {sn} must beat baseline {base}");
+    }
+
+    #[test]
+    fn infeasible_lo_returns_zero() {
+        let spec = DeviceSpec::k40c().with_dram(64 << 10);
+        assert_eq!(
+            max_feasible_param(&netb, &spec, Policy::baseline(), 1, 64),
+            0
+        );
+    }
+}

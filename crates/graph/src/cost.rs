@@ -1,0 +1,414 @@
+//! Per-layer memory and compute cost models.
+//!
+//! These drive everything quantitative: `l_f`/`l_b` (the memory terms of the
+//! paper's `peak_m` formulas), virtual execution times, and the Fig. 8
+//! breakdowns by layer type. FLOP counts are the standard analytic ones;
+//! execution time is the max of a compute-bound term (FLOPs over effective
+//! throughput) and a bandwidth-bound term (bytes moved over DRAM bandwidth),
+//! plus a fixed kernel-launch overhead — the usual roofline shape that makes
+//! CONV/FC compute-bound and POOL/ACT/BN/LRN bandwidth-bound, which is
+//! precisely the asymmetry Cost-Aware Recomputation exploits.
+
+use sn_sim::{DeviceSpec, SimTime};
+
+use crate::layer::{Layer, LayerId, LayerKind};
+use crate::net::Net;
+
+/// Arithmetic efficiency (fraction of peak FLOP/s) by layer family.
+fn efficiency(kind: &LayerKind) -> f64 {
+    match kind {
+        LayerKind::Conv { .. } => 0.50,
+        LayerKind::Fc { .. } => 0.35,
+        // Elementwise/pooling kernels never approach peak arithmetic
+        // throughput; their time is dominated by the bandwidth term anyway.
+        _ => 0.10,
+    }
+}
+
+/// Static cost description of one layer.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LayerCost {
+    /// Forward FLOPs.
+    pub fwd_flops: u64,
+    /// Backward FLOPs (data + weight gradients).
+    pub bwd_flops: u64,
+    /// Bytes touched by the forward kernel (reads + writes).
+    pub fwd_bytes_moved: u64,
+    /// Bytes touched by the backward kernel.
+    pub bwd_bytes_moved: u64,
+    /// Output tensor bytes — the dominant component of `l_f`.
+    pub out_bytes: u64,
+    /// Trainable parameter bytes (weights + biases), resident all iteration.
+    pub weight_bytes: u64,
+    /// Output-gradient tensor bytes (`dY`), the dominant component of `l_b`.
+    pub grad_bytes: u64,
+    /// Weight-gradient bytes, transient within the backward step.
+    pub wgrad_bytes: u64,
+    /// Non-conv forward workspace (e.g. max-pool argmax mask), transient.
+    pub fwd_workspace: u64,
+    /// Total bytes of the layer's input tensors.
+    pub in_bytes: u64,
+    /// Does the backward kernel read the input tensor (input-formulated)?
+    pub bwd_reads_input: bool,
+}
+
+impl LayerCost {
+    /// Build the cost model for `layer` within `net`.
+    pub fn of(net: &Net, layer: &Layer) -> LayerCost {
+        let out = layer.out_shape;
+        let out_elems = out.numel() as u64;
+        let out_bytes = out.bytes();
+        let in_shape = if layer.prevs.is_empty() {
+            out
+        } else {
+            net.layer(layer.prevs[0]).out_shape
+        };
+        let in_bytes: u64 = layer
+            .prevs
+            .iter()
+            .map(|p| net.layer(*p).out_shape.bytes())
+            .sum();
+
+        let mut c = LayerCost {
+            out_bytes,
+            grad_bytes: out_bytes,
+            in_bytes,
+            bwd_reads_input: layer.kind.bwd_needs_input(),
+            ..Default::default()
+        };
+
+        match &layer.kind {
+            LayerKind::Data { .. } => {
+                // Producing the batch: a host copy, costed as bytes moved.
+                c.fwd_bytes_moved = out_bytes;
+                c.grad_bytes = 0; // no gradient w.r.t. input data
+            }
+            LayerKind::Conv { kernel, .. } => {
+                let cin = net.in_channels(layer.id) as u64;
+                let k = *kernel as u64;
+                let macs = out_elems * cin * k * k;
+                c.fwd_flops = 2 * macs;
+                // backward-data + backward-filter ≈ 2× forward.
+                c.bwd_flops = 4 * macs;
+                let w = cin * (out.c as u64) * k * k * 4 + out.c as u64 * 4;
+                c.weight_bytes = w;
+                c.wgrad_bytes = w;
+                c.fwd_bytes_moved = in_bytes + out_bytes + w;
+                c.bwd_bytes_moved = 2 * (in_bytes + out_bytes) + 2 * w;
+            }
+            LayerKind::Fc { out: k } => {
+                let f = in_shape.features() as u64;
+                let n = in_shape.n as u64;
+                let k = *k as u64;
+                c.fwd_flops = 2 * n * f * k;
+                c.bwd_flops = 4 * n * f * k;
+                let w = f * k * 4 + k * 4;
+                c.weight_bytes = w;
+                c.wgrad_bytes = w;
+                c.fwd_bytes_moved = in_bytes + out_bytes + w;
+                c.bwd_bytes_moved = 2 * (in_bytes + out_bytes) + 2 * w;
+            }
+            LayerKind::Pool { kernel, .. } => {
+                let k = *kernel as u64;
+                c.fwd_flops = out_elems * k * k;
+                c.bwd_flops = out_elems;
+                c.fwd_bytes_moved = in_bytes + out_bytes;
+                c.bwd_bytes_moved = in_bytes + out_bytes;
+                // argmax mask: one u32 per output element.
+                c.fwd_workspace = out_elems * 4;
+            }
+            LayerKind::Act => {
+                c.fwd_flops = out_elems;
+                c.bwd_flops = out_elems;
+                c.fwd_bytes_moved = in_bytes + out_bytes;
+                c.bwd_bytes_moved = 2 * out_bytes;
+            }
+            LayerKind::Lrn { local_size } => {
+                let ls = *local_size as u64;
+                c.fwd_flops = out_elems * (2 * ls + 2);
+                c.bwd_flops = out_elems * (3 * ls + 3);
+                c.fwd_bytes_moved = in_bytes * 2 + out_bytes;
+                c.bwd_bytes_moved = 2 * (in_bytes + out_bytes);
+            }
+            LayerKind::Bn => {
+                c.fwd_flops = out_elems * 4;
+                c.bwd_flops = out_elems * 7;
+                // gamma/beta (+ running stats): 4 floats per channel.
+                let w = out.c as u64 * 4 * 4;
+                c.weight_bytes = w;
+                c.wgrad_bytes = out.c as u64 * 2 * 4;
+                c.fwd_bytes_moved = in_bytes * 2 + out_bytes;
+                c.bwd_bytes_moved = 2 * (in_bytes + out_bytes);
+            }
+            LayerKind::Dropout { .. } => {
+                c.fwd_flops = 2 * out_elems;
+                c.bwd_flops = 2 * out_elems;
+                c.fwd_bytes_moved = in_bytes + out_bytes;
+                c.bwd_bytes_moved = 2 * out_bytes;
+            }
+            LayerKind::Softmax => {
+                c.fwd_flops = 5 * out_elems;
+                c.bwd_flops = 2 * out_elems;
+                c.fwd_bytes_moved = in_bytes + out_bytes;
+                c.bwd_bytes_moved = 2 * out_bytes;
+            }
+            LayerKind::Concat | LayerKind::Eltwise => {
+                c.fwd_flops = out_elems;
+                c.bwd_flops = out_elems;
+                c.fwd_bytes_moved = in_bytes + out_bytes;
+                c.bwd_bytes_moved = in_bytes + out_bytes;
+            }
+        }
+        c
+    }
+
+    /// Forward memory usage `l_f` of the paper: the tensors this layer's
+    /// forward pass materializes (its output).
+    pub fn l_f(&self) -> u64 {
+        self.out_bytes
+    }
+
+    /// Backward memory usage `l_b`: the output gradient plus the transient
+    /// weight gradient.
+    pub fn l_b(&self) -> u64 {
+        self.grad_bytes + self.wgrad_bytes
+    }
+
+    /// Total memory attributed to the layer, `l_i = l_f + l_b`, used by the
+    /// paper's Σ-style formulas and Fig. 13's requirement computation.
+    pub fn l_total(&self) -> u64 {
+        self.l_f() + self.l_b()
+    }
+
+    /// Working set of the layer's *forward* computation: inputs + output
+    /// (+ transient mask workspace).
+    pub fn working_set_fwd(&self) -> u64 {
+        self.in_bytes + self.out_bytes + self.fwd_workspace
+    }
+
+    /// Working set of the layer's *backward* computation: the output
+    /// gradient `dY`, the input gradient `dX` being produced, the saved
+    /// input `X` when the kernel is input-formulated, and the transient
+    /// weight gradient. This is the quantity the paper's floor argument
+    /// uses: "cuDNN needs at least stash the tensors in a layer to compute".
+    pub fn working_set_bwd(&self) -> u64 {
+        let x = if self.bwd_reads_input { self.in_bytes } else { 0 };
+        // dY + dX + (X if read) + dW.
+        self.grad_bytes + self.in_bytes + x + self.wgrad_bytes
+    }
+
+    /// The per-layer memory floor `l_i`: the larger of the two working sets.
+    pub fn working_set(&self) -> u64 {
+        self.working_set_fwd().max(self.working_set_bwd())
+    }
+
+    fn roofline(flops: u64, eff: f64, bytes: u64, spec: &DeviceSpec) -> SimTime {
+        let ft = sn_sim::time::compute_time(flops, spec.peak_gflops * eff);
+        let bt = sn_sim::time::transfer_time(bytes, spec.mem_bw_gbps);
+        spec.kernel_launch + ft.max(bt)
+    }
+
+    /// Forward execution time on `spec`, with the selected convolution
+    /// algorithm's speed factor (1.0 = the zero-workspace baseline; the
+    /// runtime divides by a larger factor when a faster algorithm fits).
+    pub fn fwd_time(&self, kind: &LayerKind, spec: &DeviceSpec, algo_speedup: f64) -> SimTime {
+        debug_assert!(algo_speedup >= 1.0);
+        let flops = (self.fwd_flops as f64 / algo_speedup) as u64;
+        Self::roofline(flops, efficiency(kind), self.fwd_bytes_moved, spec)
+    }
+
+    /// Backward execution time on `spec`.
+    pub fn bwd_time(&self, kind: &LayerKind, spec: &DeviceSpec, algo_speedup: f64) -> SimTime {
+        debug_assert!(algo_speedup >= 1.0);
+        let flops = (self.bwd_flops as f64 / algo_speedup) as u64;
+        Self::roofline(flops, efficiency(kind), self.bwd_bytes_moved, spec)
+    }
+}
+
+/// Costs for every layer of a network, plus aggregations.
+#[derive(Debug, Clone)]
+pub struct NetCost {
+    per_layer: Vec<LayerCost>,
+}
+
+impl NetCost {
+    pub fn of(net: &Net) -> NetCost {
+        NetCost {
+            per_layer: net.layers().iter().map(|l| LayerCost::of(net, l)).collect(),
+        }
+    }
+
+    pub fn layer(&self, id: LayerId) -> &LayerCost {
+        &self.per_layer[id.0]
+    }
+
+    /// `Σ l_f` over all layers.
+    pub fn sum_l_f(&self) -> u64 {
+        self.per_layer.iter().map(|c| c.l_f()).sum()
+    }
+
+    /// `Σ l_b` over all layers.
+    pub fn sum_l_b(&self) -> u64 {
+        self.per_layer.iter().map(|c| c.l_b()).sum()
+    }
+
+    /// `l_peak = max_i(l_i)` where `l_i` is the layer's computation working
+    /// set — the floor Cost-Aware Recomputation reaches (§3.4).
+    pub fn l_peak(&self) -> u64 {
+        self.per_layer
+            .iter()
+            .map(|c| c.working_set())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// The layer achieving `l_peak`.
+    pub fn l_peak_layer(&self) -> LayerId {
+        let peak = self.l_peak();
+        LayerId(
+            self.per_layer
+                .iter()
+                .position(|c| c.working_set() == peak)
+                .unwrap_or(0),
+        )
+    }
+
+    /// Total trainable parameter bytes.
+    pub fn total_weight_bytes(&self) -> u64 {
+        self.per_layer.iter().map(|c| c.weight_bytes).sum()
+    }
+
+    /// Fig. 8 aggregation: per layer-type `(fwd+bwd time share, memory
+    /// share)`, returned as `(type, time_ns, l_f_bytes)` rows.
+    pub fn breakdown_by_type(&self, net: &Net, spec: &DeviceSpec) -> Vec<(String, u64, u64)> {
+        use std::collections::BTreeMap;
+        let mut map: BTreeMap<&'static str, (u64, u64)> = BTreeMap::new();
+        for layer in net.layers() {
+            let c = self.layer(layer.id);
+            let t = c.fwd_time(&layer.kind, spec, 1.0).as_ns()
+                + c.bwd_time(&layer.kind, spec, 1.0).as_ns();
+            let e = map.entry(layer.kind.type_name()).or_insert((0, 0));
+            e.0 += t;
+            e.1 += c.l_f();
+        }
+        map.into_iter()
+            .map(|(k, (t, m))| (k.to_string(), t, m))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sn_tensor::Shape4;
+
+    fn alexnet_like() -> Net {
+        // A miniature conv->relu->lrn->pool->fc->softmax chain, sized so the
+        // convolution is genuinely compute-heavy (realistic proportions).
+        let mut net = Net::new("mini", Shape4::new(64, 3, 32, 32));
+        let d = net.data();
+        let c = net.conv(d, 128, 5, 1, 2);
+        let r = net.relu(c);
+        let l = net.lrn(r);
+        let p = net.max_pool(l, 2, 2, 0);
+        let f = net.fc(p, 10);
+        net.softmax(f);
+        net
+    }
+
+    #[test]
+    fn conv_flops_match_analytic_formula() {
+        let net = alexnet_like();
+        let conv = &net.layers()[1];
+        let c = LayerCost::of(&net, conv);
+        // 2 * N*K*OH*OW * C*R*S = 2 * 8*16*32*32 * 3*5*5
+        assert_eq!(c.fwd_flops, 2 * 64 * 128 * 32 * 32 * 3 * 5 * 5);
+        assert_eq!(c.bwd_flops, 2 * c.fwd_flops);
+    }
+
+    #[test]
+    fn weight_bytes_cover_filters_and_bias() {
+        let net = alexnet_like();
+        let conv = &net.layers()[1];
+        let c = LayerCost::of(&net, conv);
+        assert_eq!(c.weight_bytes, (128 * 3 * 5 * 5 + 128) * 4);
+    }
+
+    #[test]
+    fn elementwise_layers_are_bandwidth_bound() {
+        let net = alexnet_like();
+        let spec = DeviceSpec::k40c();
+        let relu = &net.layers()[2];
+        let c = LayerCost::of(&net, relu);
+        let t = c.fwd_time(&relu.kind, &spec, 1.0);
+        // Pure bandwidth bound: bytes/bw plus launch overhead.
+        let expect = spec.kernel_launch
+            + sn_sim::time::transfer_time(c.fwd_bytes_moved, spec.mem_bw_gbps);
+        assert_eq!(t, expect);
+    }
+
+    #[test]
+    fn conv_dominates_time_activations_dominate_memory() {
+        let net = alexnet_like();
+        let cost = NetCost::of(&net);
+        let spec = DeviceSpec::k40c();
+        let rows = cost.breakdown_by_type(&net, &spec);
+        let total_t: u64 = rows.iter().map(|r| r.1).sum();
+        let total_m: u64 = rows.iter().map(|r| r.2).sum();
+        let conv_t = rows.iter().find(|r| r.0 == "CONV").unwrap().1;
+        let cheap_m: u64 = rows
+            .iter()
+            .filter(|r| ["ACT", "LRN", "POOL"].contains(&r.0.as_str()))
+            .map(|r| r.2)
+            .sum();
+        assert!(
+            conv_t * 2 > total_t,
+            "CONV should be >50% of time: {conv_t}/{total_t}"
+        );
+        assert!(
+            cheap_m * 2 > total_m,
+            "cheap layers should be >50% of memory: {cheap_m}/{total_m}"
+        );
+    }
+
+    #[test]
+    fn l_peak_is_max_layer_working_set() {
+        let net = alexnet_like();
+        let cost = NetCost::of(&net);
+        let manual = net
+            .layers()
+            .iter()
+            .map(|l| cost.layer(l.id).working_set())
+            .max()
+            .unwrap();
+        assert_eq!(cost.l_peak(), manual);
+        // The floor sits below the whole-network sum but above any single
+        // output tensor.
+        assert!(cost.l_peak() <= cost.sum_l_f() + cost.sum_l_b());
+        let max_out = net
+            .layers()
+            .iter()
+            .map(|l| cost.layer(l.id).l_f())
+            .max()
+            .unwrap();
+        assert!(cost.l_peak() >= max_out);
+    }
+
+    #[test]
+    fn algo_speedup_reduces_conv_time() {
+        let net = alexnet_like();
+        let conv = &net.layers()[1];
+        let c = LayerCost::of(&net, conv);
+        let spec = DeviceSpec::k40c();
+        let slow = c.fwd_time(&conv.kind, &spec, 1.0);
+        let fast = c.fwd_time(&conv.kind, &spec, 2.5);
+        assert!(fast < slow);
+    }
+
+    #[test]
+    fn data_layer_has_no_gradient() {
+        let net = alexnet_like();
+        let cost = NetCost::of(&net);
+        assert_eq!(cost.layer(LayerId(0)).grad_bytes, 0);
+    }
+}

@@ -1,0 +1,30 @@
+//! # sn-graph — nonlinear network graphs, execution routes, liveness, costs
+//!
+//! The paper's Challenge II is that nonlinear networks (fan/join) break the
+//! static scheduling assumptions of linear frameworks. This crate provides:
+//!
+//! * [`layer`] / [`net`]: layer descriptors and the DAG builder with shape
+//!   inference (CONV, POOL, ACT, FC, LRN, BN, DROPOUT, SOFTMAX, DATA, plus
+//!   the two nonlinear joins: CONCAT for fan-in and ELTWISE for residual
+//!   connections — fan-out is a layer with several `next` edges);
+//! * [`route`]: **Algorithm 1** — the DFS-with-join-counters construction of
+//!   the execution order for arbitrary nonlinear architectures;
+//! * [`liveness`]: the tensor registry (forward outputs, gradients, weights)
+//!   and the liveness analysis that turns consumer lists into per-step
+//!   create/free schedules, with the paper's explicit in/out-set variant for
+//!   validation;
+//! * [`cost`]: per-layer memory (`l_f`, `l_b`) and FLOP/byte cost models that
+//!   drive the virtual-time executor and the Fig. 8 breakdowns.
+
+pub mod cost;
+pub mod layer;
+pub mod liveness;
+pub mod net;
+pub mod route;
+
+pub use cost::{LayerCost, NetCost};
+pub use layer::{Layer, LayerId, LayerKind, PoolKind};
+pub use liveness::{LivenessPlan, TensorId, TensorMeta, TensorRole};
+pub use net::Net;
+pub use route::{Route, Step, StepPhase};
+pub use sn_tensor::Shape4;

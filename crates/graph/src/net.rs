@@ -1,0 +1,345 @@
+//! The network DAG builder with shape inference and validation.
+
+use sn_tensor::pool::PoolParams;
+use sn_tensor::Shape4;
+
+use crate::layer::{Layer, LayerId, LayerKind, PoolKind};
+
+/// A nonlinear neural network: a DAG of layers with a single DATA source and
+/// (by convention) a SOFTMAX sink.
+#[derive(Debug, Clone)]
+pub struct Net {
+    pub name: String,
+    layers: Vec<Layer>,
+}
+
+impl Net {
+    /// Start a network with its DATA layer.
+    pub fn new(name: impl Into<String>, input: Shape4) -> Self {
+        let data = Layer {
+            id: LayerId(0),
+            name: "DATA0".into(),
+            kind: LayerKind::Data { shape: input },
+            prevs: vec![],
+            nexts: vec![],
+            out_shape: input,
+        };
+        Net {
+            name: name.into(),
+            layers: vec![data],
+        }
+    }
+
+    /// The DATA layer id.
+    pub fn data(&self) -> LayerId {
+        LayerId(0)
+    }
+
+    /// Append a layer consuming `prevs`; returns its id. Shape inference
+    /// runs immediately, so invalid wiring fails at build time.
+    pub fn add(&mut self, kind: LayerKind, prevs: &[LayerId]) -> LayerId {
+        assert!(!prevs.is_empty(), "non-DATA layers need at least one input");
+        let id = LayerId(self.layers.len());
+        let out_shape = self.infer_shape(&kind, prevs);
+        let name = format!("{}{}", kind.type_name(), id.0);
+        for p in prevs {
+            self.layers[p.0].nexts.push(id);
+        }
+        self.layers.push(Layer {
+            id,
+            name,
+            kind,
+            prevs: prevs.to_vec(),
+            nexts: vec![],
+            out_shape,
+        });
+        id
+    }
+
+    /// Append a layer in a linear chain after `prev`.
+    pub fn chain(&mut self, kind: LayerKind, prev: LayerId) -> LayerId {
+        self.add(kind, &[prev])
+    }
+
+    fn infer_shape(&self, kind: &LayerKind, prevs: &[LayerId]) -> Shape4 {
+        let shape_of = |id: LayerId| self.layers[id.0].out_shape;
+        match kind {
+            LayerKind::Data { shape } => *shape,
+            LayerKind::Conv { .. } => {
+                assert_eq!(prevs.len(), 1, "CONV takes one input");
+                let p = kind.conv_params().unwrap();
+                p.out_shape(shape_of(prevs[0]))
+            }
+            LayerKind::Pool {
+                kernel,
+                stride,
+                pad,
+                ..
+            } => {
+                assert_eq!(prevs.len(), 1, "POOL takes one input");
+                PoolParams {
+                    kernel: *kernel,
+                    stride: *stride,
+                    pad: *pad,
+                }
+                .out_shape(shape_of(prevs[0]))
+            }
+            LayerKind::Act | LayerKind::Bn | LayerKind::Dropout { .. } | LayerKind::Lrn { .. } => {
+                assert_eq!(prevs.len(), 1, "elementwise layers take one input");
+                shape_of(prevs[0])
+            }
+            LayerKind::Fc { out } => {
+                assert_eq!(prevs.len(), 1, "FC takes one input");
+                Shape4::flat(shape_of(prevs[0]).n, *out)
+            }
+            LayerKind::Softmax => {
+                assert_eq!(prevs.len(), 1, "SOFTMAX takes one input");
+                let s = shape_of(prevs[0]);
+                Shape4::flat(s.n, s.features())
+            }
+            LayerKind::Concat => {
+                assert!(prevs.len() >= 2, "CONCAT joins at least two inputs");
+                let first = shape_of(prevs[0]);
+                let mut c = 0;
+                for p in prevs {
+                    let s = shape_of(*p);
+                    assert_eq!(
+                        (s.n, s.h, s.w),
+                        (first.n, first.h, first.w),
+                        "CONCAT inputs must agree on N/H/W"
+                    );
+                    c += s.c;
+                }
+                Shape4::new(first.n, c, first.h, first.w)
+            }
+            LayerKind::Eltwise => {
+                assert!(prevs.len() >= 2, "ELTWISE joins at least two inputs");
+                let first = shape_of(prevs[0]);
+                for p in prevs {
+                    assert_eq!(shape_of(*p), first, "ELTWISE inputs must have equal shapes");
+                }
+                first
+            }
+        }
+    }
+
+    pub fn layer(&self, id: LayerId) -> &Layer {
+        &self.layers[id.0]
+    }
+
+    pub fn layers(&self) -> &[Layer] {
+        &self.layers
+    }
+
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+
+    /// Batch size of the input.
+    pub fn batch(&self) -> usize {
+        self.layers[0].out_shape.n
+    }
+
+    /// Input channels of a layer (channels of its first producer).
+    pub fn in_channels(&self, id: LayerId) -> usize {
+        let l = self.layer(id);
+        self.layers[l.prevs[0].0].out_shape.c
+    }
+
+    /// Input shape of a (single-input) layer.
+    pub fn in_shape(&self, id: LayerId) -> Shape4 {
+        let l = self.layer(id);
+        self.layers[l.prevs[0].0].out_shape
+    }
+
+    /// Sanity checks: connectivity, single source, acyclicity by
+    /// construction (edges only point to later ids).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.layers.is_empty() {
+            return Err("empty network".into());
+        }
+        if !matches!(self.layers[0].kind, LayerKind::Data { .. }) {
+            return Err("layer 0 must be DATA".into());
+        }
+        for l in &self.layers {
+            for p in &l.prevs {
+                if p.0 >= l.id.0 {
+                    return Err(format!("{} has a non-causal input edge", l.name));
+                }
+                if !self.layers[p.0].nexts.contains(&l.id) {
+                    return Err(format!("asymmetric edge {} -> {}", p.0, l.id.0));
+                }
+            }
+        }
+        // Every non-terminal layer must be consumed.
+        for l in &self.layers {
+            let terminal = matches!(l.kind, LayerKind::Softmax);
+            if !terminal && l.nexts.is_empty() {
+                return Err(format!("dangling layer {}", l.name));
+            }
+        }
+        Ok(())
+    }
+
+    /// Convenience constructors for the common kinds.
+    pub fn conv(
+        &mut self,
+        prev: LayerId,
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        pad: usize,
+    ) -> LayerId {
+        self.chain(
+            LayerKind::Conv {
+                out_channels,
+                kernel,
+                stride,
+                pad,
+            },
+            prev,
+        )
+    }
+
+    pub fn max_pool(&mut self, prev: LayerId, kernel: usize, stride: usize, pad: usize) -> LayerId {
+        self.chain(
+            LayerKind::Pool {
+                kind: PoolKind::Max,
+                kernel,
+                stride,
+                pad,
+            },
+            prev,
+        )
+    }
+
+    pub fn avg_pool(&mut self, prev: LayerId, kernel: usize, stride: usize, pad: usize) -> LayerId {
+        self.chain(
+            LayerKind::Pool {
+                kind: PoolKind::Avg,
+                kernel,
+                stride,
+                pad,
+            },
+            prev,
+        )
+    }
+
+    pub fn relu(&mut self, prev: LayerId) -> LayerId {
+        self.chain(LayerKind::Act, prev)
+    }
+
+    pub fn bn(&mut self, prev: LayerId) -> LayerId {
+        self.chain(LayerKind::Bn, prev)
+    }
+
+    pub fn lrn(&mut self, prev: LayerId) -> LayerId {
+        self.chain(LayerKind::Lrn { local_size: 5 }, prev)
+    }
+
+    pub fn dropout(&mut self, prev: LayerId, p: f32) -> LayerId {
+        self.chain(LayerKind::Dropout { p }, prev)
+    }
+
+    pub fn fc(&mut self, prev: LayerId, out: usize) -> LayerId {
+        self.chain(LayerKind::Fc { out }, prev)
+    }
+
+    pub fn softmax(&mut self, prev: LayerId) -> LayerId {
+        self.chain(LayerKind::Softmax, prev)
+    }
+
+    pub fn concat(&mut self, prevs: &[LayerId]) -> LayerId {
+        self.add(LayerKind::Concat, prevs)
+    }
+
+    pub fn eltwise(&mut self, prevs: &[LayerId]) -> LayerId {
+        self.add(LayerKind::Eltwise, prevs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The fan network of Fig. 3c: DATA forks into a CONV branch and a POOL
+    /// branch, joined by CONCAT before FC.
+    pub fn fan_net() -> Net {
+        let mut net = Net::new("fan", Shape4::new(2, 3, 8, 8));
+        let d = net.data();
+        let c1 = net.conv(d, 4, 3, 1, 1);
+        let p1 = net.max_pool(d, 2, 2, 0);
+        let c2 = net.conv(p1, 4, 3, 2, 1); // brings it to 4x4? 8->4 pool, conv stride2 -> 2x2
+        let c1p = net.max_pool(c1, 4, 4, 0); // 8 -> 2
+        let j = net.concat(&[c1p, c2]);
+        let f = net.fc(j, 10);
+        net.softmax(f);
+        net
+    }
+
+    #[test]
+    fn shapes_infer_through_fan_and_join() {
+        let net = fan_net();
+        net.validate().unwrap();
+        let j = net
+            .layers()
+            .iter()
+            .find(|l| matches!(l.kind, LayerKind::Concat))
+            .unwrap();
+        assert_eq!(j.out_shape, Shape4::new(2, 8, 2, 2));
+    }
+
+    #[test]
+    fn eltwise_requires_matching_shapes() {
+        let mut net = Net::new("t", Shape4::new(1, 4, 4, 4));
+        let d = net.data();
+        let a = net.conv(d, 4, 3, 1, 1);
+        let r = net.eltwise(&[a, d]);
+        assert_eq!(net.layer(r).out_shape, Shape4::new(1, 4, 4, 4));
+    }
+
+    #[test]
+    #[should_panic(expected = "equal shapes")]
+    fn eltwise_rejects_mismatched_shapes() {
+        let mut net = Net::new("t", Shape4::new(1, 4, 4, 4));
+        let d = net.data();
+        let a = net.conv(d, 8, 3, 1, 1);
+        net.eltwise(&[a, d]);
+    }
+
+    #[test]
+    fn validation_catches_dangling_layers() {
+        let mut net = Net::new("t", Shape4::new(1, 1, 4, 4));
+        let d = net.data();
+        let _orphan = net.conv(d, 2, 3, 1, 1);
+        let c = net.conv(d, 2, 3, 1, 1);
+        let f = net.fc(c, 2);
+        net.softmax(f);
+        assert!(net.validate().unwrap_err().contains("dangling"));
+    }
+
+    #[test]
+    fn fc_flattens() {
+        let mut net = Net::new("t", Shape4::new(3, 2, 5, 5));
+        let d = net.data();
+        let f = net.fc(d, 7);
+        net.softmax(f);
+        assert_eq!(net.layer(f).out_shape, Shape4::flat(3, 7));
+    }
+
+    #[test]
+    fn fan_out_is_observable() {
+        let net = fan_net();
+        assert!(net.layer(net.data()).is_fan_out());
+        let j = net
+            .layers()
+            .iter()
+            .find(|l| matches!(l.kind, LayerKind::Concat))
+            .unwrap();
+        assert!(j.is_join());
+    }
+}

@@ -1,0 +1,26 @@
+//! # sn-mempool — the SuperNeurons heap-based GPU memory pool
+//!
+//! §3.2.1 of the paper: liveness analysis stashes and frees tensors at every
+//! step of every iteration, and doing that through `cudaMalloc`/`cudaFree`
+//! wastes up to 36% of training time (their ResNet-50 measurement). The fix
+//! is a pool: *"preallocate a big chunk of GPU memory as a shared memory
+//! pool. Then we divide the entire GPU memory pool into 1KB blocks as the
+//! basic storage unit. The memory pool contains a list of allocated and empty
+//! memory nodes. Each node in the two lists contains memory address, occupied
+//! blocks and node ID. For an allocation request, the memory pool finds the
+//! first node with enough free memory from the empty list. ... For a
+//! deallocation request, the memory pool locates the node in the allocated
+//! list with the ID-to-node hash-table, then the pool places the node back to
+//! the empty list."*
+//!
+//! [`HeapPool`] implements exactly that structure (first-fit over an
+//! address-ordered empty list, 1 KB blocks, ID→node map) with the one
+//! addition any production pool needs: adjacent empty nodes are coalesced on
+//! free, so the pool does not fragment monotonically. [`PinnedHostPool`]
+//! models the preallocated pinned CPU buffer that offloaded tensors land in.
+
+pub mod host;
+pub mod pool;
+
+pub use host::PinnedHostPool;
+pub use pool::{HeapPool, PoolConfig, PoolStats};

@@ -1,0 +1,405 @@
+//! First-fit heap pool over 1 KB blocks (paper §3.2.1), with coalescing.
+
+use std::collections::HashMap;
+
+use sn_sim::{AllocError, AllocGrant, AllocId, DeviceAllocator, SimTime};
+
+/// Pool construction parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct PoolConfig {
+    /// Total preallocated bytes (the "big chunk").
+    pub capacity_bytes: u64,
+    /// Basic storage unit; the paper uses 1 KB.
+    pub block_bytes: u64,
+    /// Host-side latency of one pool allocation (list walk + node update).
+    /// Orders of magnitude below `cudaMalloc` — that gap *is* Table 2.
+    pub alloc_latency: SimTime,
+    /// Host-side latency of one pool deallocation.
+    pub free_latency: SimTime,
+}
+
+impl PoolConfig {
+    pub fn new(capacity_bytes: u64) -> Self {
+        PoolConfig {
+            capacity_bytes,
+            block_bytes: 1024,
+            alloc_latency: SimTime::from_ns(400),
+            free_latency: SimTime::from_ns(300),
+        }
+    }
+}
+
+/// An empty-list node: `blocks` free blocks starting at block index `start`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct EmptyNode {
+    start: u64,
+    blocks: u64,
+}
+
+/// An allocated-list node.
+#[derive(Debug, Clone, Copy)]
+struct AllocNode {
+    start: u64,
+    blocks: u64,
+}
+
+/// Aggregate pool statistics.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PoolStats {
+    pub alloc_calls: u64,
+    pub free_calls: u64,
+    pub failed_allocs: u64,
+    /// Total host-side time spent in the pool.
+    pub total_latency: SimTime,
+}
+
+/// The heap-based GPU memory pool.
+///
+/// Addresses handed out are byte offsets into the preallocated chunk. The
+/// empty list is kept sorted by address, which makes first-fit deterministic
+/// and coalescing O(log n) per free.
+#[derive(Debug, Clone)]
+pub struct HeapPool {
+    cfg: PoolConfig,
+    total_blocks: u64,
+    /// Address-ordered empty nodes.
+    empty: Vec<EmptyNode>,
+    /// ID→node hash table for the allocated list.
+    allocated: HashMap<u64, AllocNode>,
+    next_id: u64,
+    used_blocks: u64,
+    high_water_blocks: u64,
+    stats: PoolStats,
+}
+
+impl HeapPool {
+    pub fn new(cfg: PoolConfig) -> Self {
+        assert!(cfg.block_bytes > 0, "block size must be positive");
+        let total_blocks = cfg.capacity_bytes / cfg.block_bytes;
+        assert!(total_blocks > 0, "pool must hold at least one block");
+        HeapPool {
+            cfg,
+            total_blocks,
+            empty: vec![EmptyNode {
+                start: 0,
+                blocks: total_blocks,
+            }],
+            allocated: HashMap::new(),
+            next_id: 0,
+            used_blocks: 0,
+            high_water_blocks: 0,
+            stats: PoolStats::default(),
+        }
+    }
+
+    /// Convenience constructor with the paper's 1 KB blocks.
+    pub fn with_capacity(capacity_bytes: u64) -> Self {
+        Self::new(PoolConfig::new(capacity_bytes))
+    }
+
+    fn blocks_for(&self, bytes: u64) -> u64 {
+        bytes.max(1).div_ceil(self.cfg.block_bytes)
+    }
+
+    /// Number of fragments in the empty list (diagnostic).
+    pub fn empty_nodes(&self) -> usize {
+        self.empty.len()
+    }
+
+    /// Number of live allocations.
+    pub fn allocated_nodes(&self) -> usize {
+        self.allocated.len()
+    }
+
+    /// Largest free fragment, in bytes.
+    pub fn largest_fragment(&self) -> u64 {
+        self.empty.iter().map(|n| n.blocks).max().unwrap_or(0) * self.cfg.block_bytes
+    }
+
+    pub fn stats(&self) -> PoolStats {
+        self.stats
+    }
+
+    pub fn block_bytes(&self) -> u64 {
+        self.cfg.block_bytes
+    }
+
+    /// Internal consistency check, used by tests and proptests: blocks are
+    /// partitioned between the two lists, nothing overlaps, the empty list is
+    /// sorted and fully coalesced.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let mut spans: Vec<(u64, u64, bool)> = Vec::new(); // (start, blocks, is_empty)
+        for n in &self.empty {
+            if n.blocks == 0 {
+                return Err("zero-size empty node".into());
+            }
+            spans.push((n.start, n.blocks, true));
+        }
+        for n in self.allocated.values() {
+            if n.blocks == 0 {
+                return Err("zero-size allocated node".into());
+            }
+            spans.push((n.start, n.blocks, false));
+        }
+        spans.sort_by_key(|s| s.0);
+        let mut cursor = 0u64;
+        let mut prev_empty = false;
+        for (start, blocks, is_empty) in &spans {
+            if *start != cursor {
+                return Err(format!(
+                    "gap or overlap at block {cursor}: next span starts at {start}"
+                ));
+            }
+            if *is_empty && prev_empty {
+                return Err(format!("uncoalesced adjacent empty nodes at block {start}"));
+            }
+            prev_empty = *is_empty;
+            cursor = start + blocks;
+        }
+        if cursor != self.total_blocks {
+            return Err(format!(
+                "spans cover {cursor} blocks, pool has {}",
+                self.total_blocks
+            ));
+        }
+        let used: u64 = self.allocated.values().map(|n| n.blocks).sum();
+        if used != self.used_blocks {
+            return Err(format!(
+                "used_blocks counter {} != sum of allocated nodes {used}",
+                self.used_blocks
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl DeviceAllocator for HeapPool {
+    fn alloc(&mut self, bytes: u64) -> Result<AllocGrant, AllocError> {
+        let need = self.blocks_for(bytes);
+        self.stats.alloc_calls += 1;
+        // First-fit: scan the address-ordered empty list for the first node
+        // with enough free blocks (paper: "finds the first node with enough
+        // free memory from the empty list").
+        let Some(pos) = self.empty.iter().position(|n| n.blocks >= need) else {
+            self.stats.failed_allocs += 1;
+            return Err(AllocError::OutOfMemory {
+                requested: bytes,
+                free: (self.total_blocks - self.used_blocks) * self.cfg.block_bytes,
+            });
+        };
+        let node = self.empty[pos];
+        let start = node.start;
+        if node.blocks == need {
+            self.empty.remove(pos);
+        } else {
+            self.empty[pos] = EmptyNode {
+                start: node.start + need,
+                blocks: node.blocks - need,
+            };
+        }
+        let id = self.next_id;
+        self.next_id += 1;
+        self.allocated.insert(
+            id,
+            AllocNode {
+                start,
+                blocks: need,
+            },
+        );
+        self.used_blocks += need;
+        self.high_water_blocks = self.high_water_blocks.max(self.used_blocks);
+        self.stats.total_latency += self.cfg.alloc_latency;
+        Ok(AllocGrant {
+            id: AllocId(id),
+            addr: start * self.cfg.block_bytes,
+            bytes: need * self.cfg.block_bytes,
+            cost: self.cfg.alloc_latency,
+        })
+    }
+
+    fn free(&mut self, id: AllocId) -> Result<SimTime, AllocError> {
+        // Locate via the ID→node hash table, then return to the empty list.
+        let node = self
+            .allocated
+            .remove(&id.0)
+            .ok_or(AllocError::UnknownAllocation)?;
+        self.used_blocks -= node.blocks;
+        self.stats.free_calls += 1;
+        self.stats.total_latency += self.cfg.free_latency;
+
+        // Insert into the address-ordered empty list, coalescing with the
+        // predecessor/successor when adjacent.
+        let idx = self
+            .empty
+            .partition_point(|n| n.start < node.start);
+        let mut start = node.start;
+        let mut blocks = node.blocks;
+        // Merge with successor.
+        if idx < self.empty.len() && self.empty[idx].start == start + blocks {
+            blocks += self.empty[idx].blocks;
+            self.empty.remove(idx);
+        }
+        // Merge with predecessor.
+        if idx > 0 {
+            let p = self.empty[idx - 1];
+            if p.start + p.blocks == start {
+                start = p.start;
+                blocks += p.blocks;
+                self.empty.remove(idx - 1);
+                self.empty
+                    .insert(idx - 1, EmptyNode { start, blocks });
+                return Ok(self.cfg.free_latency);
+            }
+        }
+        self.empty.insert(idx, EmptyNode { start, blocks });
+        Ok(self.cfg.free_latency)
+    }
+
+    fn used(&self) -> u64 {
+        self.used_blocks * self.cfg.block_bytes
+    }
+
+    fn capacity(&self) -> u64 {
+        self.total_blocks * self.cfg.block_bytes
+    }
+
+    fn high_water(&self) -> u64 {
+        self.high_water_blocks * self.cfg.block_bytes
+    }
+
+    fn largest_free_contiguous(&self) -> u64 {
+        self.largest_fragment()
+    }
+
+    fn reset_high_water(&mut self) {
+        self.high_water_blocks = self.used_blocks;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool_kb(kb: u64) -> HeapPool {
+        HeapPool::with_capacity(kb * 1024)
+    }
+
+    #[test]
+    fn rounds_to_block_granularity() {
+        let mut p = pool_kb(8);
+        let g = p.alloc(1).unwrap();
+        assert_eq!(g.bytes, 1024);
+        let g2 = p.alloc(1025).unwrap();
+        assert_eq!(g2.bytes, 2048);
+        p.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn first_fit_prefers_lowest_address() {
+        let mut p = pool_kb(8);
+        let a = p.alloc(2048).unwrap(); // blocks 0..2
+        let b = p.alloc(2048).unwrap(); // blocks 2..4
+        let _c = p.alloc(2048).unwrap(); // blocks 4..6
+        p.free(a.id).unwrap();
+        p.free(b.id).unwrap(); // coalesced hole 0..4
+        let d = p.alloc(1024).unwrap();
+        assert_eq!(d.addr, 0, "first-fit must reuse the lowest hole");
+        p.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn exact_fit_removes_empty_node() {
+        let mut p = pool_kb(4);
+        let g = p.alloc(4 * 1024).unwrap();
+        assert_eq!(p.empty_nodes(), 0);
+        assert_eq!(p.free_bytes(), 0);
+        p.free(g.id).unwrap();
+        assert_eq!(p.empty_nodes(), 1);
+        p.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn oom_reports_free_bytes() {
+        let mut p = pool_kb(4);
+        let _g = p.alloc(3 * 1024).unwrap();
+        match p.alloc(2 * 1024) {
+            Err(AllocError::OutOfMemory { requested, free }) => {
+                assert_eq!(requested, 2 * 1024);
+                assert_eq!(free, 1024);
+            }
+            other => panic!("expected OOM, got {other:?}"),
+        }
+        assert_eq!(p.stats().failed_allocs, 1);
+    }
+
+    #[test]
+    fn fragmentation_can_fail_even_with_enough_total_bytes() {
+        let mut p = pool_kb(6);
+        let a = p.alloc(2048).unwrap();
+        let b = p.alloc(2048).unwrap();
+        let c = p.alloc(2048).unwrap();
+        p.free(a.id).unwrap();
+        p.free(c.id).unwrap();
+        // 4 KB free but split 2+2 around b.
+        assert_eq!(p.free_bytes(), 4096);
+        assert_eq!(p.largest_fragment(), 2048);
+        assert!(p.alloc(3 * 1024).is_err());
+        p.free(b.id).unwrap();
+        // Full coalescing restores one node.
+        assert_eq!(p.empty_nodes(), 1);
+        assert!(p.alloc(6 * 1024).is_ok());
+    }
+
+    #[test]
+    fn double_free_is_rejected() {
+        let mut p = pool_kb(4);
+        let g = p.alloc(1024).unwrap();
+        p.free(g.id).unwrap();
+        assert_eq!(p.free(g.id).unwrap_err(), AllocError::UnknownAllocation);
+    }
+
+    #[test]
+    fn high_water_tracks_peak() {
+        let mut p = pool_kb(8);
+        let a = p.alloc(4096).unwrap();
+        let b = p.alloc(2048).unwrap();
+        p.free(a.id).unwrap();
+        let _c = p.alloc(1024).unwrap();
+        assert_eq!(p.high_water(), 6144);
+        assert_eq!(p.used(), 3072);
+        p.free(b.id).unwrap();
+        p.reset_high_water();
+        assert_eq!(p.high_water(), 1024);
+    }
+
+    #[test]
+    fn pool_latency_is_far_below_cuda() {
+        let spec = sn_sim::DeviceSpec::k40c();
+        let mut cuda = sn_sim::CudaAllocator::new(&spec);
+        let mut pool = HeapPool::with_capacity(spec.dram_bytes);
+        let gp = pool.alloc(64 * 1024 * 1024).unwrap();
+        let gc = cuda.alloc(64 * 1024 * 1024).unwrap();
+        assert!(gp.cost.as_ns() * 100 < gc.cost.as_ns());
+    }
+
+    #[test]
+    fn interleaved_pattern_keeps_invariants() {
+        let mut p = pool_kb(512);
+        let mut live = Vec::new();
+        for i in 0..40u64 {
+            let g = p.alloc((i % 5 + 1) * 700).unwrap();
+            live.push(g.id);
+            if i % 3 == 0 {
+                let id = live.remove(live.len() / 2);
+                p.free(id).unwrap();
+            }
+            p.check_invariants().unwrap();
+        }
+        for id in live {
+            p.free(id).unwrap();
+        }
+        p.check_invariants().unwrap();
+        assert_eq!(p.used(), 0);
+        assert_eq!(p.empty_nodes(), 1);
+    }
+}

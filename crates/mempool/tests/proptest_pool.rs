@@ -1,0 +1,115 @@
+//! Property-based tests for the heap pool: under arbitrary alloc/free
+//! interleavings the pool must never hand out overlapping memory, never leak
+//! blocks, always coalesce adjacent holes, and return to a single empty node
+//! once everything is freed.
+
+use proptest::prelude::*;
+use sn_mempool::HeapPool;
+use sn_sim::DeviceAllocator;
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// Allocate this many bytes.
+    Alloc(u64),
+    /// Free the live allocation at this (wrapped) index.
+    Free(usize),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => (1u64..50_000).prop_map(Op::Alloc),
+        2 => (0usize..64).prop_map(Op::Free),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn pool_invariants_hold_under_arbitrary_interleavings(
+        ops in proptest::collection::vec(op_strategy(), 1..200)
+    ) {
+        let capacity = 256 * 1024; // 256 KB => 256 blocks
+        let mut pool = HeapPool::with_capacity(capacity);
+        let mut live: Vec<(sn_sim::AllocId, u64, u64)> = Vec::new(); // (id, addr, bytes)
+
+        for op in ops {
+            match op {
+                Op::Alloc(bytes) => {
+                    match pool.alloc(bytes) {
+                        Ok(g) => {
+                            // Granted region must lie within the pool.
+                            prop_assert!(g.addr + g.bytes <= capacity);
+                            // Granted region must not overlap any live one.
+                            for (_, a, b) in &live {
+                                let disjoint = g.addr + g.bytes <= *a || a + b <= g.addr;
+                                prop_assert!(disjoint,
+                                    "overlap: new [{}, {}) vs live [{}, {})",
+                                    g.addr, g.addr + g.bytes, a, a + b);
+                            }
+                            live.push((g.id, g.addr, g.bytes));
+                        }
+                        Err(_) => {
+                            // OOM is acceptable; pool must stay consistent.
+                        }
+                    }
+                }
+                Op::Free(i) => {
+                    if !live.is_empty() {
+                        let (id, _, _) = live.remove(i % live.len());
+                        pool.free(id).unwrap();
+                    }
+                }
+            }
+            pool.check_invariants().map_err(|e| {
+                TestCaseError::fail(format!("invariant violated: {e}"))
+            })?;
+            // used() must equal the sum of live grants.
+            let live_bytes: u64 = live.iter().map(|(_, _, b)| *b).sum();
+            prop_assert_eq!(pool.used(), live_bytes);
+        }
+
+        // Drain everything: the pool must coalesce back to one empty node.
+        for (id, _, _) in live.drain(..) {
+            pool.free(id).unwrap();
+        }
+        prop_assert_eq!(pool.used(), 0);
+        prop_assert_eq!(pool.empty_nodes(), 1);
+        pool.check_invariants().map_err(|e| {
+            TestCaseError::fail(format!("final invariant violated: {e}"))
+        })?;
+    }
+
+    #[test]
+    fn grants_are_block_aligned_and_sufficient(bytes in 1u64..100_000) {
+        let mut pool = HeapPool::with_capacity(1024 * 1024);
+        let g = pool.alloc(bytes).unwrap();
+        prop_assert!(g.bytes >= bytes);
+        prop_assert_eq!(g.addr % pool.block_bytes(), 0);
+        prop_assert_eq!(g.bytes % pool.block_bytes(), 0);
+        prop_assert!(g.bytes - bytes < pool.block_bytes());
+    }
+
+    #[test]
+    fn freed_memory_is_reusable(sizes in proptest::collection::vec(1u64..8_000, 1..40)) {
+        // Allocate everything, free everything, allocate again: the second
+        // round must succeed identically (no leaked blocks).
+        let mut pool = HeapPool::with_capacity(512 * 1024);
+        let mut round1 = Vec::new();
+        for s in &sizes {
+            round1.push(pool.alloc(*s).unwrap());
+        }
+        let addrs1: Vec<u64> = round1.iter().map(|g| g.addr).collect();
+        for g in round1 {
+            pool.free(g.id).unwrap();
+        }
+        let mut round2 = Vec::new();
+        for s in &sizes {
+            round2.push(pool.alloc(*s).unwrap());
+        }
+        let addrs2: Vec<u64> = round2.iter().map(|g| g.addr).collect();
+        // First-fit from a fully coalesced pool is deterministic: identical
+        // request sequences produce identical placements.
+        prop_assert_eq!(addrs1, addrs2);
+    }
+}

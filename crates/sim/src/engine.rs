@@ -1,0 +1,335 @@
+//! The execution timeline: one compute engine plus two DMA engines.
+//!
+//! Modern GPUs expose independent copy engines, which is what lets the
+//! SuperNeurons runtime hide offload (device→host) and prefetch
+//! (host→device) traffic under kernel execution. We model each engine as a
+//! serializing queue with a `busy_until` frontier: an operation submitted at
+//! time `t` starts at `max(t, busy_until)`, runs for its duration, and moves
+//! the frontier. Cross-engine ordering is expressed through [`Event`]s, the
+//! analogue of `cudaEvent_t`.
+
+use crate::time::SimTime;
+
+/// Which hardware queue an operation occupies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EngineKind {
+    /// The SM array: kernels (layer forward/backward, recompute passes).
+    Compute,
+    /// Host→device DMA engine (prefetch).
+    H2D,
+    /// Device→host DMA engine (offload).
+    D2H,
+}
+
+/// Direction of a DMA transfer, for accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransferDirection {
+    HostToDevice,
+    DeviceToHost,
+}
+
+/// Completion marker for a submitted operation (cf. `cudaEvent_t`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// Virtual time at which the operation finishes.
+    pub done_at: SimTime,
+    /// Engine the operation ran on.
+    pub engine: EngineKind,
+}
+
+impl Event {
+    /// An event that is already complete at time zero.
+    pub const COMPLETED: Event = Event {
+        done_at: SimTime::ZERO,
+        engine: EngineKind::Compute,
+    };
+
+    /// Has this event completed by time `now`?
+    #[inline]
+    pub fn is_done(&self, now: SimTime) -> bool {
+        self.done_at <= now
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Engine {
+    busy_until: SimTime,
+    busy_total: SimTime,
+    ops: u64,
+}
+
+/// Per-run transfer and utilization statistics.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TimelineStats {
+    /// Bytes moved host→device.
+    pub h2d_bytes: u64,
+    /// Bytes moved device→host.
+    pub d2h_bytes: u64,
+    /// Total busy time of the compute engine.
+    pub compute_busy: SimTime,
+    /// Total busy time of the H2D engine.
+    pub h2d_busy: SimTime,
+    /// Total busy time of the D2H engine.
+    pub d2h_busy: SimTime,
+    /// Time the *caller* spent blocked waiting on events (stalls that the
+    /// overlap machinery failed to hide).
+    pub stall: SimTime,
+    /// Number of compute operations issued.
+    pub compute_ops: u64,
+}
+
+impl TimelineStats {
+    /// Total PCIe traffic in bytes (both directions), the quantity Table 3
+    /// reports.
+    pub fn total_traffic(&self) -> u64 {
+        self.h2d_bytes + self.d2h_bytes
+    }
+}
+
+/// The device timeline: a virtual clock and the three engines.
+///
+/// The caller (the runtime's executor) plays the role of the host thread: it
+/// submits work, occasionally waits on events, and advances `now` past
+/// host-side costs (e.g. `cudaMalloc` latency) with [`Timeline::advance`].
+#[derive(Debug, Clone, Default)]
+pub struct Timeline {
+    now: SimTime,
+    compute: Engine,
+    h2d: Engine,
+    d2h: Engine,
+    h2d_bytes: u64,
+    d2h_bytes: u64,
+    stall: SimTime,
+}
+
+impl Timeline {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current host-thread virtual time.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    fn engine_mut(&mut self, kind: EngineKind) -> &mut Engine {
+        match kind {
+            EngineKind::Compute => &mut self.compute,
+            EngineKind::H2D => &mut self.h2d,
+            EngineKind::D2H => &mut self.d2h,
+        }
+    }
+
+    /// Submit an operation of `duration` to `kind`'s queue, optionally not
+    /// starting before `after` (a cross-engine dependency). Returns the
+    /// completion event. Does **not** block the host thread.
+    pub fn submit_after(
+        &mut self,
+        kind: EngineKind,
+        duration: SimTime,
+        after: Option<Event>,
+    ) -> Event {
+        let gate = after.map(|e| e.done_at).unwrap_or(SimTime::ZERO);
+        let now = self.now;
+        let eng = self.engine_mut(kind);
+        let start = eng.busy_until.max(now).max(gate);
+        let done = start + duration;
+        eng.busy_until = done;
+        eng.busy_total += duration;
+        eng.ops += 1;
+        Event {
+            done_at: done,
+            engine: kind,
+        }
+    }
+
+    /// Submit an operation with no cross-engine dependency.
+    pub fn submit(&mut self, kind: EngineKind, duration: SimTime) -> Event {
+        self.submit_after(kind, duration, None)
+    }
+
+    /// Submit a DMA transfer of `bytes` at `gbps`, recording traffic.
+    pub fn submit_transfer(
+        &mut self,
+        dir: TransferDirection,
+        bytes: u64,
+        gbps: f64,
+        after: Option<Event>,
+    ) -> Event {
+        let duration = crate::time::transfer_time(bytes, gbps);
+        match dir {
+            TransferDirection::HostToDevice => {
+                self.h2d_bytes += bytes;
+                self.submit_after(EngineKind::H2D, duration, after)
+            }
+            TransferDirection::DeviceToHost => {
+                self.d2h_bytes += bytes;
+                self.submit_after(EngineKind::D2H, duration, after)
+            }
+        }
+    }
+
+    /// Block the host thread until `event` completes, accounting the stall.
+    pub fn wait(&mut self, event: Event) {
+        if event.done_at > self.now {
+            self.stall += event.done_at - self.now;
+            self.now = event.done_at;
+        }
+    }
+
+    /// Block until *all* engines drain (cf. `cudaDeviceSynchronize`).
+    pub fn sync_all(&mut self) {
+        let frontier = self
+            .compute
+            .busy_until
+            .max(self.h2d.busy_until)
+            .max(self.d2h.busy_until);
+        if frontier > self.now {
+            self.stall += frontier - self.now;
+            self.now = frontier;
+        }
+    }
+
+    /// Advance the host thread by `d` (host-side work such as allocator
+    /// bookkeeping or `cudaMalloc` latency, which serializes the host).
+    pub fn advance(&mut self, d: SimTime) {
+        self.now += d;
+    }
+
+    /// Move the host clock up to the compute frontier. The executor calls
+    /// this after submitting a layer's kernels: the host thread in a training
+    /// loop is logically synchronous with compute (it must observe results
+    /// before scheduling dependent memory operations), while DMA engines
+    /// drain in the background.
+    pub fn join_compute(&mut self) {
+        if self.compute.busy_until > self.now {
+            self.now = self.compute.busy_until;
+        }
+    }
+
+    /// Completion frontier of one engine.
+    pub fn frontier(&self, kind: EngineKind) -> SimTime {
+        match kind {
+            EngineKind::Compute => self.compute.busy_until,
+            EngineKind::H2D => self.h2d.busy_until,
+            EngineKind::D2H => self.d2h.busy_until,
+        }
+    }
+
+    /// Snapshot of accumulated statistics.
+    pub fn stats(&self) -> TimelineStats {
+        TimelineStats {
+            h2d_bytes: self.h2d_bytes,
+            d2h_bytes: self.d2h_bytes,
+            compute_busy: self.compute.busy_total,
+            h2d_busy: self.h2d.busy_total,
+            d2h_busy: self.d2h.busy_total,
+            stall: self.stall,
+            compute_ops: self.compute.ops,
+        }
+    }
+
+    /// Reset traffic/stall counters but keep the clock running. Used between
+    /// warm-up and measured iterations.
+    pub fn reset_stats(&mut self) {
+        self.h2d_bytes = 0;
+        self.d2h_bytes = 0;
+        self.stall = SimTime::ZERO;
+        self.compute.busy_total = SimTime::ZERO;
+        self.h2d.busy_total = SimTime::ZERO;
+        self.d2h.busy_total = SimTime::ZERO;
+        self.compute.ops = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn engines_serialize_their_own_ops() {
+        let mut tl = Timeline::new();
+        let a = tl.submit(EngineKind::Compute, SimTime::from_us(10));
+        let b = tl.submit(EngineKind::Compute, SimTime::from_us(5));
+        assert_eq!(a.done_at, SimTime::from_us(10));
+        assert_eq!(b.done_at, SimTime::from_us(15));
+    }
+
+    #[test]
+    fn engines_run_concurrently_with_each_other() {
+        let mut tl = Timeline::new();
+        let c = tl.submit(EngineKind::Compute, SimTime::from_us(10));
+        let d = tl.submit_transfer(
+            TransferDirection::DeviceToHost,
+            8_000, // 8 KB at 8 GB/s = 1 us
+            8.0,
+            None,
+        );
+        // The copy does not queue behind compute.
+        assert_eq!(d.done_at, SimTime::from_us(1));
+        assert_eq!(c.done_at, SimTime::from_us(10));
+    }
+
+    #[test]
+    fn cross_engine_dependency_gates_start() {
+        let mut tl = Timeline::new();
+        let k = tl.submit(EngineKind::Compute, SimTime::from_us(10));
+        // Offload of the kernel's output cannot start before the kernel ends.
+        let o = tl.submit_transfer(TransferDirection::DeviceToHost, 8_000, 8.0, Some(k));
+        assert_eq!(o.done_at, SimTime::from_us(11));
+    }
+
+    #[test]
+    fn wait_accounts_stall() {
+        let mut tl = Timeline::new();
+        let k = tl.submit(EngineKind::Compute, SimTime::from_us(10));
+        tl.wait(k);
+        assert_eq!(tl.now(), SimTime::from_us(10));
+        assert_eq!(tl.stats().stall, SimTime::from_us(10));
+        // Waiting on an already-done event costs nothing.
+        tl.wait(k);
+        assert_eq!(tl.stats().stall, SimTime::from_us(10));
+    }
+
+    #[test]
+    fn sync_all_reaches_latest_frontier() {
+        let mut tl = Timeline::new();
+        tl.submit(EngineKind::Compute, SimTime::from_us(3));
+        tl.submit(EngineKind::H2D, SimTime::from_us(9));
+        tl.submit(EngineKind::D2H, SimTime::from_us(6));
+        tl.sync_all();
+        assert_eq!(tl.now(), SimTime::from_us(9));
+    }
+
+    #[test]
+    fn traffic_is_accounted_per_direction() {
+        let mut tl = Timeline::new();
+        tl.submit_transfer(TransferDirection::HostToDevice, 100, 8.0, None);
+        tl.submit_transfer(TransferDirection::DeviceToHost, 300, 8.0, None);
+        let s = tl.stats();
+        assert_eq!(s.h2d_bytes, 100);
+        assert_eq!(s.d2h_bytes, 300);
+        assert_eq!(s.total_traffic(), 400);
+    }
+
+    #[test]
+    fn join_compute_does_not_wait_for_dma() {
+        let mut tl = Timeline::new();
+        tl.submit(EngineKind::Compute, SimTime::from_us(2));
+        tl.submit(EngineKind::D2H, SimTime::from_us(50));
+        tl.join_compute();
+        assert_eq!(tl.now(), SimTime::from_us(2));
+    }
+
+    #[test]
+    fn reset_stats_keeps_clock() {
+        let mut tl = Timeline::new();
+        tl.submit(EngineKind::Compute, SimTime::from_us(2));
+        tl.sync_all();
+        tl.reset_stats();
+        assert_eq!(tl.now(), SimTime::from_us(2));
+        assert_eq!(tl.stats().total_traffic(), 0);
+        assert_eq!(tl.stats().stall, SimTime::ZERO);
+    }
+}

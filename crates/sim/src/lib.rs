@@ -1,0 +1,36 @@
+//! # sn-sim — discrete-event simulated GPU substrate
+//!
+//! SuperNeurons (PPoPP'18) is a *memory scheduling runtime*: its behaviour is
+//! determined by byte-accurate allocation bookkeeping and by how data
+//! transfers overlap with kernel execution, not by actual arithmetic on a
+//! physical GPU. This crate provides the substrate the runtime schedules on:
+//!
+//! * a **virtual clock** ([`SimTime`]) in integer nanoseconds, deterministic
+//!   across runs;
+//! * three **engines** ([`Timeline`]) mirroring a CUDA device: one compute
+//!   stream and two independent DMA engines (host-to-device and
+//!   device-to-host), each serializing its own operations while running
+//!   concurrently with the others — exactly the overlap structure the paper's
+//!   prefetch/offload design exploits;
+//! * [`DeviceSpec`] describing a concrete card (DRAM capacity, arithmetic
+//!   throughput, memory and PCIe bandwidths, allocation latencies) with
+//!   presets for the NVIDIA K40c and TITAN Xp used in the paper;
+//! * the [`DeviceAllocator`] trait plus [`CudaAllocator`], a latency-modelled
+//!   stand-in for `cudaMalloc`/`cudaFree` that the heap pool of `sn-mempool`
+//!   is benchmarked against (Table 2).
+//!
+//! Everything here is exact-integer and single-threaded on purpose: the
+//! simulation must be reproducible so that the experiment harness regenerates
+//! identical tables on every run.
+
+pub mod alloc;
+pub mod engine;
+pub mod spec;
+pub mod time;
+pub mod trace;
+
+pub use alloc::{AllocError, AllocGrant, AllocId, CudaAllocator, DeviceAllocator};
+pub use engine::{EngineKind, Event, Timeline, TransferDirection};
+pub use spec::DeviceSpec;
+pub use time::SimTime;
+pub use trace::{StepRecord, StepTrace};

@@ -1,0 +1,130 @@
+//! Step-level execution traces.
+//!
+//! Fig. 10 of the paper plots, for every forward/backward step of an AlexNet
+//! iteration, the bytes resident on the device and the number of live
+//! tensors. The executor records one [`StepRecord`] per step into a
+//! [`StepTrace`]; the experiment harness prints the same two series.
+
+use serde::{Deserialize, Serialize};
+
+use crate::time::SimTime;
+
+/// Which half of the iteration a step belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Phase {
+    Forward,
+    Backward,
+}
+
+/// One execution step (one layer's forward or backward computation).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StepRecord {
+    /// 1-based step index within the iteration (1..=2N).
+    pub step: usize,
+    /// Layer name, e.g. `CONV2` or `POOL5`.
+    pub layer: String,
+    /// Forward or backward half.
+    pub phase: Phase,
+    /// Device bytes resident *during* this step's computation (the quantity
+    /// whose maximum is `peak_m`).
+    pub resident_bytes: u64,
+    /// Number of live (device-resident) tensors during the step.
+    pub live_tensors: usize,
+    /// Free device bytes available for convolution workspace at this step.
+    pub free_bytes: u64,
+    /// Virtual time when the step's computation completed.
+    pub completed_at: SimTime,
+}
+
+/// A whole iteration's trace.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct StepTrace {
+    pub records: Vec<StepRecord>,
+}
+
+impl StepTrace {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn push(&mut self, r: StepRecord) {
+        self.records.push(r);
+    }
+
+    pub fn clear(&mut self) {
+        self.records.clear();
+    }
+
+    /// Peak resident bytes over the iteration — `peak_m`.
+    pub fn peak_bytes(&self) -> u64 {
+        self.records
+            .iter()
+            .map(|r| r.resident_bytes)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// The step achieving the peak (first if several tie).
+    pub fn peak_step(&self) -> Option<&StepRecord> {
+        let peak = self.peak_bytes();
+        self.records.iter().find(|r| r.resident_bytes == peak)
+    }
+
+    /// Peak live tensor count.
+    pub fn peak_live_tensors(&self) -> usize {
+        self.records
+            .iter()
+            .map(|r| r.live_tensors)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Records for one phase only.
+    pub fn phase(&self, p: Phase) -> impl Iterator<Item = &StepRecord> {
+        self.records.iter().filter(move |r| r.phase == p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(step: usize, layer: &str, phase: Phase, bytes: u64, live: usize) -> StepRecord {
+        StepRecord {
+            step,
+            layer: layer.into(),
+            phase,
+            resident_bytes: bytes,
+            live_tensors: live,
+            free_bytes: 0,
+            completed_at: SimTime::ZERO,
+        }
+    }
+
+    #[test]
+    fn peak_detection() {
+        let mut t = StepTrace::new();
+        t.push(rec(1, "CONV1", Phase::Forward, 100, 2));
+        t.push(rec(2, "POOL1", Phase::Forward, 300, 5));
+        t.push(rec(3, "POOL1", Phase::Backward, 250, 4));
+        assert_eq!(t.peak_bytes(), 300);
+        assert_eq!(t.peak_step().unwrap().layer, "POOL1");
+        assert_eq!(t.peak_live_tensors(), 5);
+    }
+
+    #[test]
+    fn empty_trace_is_zero() {
+        let t = StepTrace::new();
+        assert_eq!(t.peak_bytes(), 0);
+        assert!(t.peak_step().is_none());
+    }
+
+    #[test]
+    fn phase_filter() {
+        let mut t = StepTrace::new();
+        t.push(rec(1, "A", Phase::Forward, 1, 1));
+        t.push(rec(2, "A", Phase::Backward, 2, 1));
+        assert_eq!(t.phase(Phase::Forward).count(), 1);
+        assert_eq!(t.phase(Phase::Backward).count(), 1);
+    }
+}

@@ -1,0 +1,33 @@
+//! # sn-tensor — real NCHW tensor kernels for the numeric execution mode
+//!
+//! SuperNeurons schedules *tensors*; to prove the runtime actually trains
+//! networks (and that recomputation reconstructs bit-identical activations)
+//! we implement every layer the paper's networks use, forward and backward,
+//! on the CPU:
+//!
+//! * blocked, rayon-parallel single-precision [`gemm`](gemm::sgemm);
+//! * convolution via `im2col` + GEMM and via a direct loop (the two must
+//!   agree — a property test enforces it), plus data/filter gradients;
+//! * max/average pooling with argmax bookkeeping;
+//! * ReLU, LRN (cross-channel), batch normalization, dropout (counter-based
+//!   mask so recomputation regenerates the identical mask without storing
+//!   it), softmax + cross-entropy loss;
+//! * fully-connected layers and SGD with momentum.
+//!
+//! Kernels favour clarity + data-parallelism over peak FLOPs: the paper's
+//! experiments run in *virtual* mode (cost models), while numeric mode exists
+//! to validate correctness end-to-end on small networks.
+
+pub mod act;
+pub mod conv;
+pub mod gemm;
+pub mod linear;
+pub mod loss;
+pub mod norm;
+pub mod pool;
+pub mod sgd;
+pub mod shape;
+pub mod tensor;
+
+pub use shape::Shape4;
+pub use tensor::Tensor;

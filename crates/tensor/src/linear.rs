@@ -1,0 +1,119 @@
+//! Fully-connected (inner product) layer.
+
+use crate::gemm::{sgemm, sgemm_at, sgemm_bt};
+use crate::shape::Shape4;
+use crate::tensor::Tensor;
+
+/// FC forward: `y[N×K] = x[N×F] · W[K×F]ᵀ + b`, where the input is viewed as
+/// `N × features` regardless of its spatial layout.
+pub fn fc_forward(input: &Tensor, weight: &Tensor, bias: &[f32]) -> Tensor {
+    let n = input.shape().n;
+    let f = input.shape().features();
+    let k = weight.shape().n;
+    assert_eq!(weight.shape().features(), f, "weight features must match input");
+    assert_eq!(bias.len(), k);
+    let mut out = Tensor::zeros(Shape4::flat(n, k));
+    // y = x · Wᵀ
+    sgemm_bt(n, k, f, 1.0, input.data(), weight.data(), 0.0, out.data_mut());
+    for row in out.data_mut().chunks_mut(k) {
+        for (v, b) in row.iter_mut().zip(bias.iter()) {
+            *v += b;
+        }
+    }
+    out
+}
+
+/// FC backward: `(grad_input, grad_weight, grad_bias)`.
+pub fn fc_backward(
+    input: &Tensor,
+    weight: &Tensor,
+    grad_out: &Tensor,
+) -> (Tensor, Tensor, Vec<f32>) {
+    let n = input.shape().n;
+    let f = input.shape().features();
+    let k = weight.shape().n;
+    assert_eq!(grad_out.shape().n, n);
+    assert_eq!(grad_out.shape().features(), k);
+
+    // dX[N×F] = dY[N×K] · W[K×F]
+    let mut gi = Tensor::zeros(input.shape());
+    sgemm(n, f, k, 1.0, grad_out.data(), weight.data(), 0.0, gi.data_mut());
+
+    // dW[K×F] = dY[N×K]ᵀ · X[N×F]
+    let mut gw = Tensor::zeros(weight.shape());
+    sgemm_at(k, f, n, 1.0, grad_out.data(), input.data(), 0.0, gw.data_mut());
+
+    // dB[K] = column sums of dY
+    let mut gb = vec![0.0f32; k];
+    for row in grad_out.data().chunks(k) {
+        for (g, v) in gb.iter_mut().zip(row.iter()) {
+            *g += v;
+        }
+    }
+    (gi, gw, gb)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_computes_affine_map() {
+        // x = [[1, 2]], W = [[1, 0], [0, 1], [1, 1]], b = [0.5, 0.5, 0.5]
+        let x = Tensor::from_vec(Shape4::flat(1, 2), vec![1.0, 2.0]);
+        let w = Tensor::from_vec(Shape4::flat(3, 2), vec![1., 0., 0., 1., 1., 1.]);
+        let y = fc_forward(&x, &w, &[0.5, 0.5, 0.5]);
+        assert_eq!(y.data(), &[1.5, 2.5, 3.5]);
+    }
+
+    #[test]
+    fn forward_flattens_spatial_input() {
+        let x = Tensor::full(Shape4::new(2, 2, 2, 2), 1.0); // 8 features
+        let w = Tensor::full(Shape4::flat(4, 8), 0.25);
+        let y = fc_forward(&x, &w, &[0.0; 4]);
+        assert_eq!(y.shape(), Shape4::flat(2, 4));
+        for v in y.data() {
+            assert!((*v - 2.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn backward_matches_finite_differences() {
+        let x = Tensor::rand_uniform(Shape4::flat(3, 5), 1.0, 17);
+        let w = Tensor::rand_uniform(Shape4::flat(4, 5), 0.5, 18);
+        let b = vec![0.1, 0.2, -0.1, 0.0];
+        let dy = Tensor::rand_uniform(Shape4::flat(3, 4), 1.0, 19);
+        let (dx, dw, db) = fc_backward(&x, &w, &dy);
+
+        let loss = |inp: &Tensor, wt: &Tensor| -> f32 {
+            fc_forward(inp, wt, &b)
+                .data()
+                .iter()
+                .zip(dy.data())
+                .map(|(a, g)| a * g)
+                .sum()
+        };
+        let eps = 1e-2f32;
+        for &i in &[0usize, 6, 14] {
+            let mut xp = x.clone();
+            xp.data_mut()[i] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[i] -= eps;
+            let num = (loss(&xp, &w) - loss(&xm, &w)) / (2.0 * eps);
+            assert!((num - dx.data()[i]).abs() < 1e-2);
+        }
+        for &i in &[0usize, 9, 19] {
+            let mut wp = w.clone();
+            wp.data_mut()[i] += eps;
+            let mut wm = w.clone();
+            wm.data_mut()[i] -= eps;
+            let num = (loss(&x, &wp) - loss(&x, &wm)) / (2.0 * eps);
+            assert!((num - dw.data()[i]).abs() < 1e-2);
+        }
+        // dB equals column sums of dY.
+        for c in 0..4 {
+            let expect: f32 = (0..3).map(|r| dy.data()[r * 4 + c]).sum();
+            assert!((db[c] - expect).abs() < 1e-6);
+        }
+    }
+}

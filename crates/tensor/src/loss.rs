@@ -1,0 +1,145 @@
+//! Softmax and cross-entropy loss (the paper's terminal Softmax layer).
+
+use crate::shape::Shape4;
+use crate::tensor::Tensor;
+
+/// Row-wise softmax over the feature dimension (numerically stabilized).
+pub fn softmax_forward(input: &Tensor) -> Tensor {
+    let n = input.shape().n;
+    let f = input.shape().features();
+    let mut out = Tensor::zeros(Shape4::flat(n, f));
+    for (orow, irow) in out
+        .data_mut()
+        .chunks_mut(f)
+        .zip(input.data().chunks(f))
+    {
+        let max = irow.iter().fold(f32::NEG_INFINITY, |m, &v| m.max(v));
+        let mut sum = 0.0f32;
+        for (o, &x) in orow.iter_mut().zip(irow.iter()) {
+            *o = (x - max).exp();
+            sum += *o;
+        }
+        let inv = 1.0 / sum;
+        orow.iter_mut().for_each(|v| *v *= inv);
+    }
+    out
+}
+
+/// Mean cross-entropy of softmax probabilities against integer labels.
+pub fn cross_entropy(probs: &Tensor, labels: &[usize]) -> f32 {
+    let n = probs.shape().n;
+    let f = probs.shape().features();
+    assert_eq!(labels.len(), n);
+    let mut loss = 0.0f32;
+    for (row, &label) in probs.data().chunks(f).zip(labels.iter()) {
+        assert!(label < f, "label {label} out of range {f}");
+        loss -= row[label].max(1e-12).ln();
+    }
+    loss / n as f32
+}
+
+/// Combined softmax + cross-entropy gradient w.r.t. the *logits*:
+/// `(p - onehot(label)) / N`.
+pub fn softmax_xent_backward(probs: &Tensor, labels: &[usize]) -> Tensor {
+    let n = probs.shape().n;
+    let f = probs.shape().features();
+    let mut gi = probs.clone();
+    let scale = 1.0 / n as f32;
+    for (row, &label) in gi.data_mut().chunks_mut(f).zip(labels.iter()) {
+        for v in row.iter_mut() {
+            *v *= scale;
+        }
+        row[label] -= scale;
+    }
+    gi
+}
+
+/// Top-1 accuracy of probability rows against labels.
+pub fn accuracy(probs: &Tensor, labels: &[usize]) -> f32 {
+    let n = probs.shape().n;
+    let f = probs.shape().features();
+    let mut correct = 0usize;
+    for (row, &label) in probs.data().chunks(f).zip(labels.iter()) {
+        let argmax = row
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .map(|(i, _)| i)
+            .unwrap();
+        if argmax == label {
+            correct += 1;
+        }
+    }
+    correct as f32 / n as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let x = Tensor::rand_uniform(Shape4::flat(5, 7), 3.0, 23);
+        let p = softmax_forward(&x);
+        for row in p.data().chunks(7) {
+            let s: f32 = row.iter().sum();
+            assert!((s - 1.0).abs() < 1e-5);
+            assert!(row.iter().all(|v| *v > 0.0));
+        }
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant() {
+        let x = Tensor::from_vec(Shape4::flat(1, 3), vec![1.0, 2.0, 3.0]);
+        let y = Tensor::from_vec(Shape4::flat(1, 3), vec![101.0, 102.0, 103.0]);
+        let px = softmax_forward(&x);
+        let py = softmax_forward(&y);
+        assert!(px.max_abs_diff(&py) < 1e-6);
+    }
+
+    #[test]
+    fn cross_entropy_of_perfect_prediction_is_zero() {
+        let p = Tensor::from_vec(Shape4::flat(1, 3), vec![0.0, 1.0, 0.0]);
+        assert!(cross_entropy(&p, &[1]) < 1e-6);
+    }
+
+    #[test]
+    fn uniform_prediction_costs_log_classes() {
+        let p = Tensor::full(Shape4::flat(2, 4), 0.25);
+        let l = cross_entropy(&p, &[0, 3]);
+        assert!((l - 4.0f32.ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn gradient_matches_finite_differences() {
+        let logits = Tensor::rand_uniform(Shape4::flat(2, 5), 1.0, 24);
+        let labels = vec![1usize, 4];
+        let p = softmax_forward(&logits);
+        let g = softmax_xent_backward(&p, &labels);
+        let eps = 1e-2f32;
+        for &i in &[0usize, 3, 7, 9] {
+            let mut lp = logits.clone();
+            lp.data_mut()[i] += eps;
+            let mut lm = logits.clone();
+            lm.data_mut()[i] -= eps;
+            let num = (cross_entropy(&softmax_forward(&lp), &labels)
+                - cross_entropy(&softmax_forward(&lm), &labels))
+                / (2.0 * eps);
+            assert!(
+                (num - g.data()[i]).abs() < 1e-3,
+                "dlogit[{i}]: {num} vs {}",
+                g.data()[i]
+            );
+        }
+    }
+
+    #[test]
+    fn accuracy_counts_argmax_hits() {
+        let p = Tensor::from_vec(
+            Shape4::flat(2, 3),
+            vec![0.7, 0.2, 0.1, 0.1, 0.1, 0.8],
+        );
+        assert_eq!(accuracy(&p, &[0, 2]), 1.0);
+        assert_eq!(accuracy(&p, &[1, 2]), 0.5);
+    }
+}

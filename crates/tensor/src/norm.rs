@@ -1,0 +1,192 @@
+//! Batch normalization (per-channel, training mode with batch statistics).
+
+use crate::tensor::Tensor;
+
+/// Saved statistics from a BN forward pass, needed by backward. These are
+/// `2·C` floats — negligible next to activations, so the runtime keeps them
+/// resident (the paper's "small saved mean/var" case).
+#[derive(Debug, Clone)]
+pub struct BnSaved {
+    pub mean: Vec<f32>,
+    pub inv_std: Vec<f32>,
+}
+
+const BN_EPS: f32 = 1e-5;
+
+/// BN forward over NCHW with per-channel `gamma`/`beta`.
+/// Returns `(output, saved)`.
+pub fn bn_forward(input: &Tensor, gamma: &[f32], beta: &[f32]) -> (Tensor, BnSaved) {
+    let s = input.shape();
+    assert_eq!(gamma.len(), s.c);
+    assert_eq!(beta.len(), s.c);
+    let hw = s.h * s.w;
+    let per_c = (s.n * hw) as f32;
+    let mut mean = vec![0.0f32; s.c];
+    let mut var = vec![0.0f32; s.c];
+
+    for n in 0..s.n {
+        for c in 0..s.c {
+            let base = (n * s.c + c) * hw;
+            let slice = &input.data()[base..base + hw];
+            mean[c] += slice.iter().sum::<f32>();
+        }
+    }
+    for m in &mut mean {
+        *m /= per_c;
+    }
+    for n in 0..s.n {
+        for c in 0..s.c {
+            let base = (n * s.c + c) * hw;
+            for &v in &input.data()[base..base + hw] {
+                let d = v - mean[c];
+                var[c] += d * d;
+            }
+        }
+    }
+    let inv_std: Vec<f32> = var
+        .iter()
+        .map(|v| 1.0 / (v / per_c + BN_EPS).sqrt())
+        .collect();
+
+    let mut out = Tensor::zeros(s);
+    for n in 0..s.n {
+        for c in 0..s.c {
+            let base = (n * s.c + c) * hw;
+            let (g, b, m, is) = (gamma[c], beta[c], mean[c], inv_std[c]);
+            for i in 0..hw {
+                out.data_mut()[base + i] = (input.data()[base + i] - m) * is * g + b;
+            }
+        }
+    }
+    (out, BnSaved { mean, inv_std })
+}
+
+/// BN backward: returns `(grad_input, grad_gamma, grad_beta)`.
+pub fn bn_backward(
+    input: &Tensor,
+    grad_out: &Tensor,
+    gamma: &[f32],
+    saved: &BnSaved,
+) -> (Tensor, Vec<f32>, Vec<f32>) {
+    let s = input.shape();
+    let hw = s.h * s.w;
+    let per_c = (s.n * hw) as f32;
+    let mut dgamma = vec![0.0f32; s.c];
+    let mut dbeta = vec![0.0f32; s.c];
+    let mut dxhat_sum = vec![0.0f32; s.c];
+    let mut dxhat_xhat_sum = vec![0.0f32; s.c];
+
+    for n in 0..s.n {
+        for c in 0..s.c {
+            let base = (n * s.c + c) * hw;
+            let (m, is) = (saved.mean[c], saved.inv_std[c]);
+            for i in 0..hw {
+                let xhat = (input.data()[base + i] - m) * is;
+                let dy = grad_out.data()[base + i];
+                dgamma[c] += dy * xhat;
+                dbeta[c] += dy;
+                let dxhat = dy * gamma[c];
+                dxhat_sum[c] += dxhat;
+                dxhat_xhat_sum[c] += dxhat * xhat;
+            }
+        }
+    }
+
+    let mut gi = Tensor::zeros(s);
+    for n in 0..s.n {
+        for c in 0..s.c {
+            let base = (n * s.c + c) * hw;
+            let (m, is) = (saved.mean[c], saved.inv_std[c]);
+            for i in 0..hw {
+                let xhat = (input.data()[base + i] - m) * is;
+                let dxhat = grad_out.data()[base + i] * gamma[c];
+                gi.data_mut()[base + i] =
+                    is / per_c * (per_c * dxhat - dxhat_sum[c] - xhat * dxhat_xhat_sum[c]);
+            }
+        }
+    }
+    (gi, dgamma, dbeta)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shape::Shape4;
+
+    #[test]
+    fn forward_normalizes_each_channel() {
+        let x = Tensor::rand_uniform(Shape4::new(4, 3, 5, 5), 2.0, 13);
+        let gamma = vec![1.0; 3];
+        let beta = vec![0.0; 3];
+        let (y, _) = bn_forward(&x, &gamma, &beta);
+        let s = x.shape();
+        let hw = s.h * s.w;
+        for c in 0..s.c {
+            let mut sum = 0.0f32;
+            let mut sq = 0.0f32;
+            for n in 0..s.n {
+                let base = (n * s.c + c) * hw;
+                for &v in &y.data()[base..base + hw] {
+                    sum += v;
+                    sq += v * v;
+                }
+            }
+            let cnt = (s.n * hw) as f32;
+            let mean = sum / cnt;
+            let var = sq / cnt - mean * mean;
+            assert!(mean.abs() < 1e-4, "channel {c} mean {mean}");
+            assert!((var - 1.0).abs() < 1e-2, "channel {c} var {var}");
+        }
+    }
+
+    #[test]
+    fn gamma_beta_shift_and_scale() {
+        let x = Tensor::rand_uniform(Shape4::new(2, 1, 4, 4), 1.0, 14);
+        let (y, _) = bn_forward(&x, &[2.0], &[3.0]);
+        let mean: f32 = y.sum() / y.shape().numel() as f32;
+        assert!((mean - 3.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn backward_matches_finite_differences() {
+        let x = Tensor::rand_uniform(Shape4::new(2, 2, 3, 3), 1.0, 15);
+        let gamma = vec![1.5, 0.5];
+        let beta = vec![0.1, -0.1];
+        let dy = Tensor::rand_uniform(x.shape(), 1.0, 16);
+        let (_, saved) = bn_forward(&x, &gamma, &beta);
+        let (dx, dg, db) = bn_backward(&x, &dy, &gamma, &saved);
+
+        let loss = |inp: &Tensor, g: &[f32], b: &[f32]| -> f32 {
+            let (y, _) = bn_forward(inp, g, b);
+            y.data().iter().zip(dy.data()).map(|(a, d)| a * d).sum()
+        };
+        let eps = 1e-2f32;
+        for &i in &[0usize, 7, 20, 35] {
+            let mut xp = x.clone();
+            xp.data_mut()[i] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[i] -= eps;
+            let num = (loss(&xp, &gamma, &beta) - loss(&xm, &gamma, &beta)) / (2.0 * eps);
+            assert!(
+                (num - dx.data()[i]).abs() < 3e-2,
+                "dX[{i}]: {num} vs {}",
+                dx.data()[i]
+            );
+        }
+        for c in 0..2 {
+            let mut gp = gamma.clone();
+            gp[c] += eps;
+            let mut gm = gamma.clone();
+            gm[c] -= eps;
+            let num = (loss(&x, &gp, &beta) - loss(&x, &gm, &beta)) / (2.0 * eps);
+            assert!((num - dg[c]).abs() < 3e-2, "dGamma[{c}]: {num} vs {}", dg[c]);
+
+            let mut bp = beta.clone();
+            bp[c] += eps;
+            let mut bm = beta.clone();
+            bm[c] -= eps;
+            let num = (loss(&x, &gamma, &bp) - loss(&x, &gamma, &bm)) / (2.0 * eps);
+            assert!((num - db[c]).abs() < 3e-2, "dBeta[{c}]: {num} vs {}", db[c]);
+        }
+    }
+}

@@ -1,0 +1,103 @@
+//! Property tests on the numeric kernels: algorithm equivalence (im2col-GEMM
+//! convolution vs the direct reference) and algebraic identities, over
+//! random shapes and data.
+
+use proptest::prelude::*;
+use sn_tensor::conv::{conv2d_backward, conv2d_forward, conv2d_forward_direct, ConvParams};
+use sn_tensor::gemm::{sgemm, sgemm_reference};
+use sn_tensor::loss::{cross_entropy, softmax_forward};
+use sn_tensor::pool::{maxpool_backward, maxpool_forward, PoolParams};
+use sn_tensor::{Shape4, Tensor};
+
+fn close(a: f32, b: f32, tol: f32) -> bool {
+    (a - b).abs() <= tol * (1.0 + a.abs().max(b.abs()))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn gemm_matches_reference(
+        m in 1usize..24, n in 1usize..24, k in 1usize..48,
+        seed in 0u64..1_000,
+    ) {
+        let a = Tensor::rand_uniform(Shape4::flat(m, k), 1.0, seed);
+        let b = Tensor::rand_uniform(Shape4::flat(k, n), 1.0, seed + 1);
+        let mut c1 = vec![0.0f32; m * n];
+        let mut c2 = vec![0.0f32; m * n];
+        sgemm(m, n, k, 1.0, a.data(), b.data(), 0.0, &mut c1);
+        sgemm_reference(m, n, k, 1.0, a.data(), b.data(), 0.0, &mut c2);
+        for (x, y) in c1.iter().zip(c2.iter()) {
+            prop_assert!(close(*x, *y, 1e-5), "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn im2col_conv_equals_direct_conv(
+        n in 1usize..3, cin in 1usize..4, cout in 1usize..4,
+        hw in 4usize..10, kernel in 1usize..4_usize,
+        stride in 1usize..3, seed in 0u64..1_000,
+    ) {
+        prop_assume!(hw + 2 * (kernel / 2) >= kernel);
+        let p = ConvParams { out_channels: cout, kernel, stride, pad: kernel / 2 };
+        let input = Tensor::rand_uniform(Shape4::new(n, cin, hw, hw), 1.0, seed);
+        let weight = Tensor::rand_uniform(p.weight_shape(cin), 0.7, seed + 7);
+        let bias: Vec<f32> = (0..cout).map(|i| i as f32 * 0.1).collect();
+        let fast = conv2d_forward(&input, &weight, &bias, &p);
+        let slow = conv2d_forward_direct(&input, &weight, &bias, &p);
+        prop_assert!(fast.max_abs_diff(&slow) < 1e-4,
+            "algorithms disagree by {}", fast.max_abs_diff(&slow));
+    }
+
+    #[test]
+    fn conv_gradient_is_linear_in_upstream_gradient(
+        seed in 0u64..500,
+    ) {
+        // d/dx is linear: backward(2·g) == 2·backward(g).
+        let p = ConvParams { out_channels: 3, kernel: 3, stride: 1, pad: 1 };
+        let input = Tensor::rand_uniform(Shape4::new(2, 2, 6, 6), 1.0, seed);
+        let weight = Tensor::rand_uniform(p.weight_shape(2), 0.5, seed + 3);
+        let g = Tensor::rand_uniform(p.out_shape(input.shape()), 1.0, seed + 5);
+        let mut g2 = g.clone();
+        g2.data_mut().iter_mut().for_each(|v| *v *= 2.0);
+        let (gi1, gw1, gb1) = conv2d_backward(&input, &weight, &g, &p);
+        let (gi2, gw2, gb2) = conv2d_backward(&input, &weight, &g2, &p);
+        for (a, b) in gi1.data().iter().zip(gi2.data()) {
+            prop_assert!(close(2.0 * a, *b, 1e-4));
+        }
+        for (a, b) in gw1.data().iter().zip(gw2.data()) {
+            prop_assert!(close(2.0 * a, *b, 1e-4));
+        }
+        for (a, b) in gb1.iter().zip(gb2.iter()) {
+            prop_assert!(close(2.0 * a, *b, 1e-4));
+        }
+    }
+
+    #[test]
+    fn maxpool_gradient_mass_is_conserved(
+        n in 1usize..3, c in 1usize..4, hw in 4usize..12, seed in 0u64..1_000,
+    ) {
+        // Non-overlapping 2x2 max pool: every output routes its gradient to
+        // exactly one input, so total gradient mass is preserved.
+        let p = PoolParams { kernel: 2, stride: 2, pad: 0 };
+        let input = Tensor::rand_uniform(Shape4::new(n, c, hw - hw % 2, hw - hw % 2), 1.0, seed);
+        let (out, argmax) = maxpool_forward(&input, &p);
+        let g = Tensor::rand_uniform(out.shape(), 1.0, seed + 11);
+        let gi = maxpool_backward(input.shape(), &g, &argmax);
+        prop_assert!(close(gi.sum(), g.sum(), 1e-4), "{} vs {}", gi.sum(), g.sum());
+    }
+
+    #[test]
+    fn softmax_cross_entropy_is_bounded_below_by_zero(
+        rows in 1usize..6, cols in 2usize..12, seed in 0u64..1_000,
+    ) {
+        let logits = Tensor::rand_uniform(Shape4::flat(rows, cols), 4.0, seed);
+        let probs = softmax_forward(&logits);
+        let labels: Vec<usize> = (0..rows).map(|i| (seed as usize + i) % cols).collect();
+        let loss = cross_entropy(&probs, &labels);
+        prop_assert!(loss >= 0.0);
+        prop_assert!(loss.is_finite());
+        // And bounded above by -ln(min prob) which is finite for finite logits.
+        prop_assert!(loss < 100.0);
+    }
+}

@@ -1,0 +1,56 @@
+//! Data-parallel scaling: the paper targets memory for *data parallelism*
+//! (§2.1 — each GPU holds a replica, sub-gradients are aggregated). This
+//! example scales ResNet-50 across simulated GPUs, each replica running the
+//! full SuperNeurons runtime, with ring all-reduce gradient exchange.
+//!
+//! ```text
+//! cargo run --release --example data_parallel [per_gpu_batch]
+//! ```
+
+use superneurons::runtime::parallel::{DataParallel, Interconnect};
+use superneurons::{DeviceSpec, Policy};
+
+fn main() {
+    let per_gpu_batch: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(32);
+
+    println!("ResNet-50, {per_gpu_batch} images per GPU, SuperNeurons runtime per replica\n");
+    println!(
+        "{:>5} {:>12} {:>10} {:>12} {:>11} {:>14}",
+        "GPUs", "interconnect", "overlap", "img/s", "efficiency", "allreduce(ms)"
+    );
+    for gpus in [1usize, 2, 4, 8, 16] {
+        for (name, ic) in [("PCIe", Interconnect::pcie()), ("NVLink", Interconnect::nvlink())] {
+            for overlap in [false, true] {
+                if gpus == 1 && (name == "NVLink" || overlap) {
+                    continue;
+                }
+                let dp = DataParallel {
+                    net_builder: Box::new(superneurons::models::resnet50),
+                    per_gpu_batch,
+                    gpus,
+                    spec: DeviceSpec::titan_xp(),
+                    policy: Policy::superneurons(),
+                    interconnect: ic,
+                    overlap,
+                };
+                match dp.run() {
+                    Ok(r) => println!(
+                        "{:>5} {:>12} {:>10} {:>12.1} {:>11.2} {:>14.1}",
+                        gpus,
+                        name,
+                        overlap,
+                        r.imgs_per_sec,
+                        r.efficiency,
+                        r.allreduce_time.as_ms_f64()
+                    ),
+                    Err(e) => println!("{gpus:>5} {name:>12} {overlap:>10} failed: {e}"),
+                }
+            }
+        }
+    }
+    println!("\ngradient exchange shrinks relative to compute as the interconnect speeds up,");
+    println!("and overlapping it under the backward pass recovers near-linear scaling.");
+}

@@ -1,0 +1,58 @@
+//! Going deeper: train a ResNet far beyond what fits residently in GPU DRAM
+//! (the paper's Table 4 scenario — their headline is ResNet-2500, ~10⁴
+//! layers, on a 12 GB card at batch 1).
+//!
+//! ```text
+//! cargo run --release --example deep_resnet [depth] [batch]
+//! ```
+
+use superneurons::frameworks::Framework;
+use superneurons::runtime::session::feasible;
+use superneurons::runtime::Executor;
+use superneurons::DeviceSpec;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let depth: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(1920);
+    let batch: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(16);
+
+    let spec = DeviceSpec::k40c();
+    let net = superneurons::models::resnet_depth(batch, depth);
+    let cost = superneurons::graph::NetCost::of(&net);
+    println!(
+        "ResNet depth≈{depth} @ batch {batch}: {} graph layers, Σ activations = {:.1} GB, weights = {:.1} GB, 12 GB card\n",
+        net.len(),
+        (cost.sum_l_f() + cost.sum_l_b()) as f64 / 1e9,
+        cost.total_weight_bytes() as f64 / 1e9,
+    );
+
+    // Who else can train this?
+    for fw in Framework::ALL {
+        if fw == Framework::SuperNeurons {
+            continue;
+        }
+        let ok = feasible(&net, &spec, fw.policy());
+        println!("  {:12} -> {}", fw.name(), if ok { "trains" } else { "out of memory" });
+    }
+
+    // SuperNeurons trains it; measure an iteration.
+    let mut ex = Executor::new(&net, spec, superneurons::Policy::superneurons())
+        .expect("weights must fit");
+    let r = ex.run_iteration().expect("SuperNeurons trains this network");
+    println!(
+        "\n  SuperNeurons -> trains: peak {:.2} GiB of {:.2} GiB, {:.2} s/iteration ({:.1} img/s)",
+        r.peak_bytes as f64 / (1u64 << 30) as f64,
+        12.0,
+        r.iter_time.as_secs_f64(),
+        r.imgs_per_sec(batch)
+    );
+    println!(
+        "    offloads {}  prefetches {}  evictions {}  recomputed forwards {}",
+        r.counters.offloads, r.counters.prefetches, r.counters.evictions, r.counters.recompute_forwards
+    );
+    println!(
+        "    PCIe traffic: {:.2} GB out, {:.2} GB in",
+        r.d2h_bytes as f64 / 1e9,
+        r.h2d_bytes as f64 / 1e9
+    );
+}

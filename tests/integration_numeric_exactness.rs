@@ -1,0 +1,117 @@
+//! Cross-crate numeric integration: the scheduler drives real computation,
+//! and no memory policy — recomputation, offloading, eviction — may change
+//! a single bit of the training trajectory.
+
+use superneurons::runtime::numeric::NumericBackend;
+use superneurons::runtime::{Executor, Policy, RecomputeMode};
+use superneurons::tensor::sgd::SgdParams;
+use superneurons::{DeviceSpec, Net};
+
+fn backend(net: &Net, seed: u64) -> Box<NumericBackend> {
+    Box::new(NumericBackend::new(
+        net,
+        10,
+        seed,
+        SgdParams {
+            lr: 0.05,
+            momentum: 0.9,
+            weight_decay: 0.0,
+        },
+    ))
+}
+
+fn losses(net: &Net, spec: DeviceSpec, policy: Policy, iters: usize) -> Vec<f32> {
+    let mut ex = Executor::new(net, spec, policy)
+        .unwrap()
+        .with_backend(backend(net, 99));
+    (0..iters)
+        .map(|_| ex.run_iteration().unwrap().loss.unwrap())
+        .collect()
+}
+
+/// Every policy bundle produces the identical loss trajectory.
+#[test]
+fn all_policies_agree_bit_for_bit() {
+    let net = superneurons::models::lenet(16, 10);
+    let reference = losses(&net, DeviceSpec::k40c(), Policy::liveness_only(), 6);
+    for policy in [
+        Policy::baseline(),
+        Policy::liveness_offload(),
+        Policy::full_memory(),
+        Policy::superneurons(),
+        Policy {
+            recompute: RecomputeMode::MemoryCentric,
+            ..Policy::full_memory()
+        },
+        Policy {
+            recompute: RecomputeMode::SpeedCentric,
+            ..Policy::full_memory()
+        },
+    ] {
+        let l = losses(&net, DeviceSpec::k40c(), policy, 6);
+        assert_eq!(l, reference, "policy {policy:?} diverged");
+    }
+}
+
+/// Shrinking the device until eviction and recomputation are mandatory
+/// still reproduces the exact trajectory.
+#[test]
+fn tight_memory_preserves_trajectory() {
+    let net = superneurons::models::lenet(16, 10);
+    let cost = superneurons::graph::NetCost::of(&net);
+    let reference = losses(&net, DeviceSpec::k40c(), Policy::superneurons(), 8);
+    let tight = DeviceSpec::k40c()
+        .with_dram(cost.total_weight_bytes() + cost.l_peak() + cost.l_peak() / 2 + (512 << 10));
+    let l = losses(&net, tight, Policy::superneurons(), 8);
+    assert_eq!(l, reference);
+}
+
+/// Training actually learns: loss falls substantially on the separable
+/// synthetic task through the full SuperNeurons stack.
+#[test]
+fn full_stack_training_converges() {
+    let net = superneurons::models::lenet(32, 10);
+    let l = losses(&net, DeviceSpec::k40c(), Policy::superneurons(), 40);
+    let first = l[..5].iter().sum::<f32>() / 5.0;
+    let last = l[l.len() - 5..].iter().sum::<f32>() / 5.0;
+    assert!(
+        last < first * 0.5,
+        "loss should halve: first≈{first:.3}, last≈{last:.3}"
+    );
+}
+
+/// A nonlinear (residual, fan/join) network trains through the full stack,
+/// with recomputation segments anchored at the joins.
+#[test]
+fn residual_network_trains_with_recompute() {
+    let mut net = Net::new("resmini", superneurons::Shape4::new(16, 4, 12, 12));
+    let d = net.data();
+    let c1 = net.conv(d, 8, 3, 1, 1);
+    let b1 = net.bn(c1);
+    let r1 = net.relu(b1);
+    let c2 = net.conv(r1, 8, 3, 1, 1);
+    let b2 = net.bn(c2);
+    let e = net.eltwise(&[b2, c1]);
+    let r2 = net.relu(e);
+    let p = net.max_pool(r2, 2, 2, 0);
+    let f = net.fc(p, 10);
+    net.softmax(f);
+
+    let l_full = losses(&net, DeviceSpec::k40c(), Policy::full_memory(), 10);
+    let l_plain = losses(&net, DeviceSpec::k40c(), Policy::liveness_only(), 10);
+    assert_eq!(l_full, l_plain, "recompute through joins must be exact");
+    assert!(l_full.last().unwrap() < l_full.first().unwrap());
+}
+
+/// Recomputation truly re-executes forwards: the backend's per-layer
+/// forward counters exceed one for non-checkpoint layers.
+#[test]
+fn recompute_reexecutes_layers() {
+    let net = superneurons::models::lenet(8, 10);
+    let mut ex = Executor::new(&net, DeviceSpec::k40c(), Policy::full_memory())
+        .unwrap()
+        .with_backend(backend(&net, 7));
+    let r = ex.run_iteration().unwrap();
+    assert!(ex.backend().is_some());
+    assert!(r.counters.recompute_forwards >= 4, "LeNet has >=4 recomputable layers");
+}
