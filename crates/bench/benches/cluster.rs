@@ -1,0 +1,80 @@
+//! Benchmarks for the sn-cluster scheduler: the host-side wall-clock cost of
+//! admitting, placing, and simulating a multi-tenant job stream — the
+//! scheduler's own overhead, which must stay negligible next to the virtual
+//! time it manages.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use sn_cluster::{
+    synthetic_stream, ClusterSim, Fleet, PlacementPolicy, PolicyPreset, Profiler, Workload,
+};
+use sn_runtime::Interconnect;
+use sn_sim::DeviceSpec;
+
+const MB: u64 = 1 << 20;
+
+fn fleet(n: usize) -> Fleet {
+    Fleet::homogeneous(
+        n,
+        DeviceSpec::k40c().with_dram(96 * MB),
+        Interconnect::pcie(),
+    )
+}
+
+fn bench_admission_prediction(c: &mut Criterion) {
+    let spec = DeviceSpec::k40c().with_dram(96 * MB);
+    c.bench_function("predict_peak_cold", |b| {
+        b.iter(|| {
+            // A fresh profiler every time: measures the underlying simulate.
+            let p = Profiler::new();
+            p.profile(
+                black_box(Workload::Synthetic {
+                    width: 16,
+                    depth: 4,
+                }),
+                16,
+                PolicyPreset::Superneurons,
+                &spec,
+                spec.dram_bytes,
+            )
+        });
+    });
+    let warm = Profiler::new();
+    c.bench_function("predict_peak_memoized", |b| {
+        b.iter(|| {
+            warm.profile(
+                black_box(Workload::Synthetic {
+                    width: 16,
+                    depth: 4,
+                }),
+                16,
+                PolicyPreset::Superneurons,
+                &spec,
+                spec.dram_bytes,
+            )
+        });
+    });
+}
+
+fn bench_cluster_serve(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cluster_serve");
+    g.sample_size(10);
+    for (label, jobs, devices) in [("60jobs_8gpu", 60, 8), ("120jobs_16gpu", 120, 16)] {
+        for placement in PlacementPolicy::ALL {
+            g.bench_function(format!("{label}_{}", placement.name()), |b| {
+                b.iter(|| {
+                    let mut sim = ClusterSim::new(fleet(devices), placement);
+                    sim.run(black_box(synthetic_stream(
+                        jobs,
+                        1,
+                        PolicyPreset::Superneurons,
+                        true,
+                    )))
+                });
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_admission_prediction, bench_cluster_serve);
+criterion_main!(benches);

@@ -42,9 +42,7 @@ fn bench_pool(c: &mut Criterion) {
     c.bench_function("pool_fragmented_first_fit", |b| {
         // Leave a fragmented pool and measure allocation into holes.
         let mut pool = HeapPool::with_capacity(1 << 30);
-        let ids: Vec<_> = (0..512)
-            .map(|_| pool.alloc(1 << 20).unwrap().id)
-            .collect();
+        let ids: Vec<_> = (0..512).map(|_| pool.alloc(1 << 20).unwrap().id).collect();
         for id in ids.iter().step_by(2) {
             pool.free(*id).unwrap();
         }

@@ -41,8 +41,7 @@ fn bench_iterations(c: &mut Criterion) {
             b.iter(|| black_box(&mut ex).run_iteration().unwrap());
         });
         g.bench_function(format!("baseline_{name}"), |b| {
-            let mut ex =
-                Executor::new(&net, DeviceSpec::k40c(), Policy::liveness_only()).unwrap();
+            let mut ex = Executor::new(&net, DeviceSpec::k40c(), Policy::liveness_only()).unwrap();
             b.iter(|| black_box(&mut ex).run_iteration().unwrap());
         });
     }

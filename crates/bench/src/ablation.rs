@@ -18,7 +18,12 @@ pub fn ablation_cache_policy() -> String {
     // AlexNet at a batch where the cache must evict on a shrunken device.
     let spec = DeviceSpec::k40c().with_dram(2 * GB);
     let batch = 448usize;
-    let mut t = TextTable::new(vec!["policy", "PCIe traffic (GB/iter)", "img/s", "evictions"]);
+    let mut t = TextTable::new(vec![
+        "policy",
+        "PCIe traffic (GB/iter)",
+        "img/s",
+        "evictions",
+    ]);
     for (name, cp) in [
         ("LRU (paper)", CachePolicy::Lru),
         ("FIFO", CachePolicy::Fifo),
@@ -134,12 +139,24 @@ pub fn ablation_tiers() -> String {
                         ]);
                     }
                     Err(e) => {
-                        t.row(vec![name.to_string(), format!("fail: {e}"), "-".into(), "-".into(), "-".into()]);
+                        t.row(vec![
+                            name.to_string(),
+                            format!("fail: {e}"),
+                            "-".into(),
+                            "-".into(),
+                            "-".into(),
+                        ]);
                     }
                 }
             }
             Err(e) => {
-                t.row(vec![name.to_string(), format!("fail: {e}"), "-".into(), "-".into(), "-".into()]);
+                t.row(vec![
+                    name.to_string(),
+                    format!("fail: {e}"),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                ]);
             }
         }
     }
@@ -161,7 +178,10 @@ pub fn ablation_data_parallel() -> String {
         "allreduce (ms)",
     ]);
     for gpus in [1usize, 2, 4, 8] {
-        for (icn, ic) in [("PCIe", Interconnect::pcie()), ("NVLink", Interconnect::nvlink())] {
+        for (icn, ic) in [
+            ("PCIe", Interconnect::pcie()),
+            ("NVLink", Interconnect::nvlink()),
+        ] {
             for overlap in [false, true] {
                 if gpus == 1 && (icn == "NVLink" || overlap) {
                     continue; // degenerate duplicates

@@ -97,7 +97,8 @@ pub fn fig8() -> String {
         ("VGG19".into(), models::vgg19(16)),
     ];
     let spec = titan();
-    let mut out = String::from("Fig. 8 — % of compute time (fwd+bwd) and % of memory by layer type\n");
+    let mut out =
+        String::from("Fig. 8 — % of compute time (fwd+bwd) and % of memory by layer type\n");
     let mut t = TextTable::new(vec![
         "network", "metric", "CONV", "FC", "DROPOUT", "SOFTMAX", "POOL", "ACT", "BN", "LRN",
         "other",
@@ -117,7 +118,9 @@ pub fn fig8() -> String {
             100.0 * v / tot
         };
         let other = |metric: usize| -> f64 {
-            let known = ["CONV", "FC", "DROPOUT", "SOFTMAX", "POOL", "ACT", "BN", "LRN"];
+            let known = [
+                "CONV", "FC", "DROPOUT", "SOFTMAX", "POOL", "ACT", "BN", "LRN",
+            ];
             let v: u64 = rows
                 .iter()
                 .filter(|r| !known.contains(&r.0.as_str()))
@@ -169,7 +172,10 @@ pub fn fig10() -> String {
 
     for (panel, policy) in [
         ("(a) liveness", Policy::liveness_only()),
-        ("(b) liveness + prefetch/offload", Policy::liveness_offload()),
+        (
+            "(b) liveness + prefetch/offload",
+            Policy::liveness_offload(),
+        ),
         ("(c) + cost-aware recomputation", Policy::full_memory()),
     ] {
         let net = models::alexnet(200);
@@ -266,7 +272,9 @@ pub fn table2() -> String {
         let cuda = Session::new(net.clone(), titan(), Policy::superneurons_cuda_alloc())
             .run()
             .unwrap();
-        let pool = Session::new(net, titan(), Policy::superneurons()).run().unwrap();
+        let pool = Session::new(net, titan(), Policy::superneurons())
+            .run()
+            .unwrap();
         out.push((
             name.clone(),
             cuda.imgs_per_sec,
@@ -290,11 +298,7 @@ pub fn table2() -> String {
 /// Table 3 — PCIe traffic per iteration with and without the Tensor Cache,
 /// AlexNet at growing batch sizes.
 pub fn table3() -> String {
-    let mut t = TextTable::new(vec![
-        "batch",
-        "without cache (GB)",
-        "with cache (GB)",
-    ]);
+    let mut t = TextTable::new(vec!["batch", "without cache (GB)", "with cache (GB)"]);
     for batch in [256usize, 384, 512, 640, 896, 1024, 1536, 2048, 2560] {
         let net = models::alexnet(batch);
         let no_cache = Session::new(net.clone(), k40(), Policy::superneurons_no_cache()).run();
@@ -326,7 +330,9 @@ pub fn fig11() -> String {
         let without = Session::new(net.clone(), titan(), Policy::superneurons_no_cache())
             .run()
             .unwrap();
-        let with = Session::new(net, titan(), Policy::superneurons()).run().unwrap();
+        let with = Session::new(net, titan(), Policy::superneurons())
+            .run()
+            .unwrap();
         let norm = without.imgs_per_sec / with.imgs_per_sec;
         t.row(vec![name, format!("{norm:.2}"), "1.00".into()]);
     }
@@ -370,7 +376,9 @@ pub fn fig12() -> String {
     // around batch 480 — the behaviour (dynamic downgrades, then recovery
     // with a larger pool) is the artefact being reproduced.
     let (s, ips) = run(480, 3);
-    out.push_str(&format!("(b/c) batch=480, pool=3GB  ->  {ips:.0} img/s\n{s}"));
+    out.push_str(&format!(
+        "(b/c) batch=480, pool=3GB  ->  {ips:.0} img/s\n{s}"
+    ));
     let (s, ips) = run(480, 5);
     out.push_str(&format!("(d) batch=480, pool=5GB  ->  {ips:.0} img/s\n{s}"));
     out
@@ -400,15 +408,15 @@ pub fn table4(quick: bool) -> String {
 }
 
 /// The per-network search caps for Table 5.
-fn table5_nets(quick: bool) -> Vec<(&'static str, fn(usize) -> Net, usize)> {
+fn table5_nets(quick: bool) -> Vec<(&'static str, models::NetBuilder, usize)> {
     if quick {
         vec![
-            ("AlexNet", models::alexnet as fn(usize) -> Net, 4096),
+            ("AlexNet", models::alexnet as models::NetBuilder, 4096),
             ("ResNet50", models::resnet50, 1024),
         ]
     } else {
         vec![
-            ("AlexNet", models::alexnet as fn(usize) -> Net, 8192),
+            ("AlexNet", models::alexnet as models::NetBuilder, 8192),
             ("VGG16", models::vgg16, 1024),
             ("InceptionV4", models::inception_v4, 1024),
             ("ResNet50", models::resnet50, 2048),
@@ -471,7 +479,9 @@ pub fn fig13(quick: bool) -> String {
             }
             let net = build(b);
             let cost = NetCost::of(&net);
-            cells.push(gb(cost.sum_l_f() + cost.sum_l_b() + cost.total_weight_bytes()));
+            cells.push(gb(cost.sum_l_f()
+                + cost.sum_l_b()
+                + cost.total_weight_bytes()));
         }
         t.row(cells);
     }
@@ -502,8 +512,8 @@ fn fig14_grid(name: &str, quick: bool) -> Vec<usize> {
 /// Fig. 14 — end-to-end img/s vs batch for every network × framework
 /// (TITAN Xp). A `-` marks out-of-memory points (the curve's end).
 pub fn fig14(quick: bool) -> String {
-    let nets: Vec<(&str, fn(usize) -> Net)> = if quick {
-        vec![("AlexNet", models::alexnet as fn(usize) -> Net)]
+    let nets: Vec<(&str, models::NetBuilder)> = if quick {
+        vec![("AlexNet", models::alexnet as models::NetBuilder)]
     } else {
         models::evaluation_networks()
     };
@@ -546,8 +556,11 @@ pub fn run_all(quick: bool) -> String {
         ("table5", table5(quick)),
         ("fig13", fig13(quick)),
         ("fig14", fig14(quick)),
+        ("cluster", crate::cluster::cluster(quick)),
     ] {
-        out.push_str(&format!("\n==================== {id} ====================\n"));
+        out.push_str(&format!(
+            "\n==================== {id} ====================\n"
+        ));
         out.push_str(&text);
     }
     out

@@ -10,8 +10,10 @@
 //! micro-benchmarks live in `benches/`.
 
 pub mod ablation;
+pub mod cluster;
 pub mod experiments;
 pub mod table;
 
 pub use ablation::run_ablations;
+pub use cluster::cluster;
 pub use experiments::*;

@@ -1,0 +1,285 @@
+//! Memory-aware admission control.
+//!
+//! Before a job touches a device, the scheduler predicts its peak device
+//! bytes under each candidate policy preset with the runtime's own
+//! cost/liveness machinery ([`sn_runtime::predict_run`] walks the paper's
+//! `peak_m` progression: baseline `Σ l_f + Σ l_b` down to `max_i(l_i)` for
+//! the full stack). A job is only placed where its predicted peak fits the
+//! device's *unreserved* bytes, so the sum of reservations on a device can
+//! never exceed its DRAM — the central multi-tenancy invariant.
+//!
+//! Predictions are made against a device capped to the candidate budget
+//! (`spec.with_dram(budget)`), because the runtime adapts to pressure: the
+//! dynamic workspace policy and the Tensor Cache shrink their footprint when
+//! memory is scarce. The returned peak is the high-water mark of that exact
+//! adaptive schedule, so reserving it is sound by construction.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+
+use sn_runtime::{predict_run, PeakPrediction};
+use sn_sim::DeviceSpec;
+
+use crate::job::{JobSpec, PolicyPreset, Workload};
+
+/// Memoization key: everything the prediction depends on. Perf-relevant
+/// device fields are folded in bit-exactly so heterogeneous fleets that
+/// reuse a card name cannot alias.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct ProfileKey {
+    workload: Workload,
+    batch: usize,
+    preset: PolicyPreset,
+    device: String,
+    budget: u64,
+    gflops_bits: u64,
+    mem_bw_bits: u64,
+    h2d_bits: u64,
+    d2h_bits: u64,
+    unpinned_bits: u64,
+    malloc_base_ns: u64,
+    malloc_per_mib_ns: u64,
+    free_base_ns: u64,
+    kernel_launch_ns: u64,
+}
+
+impl ProfileKey {
+    fn new(
+        w: Workload,
+        batch: usize,
+        preset: PolicyPreset,
+        spec: &DeviceSpec,
+        budget: u64,
+    ) -> Self {
+        ProfileKey {
+            workload: w,
+            batch,
+            preset,
+            device: spec.name.clone(),
+            budget,
+            gflops_bits: spec.peak_gflops.to_bits(),
+            mem_bw_bits: spec.mem_bw_gbps.to_bits(),
+            h2d_bits: spec.pcie_h2d_gbps.to_bits(),
+            d2h_bits: spec.pcie_d2h_gbps.to_bits(),
+            unpinned_bits: spec.unpinned_factor.to_bits(),
+            malloc_base_ns: spec.malloc_base.0,
+            malloc_per_mib_ns: spec.malloc_per_mib.0,
+            free_base_ns: spec.free_base.0,
+            kernel_launch_ns: spec.kernel_launch.0,
+        }
+    }
+}
+
+/// Memoizing wrapper around [`sn_runtime::predict_run`]: the cluster loop
+/// re-evaluates queued jobs at every event, but distinct (workload, batch,
+/// preset, device, budget) tuples are few, so each prediction simulates at
+/// most once. `None` records "does not fit within this budget".
+#[derive(Default)]
+pub struct Profiler {
+    cache: RefCell<HashMap<ProfileKey, Option<PeakPrediction>>>,
+}
+
+impl Profiler {
+    pub fn new() -> Profiler {
+        Profiler::default()
+    }
+
+    /// Predicted cost of one replica of (`workload`, `batch`) under `preset`
+    /// on `spec` given `budget` bytes of device memory, or `None` if it
+    /// cannot run within the budget.
+    pub fn profile(
+        &self,
+        workload: Workload,
+        batch: usize,
+        preset: PolicyPreset,
+        spec: &DeviceSpec,
+        budget: u64,
+    ) -> Option<PeakPrediction> {
+        let key = ProfileKey::new(workload, batch, preset, spec, budget);
+        if let Some(hit) = self.cache.borrow().get(&key) {
+            return *hit;
+        }
+        let net = workload.build(batch);
+        let capped = spec.clone().with_dram(budget);
+        let result = predict_run(&net, &capped, preset.policy()).ok();
+        self.cache.borrow_mut().insert(key, result);
+        result
+    }
+
+    /// Number of distinct predictions simulated so far.
+    pub fn simulated(&self) -> usize {
+        self.cache.borrow().len()
+    }
+}
+
+/// A successful admission: the preset the job will actually run under (may
+/// be memory-stronger than requested), the chosen devices, and the per-device
+/// reservation + timing profile of each replica.
+#[derive(Debug, Clone)]
+pub struct Grant {
+    pub preset: PolicyPreset,
+    /// `(device index, replica profile)` — one entry per replica, distinct
+    /// devices (gang scheduling).
+    pub placements: Vec<(usize, PeakPrediction)>,
+}
+
+impl Grant {
+    /// The slowest replica's iteration time — the gang's lockstep pace.
+    pub fn replica_iter_time(&self) -> sn_sim::SimTime {
+        self.placements
+            .iter()
+            .map(|(_, p)| p.iter_time)
+            .max()
+            .unwrap_or(sn_sim::SimTime::ZERO)
+    }
+
+    /// Gradient payload for the gang's per-iteration all-reduce.
+    pub fn weight_bytes(&self) -> u64 {
+        self.placements
+            .first()
+            .map(|(_, p)| p.weight_bytes)
+            .unwrap_or(0)
+    }
+}
+
+/// Prediction budget for a device with `free` unreserved bytes: rounded
+/// *down* to a 1/32-of-DRAM quantum. Sound (the predicted peak fits under
+/// the real free space) and it collapses the profiler's memo key space to at
+/// most 32 budgets per device. Admission and the idle-fleet feasibility
+/// check MUST use the same rounding, or a boundary job could be judged
+/// feasible yet never admitted.
+pub fn quantized_budget(spec: &DeviceSpec, free: u64) -> u64 {
+    let quantum = (spec.dram_bytes / 32).max(1);
+    free - free % quantum
+}
+
+/// Check whether `job` could run on an *idle* fleet — the "reject vs queue"
+/// discriminator. Walks the same preset ladder (and budget rounding) that
+/// admission uses.
+pub fn feasible_on_idle_fleet(
+    profiler: &Profiler,
+    fleet: &crate::fleet::Fleet,
+    job: &JobSpec,
+) -> bool {
+    if job.replicas == 0 || job.replicas > fleet.len() {
+        return false;
+    }
+    for preset in ladder_for(job) {
+        let fitting = fleet
+            .devices
+            .iter()
+            .filter(|spec| {
+                let budget = quantized_budget(spec, spec.dram_bytes);
+                budget > 0
+                    && profiler
+                        .profile(job.workload, job.batch, preset, spec, budget)
+                        .is_some()
+            })
+            .count();
+        if fitting >= job.replicas {
+            return true;
+        }
+    }
+    false
+}
+
+/// The preset sequence admission tries for `job`.
+pub fn ladder_for(job: &JobSpec) -> Vec<PolicyPreset> {
+    if job.allow_downgrade {
+        job.preset.ladder().collect()
+    } else {
+        vec![job.preset]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fleet::Fleet;
+    use sn_runtime::Interconnect;
+
+    fn tiny_fleet(dram: u64) -> Fleet {
+        Fleet::homogeneous(2, DeviceSpec::k40c().with_dram(dram), Interconnect::pcie())
+    }
+
+    #[test]
+    fn profiler_memoizes() {
+        let p = Profiler::new();
+        let w = Workload::Synthetic { width: 8, depth: 2 };
+        let spec = DeviceSpec::k40c();
+        let a = p.profile(w, 8, PolicyPreset::Superneurons, &spec, spec.dram_bytes);
+        let b = p.profile(w, 8, PolicyPreset::Superneurons, &spec, spec.dram_bytes);
+        assert_eq!(a, b);
+        assert_eq!(p.simulated(), 1);
+        p.profile(w, 8, PolicyPreset::Baseline, &spec, spec.dram_bytes);
+        assert_eq!(p.simulated(), 2);
+    }
+
+    #[test]
+    fn prediction_respects_budget() {
+        let p = Profiler::new();
+        let w = Workload::Synthetic {
+            width: 32,
+            depth: 6,
+        };
+        let spec = DeviceSpec::k40c();
+        let full = p
+            .profile(w, 32, PolicyPreset::Superneurons, &spec, spec.dram_bytes)
+            .expect("fits a 12 GB device");
+        assert!(full.peak_bytes <= spec.dram_bytes);
+        // Within a tiny budget the same job must either adapt below the
+        // budget or be declared infeasible — never "fit" above it.
+        let budget = 16 << 20;
+        if let Some(tight) = p.profile(w, 32, PolicyPreset::Superneurons, &spec, budget) {
+            assert!(tight.peak_bytes <= budget);
+        }
+    }
+
+    #[test]
+    fn stronger_presets_predict_smaller_peaks() {
+        let p = Profiler::new();
+        let w = Workload::Synthetic {
+            width: 32,
+            depth: 8,
+        };
+        let spec = DeviceSpec::k40c();
+        let base = p
+            .profile(w, 16, PolicyPreset::Baseline, &spec, spec.dram_bytes)
+            .unwrap();
+        let sn = p
+            .profile(w, 16, PolicyPreset::Superneurons, &spec, spec.dram_bytes)
+            .unwrap();
+        assert!(
+            sn.peak_bytes < base.peak_bytes,
+            "superneurons {} must undercut baseline {}",
+            sn.peak_bytes,
+            base.peak_bytes
+        );
+    }
+
+    #[test]
+    fn infeasible_jobs_are_detected_on_idle_fleet() {
+        let profiler = Profiler::new();
+        // 32 MB devices: a wide synthetic net under pure baseline won't fit
+        // (peak ≈ 262 MB), but the adaptive full stack squeezes under the
+        // cap (peak ≈ 30 MB).
+        let fleet = tiny_fleet(32 << 20);
+        let job = JobSpec::new(
+            "big",
+            Workload::Synthetic {
+                width: 64,
+                depth: 8,
+            },
+            32,
+        )
+        .with_preset(PolicyPreset::Baseline)
+        .with_downgrade(false);
+        assert!(!feasible_on_idle_fleet(&profiler, &fleet, &job));
+        // With the downgrade ladder the full memory stack squeezes it in.
+        let job = job.with_downgrade(true);
+        assert!(feasible_on_idle_fleet(&profiler, &fleet, &job));
+        // More replicas than devices is never feasible.
+        let gang = JobSpec::new("gang", Workload::LeNet, 8).with_replicas(3);
+        assert!(!feasible_on_idle_fleet(&profiler, &fleet, &gang));
+    }
+}

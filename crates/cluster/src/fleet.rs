@@ -1,0 +1,58 @@
+//! The device fleet: a set of (possibly heterogeneous) simulated GPUs plus
+//! the interconnect gang-scheduled replicas exchange gradients over.
+
+use sn_runtime::Interconnect;
+use sn_sim::DeviceSpec;
+
+/// A cluster of simulated devices.
+#[derive(Clone)]
+pub struct Fleet {
+    pub devices: Vec<DeviceSpec>,
+    pub interconnect: Interconnect,
+}
+
+impl Fleet {
+    /// `n` identical devices.
+    pub fn homogeneous(n: usize, spec: DeviceSpec, interconnect: Interconnect) -> Fleet {
+        Fleet {
+            devices: vec![spec; n],
+            interconnect,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.devices.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.devices.is_empty()
+    }
+
+    /// Aggregate DRAM across the fleet.
+    pub fn total_dram(&self) -> u64 {
+        self.devices.iter().map(|d| d.dram_bytes).sum()
+    }
+
+    /// The largest single-device DRAM — the upper bound any one replica's
+    /// reservation can ever reach.
+    pub fn max_device_dram(&self) -> u64 {
+        self.devices.iter().map(|d| d.dram_bytes).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn homogeneous_fleet_sums_dram() {
+        let f = Fleet::homogeneous(
+            4,
+            DeviceSpec::k40c().with_dram(1 << 30),
+            Interconnect::pcie(),
+        );
+        assert_eq!(f.len(), 4);
+        assert_eq!(f.total_dram(), 4 << 30);
+        assert_eq!(f.max_device_dram(), 1 << 30);
+    }
+}

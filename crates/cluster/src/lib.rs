@@ -1,0 +1,53 @@
+//! # sn-cluster — multi-tenant, memory-aware cluster scheduling over the
+//! SuperNeurons runtime
+//!
+//! The paper scopes SuperNeurons to one GPU: its memory-scheduling policies
+//! (`baseline` → `liveness` → `+offload` → `+cost-aware recompute`) shrink a
+//! single job's `peak_m` from `Σ l_f + Σ l_b` toward `max_i(l_i)`. This
+//! crate lifts that lever to fleet scope: when the scheduler can *predict*
+//! each job's peak per policy, policy choice becomes a cluster-capacity
+//! knob — a device that fits one `baseline` tenant fits several
+//! `superneurons` tenants, and admission can trade (virtual) recompute/PCIe
+//! time for tenancy.
+//!
+//! Pieces:
+//!
+//! * [`job`] — [`JobSpec`]/[`Workload`]/[`PolicyPreset`]: what a tenant
+//!   wants to train and under which policy ladder;
+//! * [`fleet`] — [`Fleet`]: the (heterogeneous) device pool + interconnect;
+//! * [`admission`] — memoized peak prediction via the runtime's own
+//!   cost/liveness machinery ([`sn_runtime::predict_run`]) and the
+//!   reject/queue/downgrade decision;
+//! * [`placement`] — first-fit / best-fit / bin-packing device selection;
+//! * [`sim`] — [`ClusterSim`]: the deterministic virtual-time event loop
+//!   with processor-sharing compute and hard memory reservations, gang
+//!   scheduling multi-replica jobs through the data-parallel model;
+//! * [`report`] — [`ClusterReport`]: per-job latency/queueing, fleet
+//!   throughput + utilization, the byte-stable schedule trace, and JSON
+//!   rendering for `BENCH_cluster.json`;
+//! * [`stream`] — reproducible synthetic job streams.
+//!
+//! Invariants the test suite enforces:
+//!
+//! 1. **Admission safety** — a job is only placed where its predicted peak
+//!    fits the device's unreserved bytes; reservations never exceed DRAM.
+//! 2. **Determinism** — identical job streams produce byte-identical
+//!    schedule fingerprints.
+//! 3. **Gang atomicity** — all replicas of a job start at the same instant
+//!    on distinct devices, or none do.
+
+pub mod admission;
+pub mod fleet;
+pub mod job;
+pub mod placement;
+pub mod report;
+pub mod sim;
+pub mod stream;
+
+pub use admission::{feasible_on_idle_fleet, Grant, Profiler};
+pub use fleet::Fleet;
+pub use job::{JobSpec, PolicyPreset, Workload};
+pub use placement::PlacementPolicy;
+pub use report::{ClusterReport, JobOutcome, TraceEvent, TraceKind};
+pub use sim::ClusterSim;
+pub use stream::synthetic_stream;

@@ -1,0 +1,119 @@
+//! Placement: which devices a (gang of) replica(s) lands on.
+//!
+//! All policies only consider devices where the replica's predicted peak
+//! fits the *unreserved* bytes — placement chooses among feasible options,
+//! admission decides feasibility. Ties always break toward the lowest device
+//! index, which keeps schedules deterministic.
+
+use sn_runtime::PeakPrediction;
+
+/// Device-selection strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PlacementPolicy {
+    /// Lowest-indexed devices that fit. Fast, fragments memory.
+    FirstFit,
+    /// Devices where the replica leaves the least unreserved memory behind
+    /// (classic best-fit): preserves large holes for large future jobs.
+    BestFit,
+    /// Memory-aware bin-packing: prefer the *most-reserved* device that
+    /// still fits, consolidating tenants onto few devices so whole devices
+    /// stay empty for big gangs.
+    BinPack,
+}
+
+impl PlacementPolicy {
+    pub const ALL: [PlacementPolicy; 3] = [
+        PlacementPolicy::FirstFit,
+        PlacementPolicy::BestFit,
+        PlacementPolicy::BinPack,
+    ];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            PlacementPolicy::FirstFit => "first_fit",
+            PlacementPolicy::BestFit => "best_fit",
+            PlacementPolicy::BinPack => "bin_pack",
+        }
+    }
+
+    /// Choose `replicas` distinct devices from `candidates` — the feasible
+    /// `(device index, unreserved bytes, reserved bytes, replica profile)`
+    /// tuples. Returns the chosen `(device, profile)` pairs, or `None` if
+    /// fewer than `replicas` devices are feasible (gangs are atomic: all or
+    /// nothing).
+    pub fn choose(
+        self,
+        mut candidates: Vec<(usize, u64, u64, PeakPrediction)>,
+        replicas: usize,
+    ) -> Option<Vec<(usize, PeakPrediction)>> {
+        if candidates.len() < replicas {
+            return None;
+        }
+        match self {
+            PlacementPolicy::FirstFit => candidates.sort_by_key(|(idx, ..)| *idx),
+            PlacementPolicy::BestFit => {
+                candidates.sort_by_key(|(idx, free, _, p)| (free - p.peak_bytes, *idx))
+            }
+            PlacementPolicy::BinPack => {
+                candidates.sort_by_key(|(idx, _, reserved, _)| (std::cmp::Reverse(*reserved), *idx))
+            }
+        }
+        Some(
+            candidates
+                .into_iter()
+                .take(replicas)
+                .map(|(idx, _, _, p)| (idx, p))
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sn_sim::SimTime;
+
+    fn profile(peak: u64) -> PeakPrediction {
+        PeakPrediction {
+            peak_bytes: peak,
+            iter_time: SimTime::from_us(100),
+            weight_bytes: 1,
+        }
+    }
+
+    // (device, free, reserved, profile)
+    fn candidates() -> Vec<(usize, u64, u64, PeakPrediction)> {
+        vec![
+            (0, 1000, 0, profile(100)),
+            (1, 300, 700, profile(100)),
+            (2, 500, 500, profile(100)),
+        ]
+    }
+
+    #[test]
+    fn first_fit_takes_lowest_indices() {
+        let got = PlacementPolicy::FirstFit.choose(candidates(), 2).unwrap();
+        assert_eq!(got.iter().map(|(d, _)| *d).collect::<Vec<_>>(), vec![0, 1]);
+    }
+
+    #[test]
+    fn best_fit_minimizes_leftover() {
+        let got = PlacementPolicy::BestFit.choose(candidates(), 1).unwrap();
+        assert_eq!(got[0].0, 1, "300-100 leaves the smallest hole");
+    }
+
+    #[test]
+    fn bin_pack_prefers_fullest_device() {
+        let got = PlacementPolicy::BinPack.choose(candidates(), 1).unwrap();
+        assert_eq!(got[0].0, 1, "device 1 already holds 700 reserved bytes");
+    }
+
+    #[test]
+    fn gangs_are_all_or_nothing() {
+        assert!(PlacementPolicy::FirstFit.choose(candidates(), 4).is_none());
+        let got = PlacementPolicy::BinPack.choose(candidates(), 3).unwrap();
+        let mut devs: Vec<_> = got.iter().map(|(d, _)| *d).collect();
+        devs.sort_unstable();
+        assert_eq!(devs, vec![0, 1, 2]);
+    }
+}

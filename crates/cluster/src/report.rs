@@ -1,0 +1,343 @@
+//! Reports: per-job outcomes, fleet-wide serving metrics, the deterministic
+//! schedule trace, and a dependency-free JSON rendering for `BENCH_*.json`
+//! artifacts.
+
+use sn_sim::SimTime;
+
+use crate::fleet::Fleet;
+use crate::job::{JobSpec, PolicyPreset};
+use crate::placement::PlacementPolicy;
+
+/// What happened at one scheduling instant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceKind {
+    Arrive,
+    Admit {
+        preset: PolicyPreset,
+        devices: Vec<usize>,
+        reservations: Vec<u64>,
+    },
+    Reject {
+        reason: String,
+    },
+    Complete,
+}
+
+/// One schedule-trace entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    pub t_ns: u64,
+    pub job: String,
+    pub kind: TraceKind,
+}
+
+impl TraceEvent {
+    /// Stable one-line rendering; the concatenation over a run is the
+    /// schedule fingerprint determinism tests compare byte-for-byte.
+    pub fn render(&self) -> String {
+        match &self.kind {
+            TraceKind::Arrive => format!("[{:>12}ns] ARRIVE   {}", self.t_ns, self.job),
+            TraceKind::Admit {
+                preset,
+                devices,
+                reservations,
+            } => format!(
+                "[{:>12}ns] ADMIT    {} preset={} devices={:?} reserve={:?}",
+                self.t_ns,
+                self.job,
+                preset.name(),
+                devices,
+                reservations
+            ),
+            TraceKind::Reject { reason } => {
+                format!("[{:>12}ns] REJECT   {} ({reason})", self.t_ns, self.job)
+            }
+            TraceKind::Complete => format!("[{:>12}ns] COMPLETE {}", self.t_ns, self.job),
+        }
+    }
+}
+
+/// Final state of one submitted job.
+#[derive(Debug, Clone)]
+pub struct JobOutcome {
+    pub name: String,
+    pub workload: String,
+    pub batch: usize,
+    pub replicas: usize,
+    pub requested: PolicyPreset,
+    /// Preset actually granted (may be memory-stronger than requested).
+    pub granted: Option<PolicyPreset>,
+    pub devices: Vec<usize>,
+    /// Per-replica reserved bytes, parallel to `devices`.
+    pub reservations: Vec<u64>,
+    pub arrival: SimTime,
+    pub started: Option<SimTime>,
+    pub completion: Option<SimTime>,
+    pub rejected: Option<String>,
+}
+
+impl JobOutcome {
+    pub(crate) fn pending(job: &JobSpec, arrival: SimTime) -> JobOutcome {
+        JobOutcome {
+            name: job.name.clone(),
+            workload: job.workload.label(),
+            batch: job.batch,
+            replicas: job.replicas,
+            requested: job.preset,
+            granted: None,
+            devices: Vec::new(),
+            reservations: Vec::new(),
+            arrival,
+            started: None,
+            completion: None,
+            rejected: None,
+        }
+    }
+
+    /// Admission wait: start − arrival.
+    pub fn queueing(&self) -> Option<SimTime> {
+        self.started.map(|s| s.saturating_sub(self.arrival))
+    }
+
+    /// End-to-end latency: completion − arrival.
+    pub fn latency(&self) -> Option<SimTime> {
+        self.completion.map(|c| c.saturating_sub(self.arrival))
+    }
+}
+
+/// Fleet-wide results of one simulation run.
+#[derive(Debug, Clone)]
+pub struct ClusterReport {
+    pub placement: PlacementPolicy,
+    pub fleet_devices: usize,
+    pub fleet_dram_bytes: u64,
+    pub jobs: Vec<JobOutcome>,
+    pub trace: Vec<TraceEvent>,
+    pub makespan: SimTime,
+    pub completed: usize,
+    pub rejected: usize,
+    /// Completed jobs per virtual second over the makespan.
+    pub jobs_per_sec: f64,
+    pub p50_latency: SimTime,
+    pub p99_latency: SimTime,
+    pub mean_queueing: SimTime,
+    /// Fraction of device-time with at least one tenant.
+    pub compute_utilization: f64,
+    /// Fraction of fleet DRAM-time held by reservations.
+    pub memory_utilization: f64,
+    /// Most gangs running at once, cluster-wide.
+    pub peak_concurrent_jobs: usize,
+    /// Per-device high-water reserved bytes.
+    pub peak_reserved: Vec<u64>,
+    /// Per-device high-water tenant count.
+    pub peak_tenants: Vec<usize>,
+    /// Distinct admission predictions the profiler simulated.
+    pub predictions_simulated: usize,
+}
+
+fn percentile(sorted: &[SimTime], q: f64) -> SimTime {
+    if sorted.is_empty() {
+        return SimTime::ZERO;
+    }
+    let rank = (q * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+impl ClusterReport {
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn assemble(
+        fleet: &Fleet,
+        placement: PlacementPolicy,
+        jobs: Vec<JobOutcome>,
+        trace: Vec<TraceEvent>,
+        makespan: SimTime,
+        device_stats: Vec<(f64, f64, u64, usize)>, // (busy_ns, reserved_integral, peak_reserved, peak_tenants)
+        peak_concurrent_jobs: usize,
+        predictions_simulated: usize,
+    ) -> ClusterReport {
+        let completed = jobs.iter().filter(|j| j.completion.is_some()).count();
+        let rejected = jobs.iter().filter(|j| j.rejected.is_some()).count();
+        let mut latencies: Vec<SimTime> = jobs.iter().filter_map(|j| j.latency()).collect();
+        latencies.sort_unstable();
+        let queueing: Vec<SimTime> = jobs.iter().filter_map(|j| j.queueing()).collect();
+        let mean_queueing = if queueing.is_empty() {
+            SimTime::ZERO
+        } else {
+            SimTime(queueing.iter().map(|t| t.0).sum::<u64>() / queueing.len() as u64)
+        };
+        let span_ns = makespan.0.max(1) as f64;
+        let compute_utilization = device_stats.iter().map(|(b, ..)| b).sum::<f64>()
+            / (span_ns * fleet.len().max(1) as f64);
+        let memory_utilization = device_stats.iter().map(|(_, m, ..)| m).sum::<f64>()
+            / (span_ns * fleet.total_dram().max(1) as f64);
+        ClusterReport {
+            placement,
+            fleet_devices: fleet.len(),
+            fleet_dram_bytes: fleet.total_dram(),
+            jobs_per_sec: completed as f64 / makespan.as_secs_f64().max(f64::MIN_POSITIVE),
+            p50_latency: percentile(&latencies, 0.50),
+            p99_latency: percentile(&latencies, 0.99),
+            mean_queueing,
+            compute_utilization,
+            memory_utilization,
+            peak_concurrent_jobs,
+            peak_reserved: device_stats.iter().map(|(_, _, p, _)| *p).collect(),
+            peak_tenants: device_stats.iter().map(|(_, _, _, t)| *t).collect(),
+            predictions_simulated,
+            jobs,
+            trace,
+            makespan,
+            completed,
+            rejected,
+        }
+    }
+
+    /// The whole schedule as one string — byte-identical across runs of the
+    /// same job stream (the determinism contract).
+    pub fn schedule_fingerprint(&self) -> String {
+        let mut out = String::new();
+        for e in &self.trace {
+            out.push_str(&e.render());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Human-readable summary.
+    pub fn render_text(&self) -> String {
+        let mut s = String::new();
+        s.push_str(&format!(
+            "cluster[{} devices, {:.1} GB DRAM, placement={}]\n",
+            self.fleet_devices,
+            self.fleet_dram_bytes as f64 / (1u64 << 30) as f64,
+            self.placement.name()
+        ));
+        s.push_str(&format!(
+            "  jobs: {} submitted / {} completed / {} rejected\n",
+            self.jobs.len(),
+            self.completed,
+            self.rejected
+        ));
+        s.push_str(&format!(
+            "  makespan {:.3} s   throughput {:.2} jobs/s   peak concurrency {}\n",
+            self.makespan.as_secs_f64(),
+            self.jobs_per_sec,
+            self.peak_concurrent_jobs
+        ));
+        s.push_str(&format!(
+            "  latency p50 {:.3} s  p99 {:.3} s   mean queueing {:.3} s\n",
+            self.p50_latency.as_secs_f64(),
+            self.p99_latency.as_secs_f64(),
+            self.mean_queueing.as_secs_f64()
+        ));
+        s.push_str(&format!(
+            "  utilization: compute {:.1}%  memory {:.1}%   ({} admission predictions)\n",
+            100.0 * self.compute_utilization,
+            100.0 * self.memory_utilization,
+            self.predictions_simulated
+        ));
+        s
+    }
+
+    /// Machine-readable JSON (hand-rolled: the workspace builds offline,
+    /// without serde_json). Shape is stable for downstream trend tracking.
+    pub fn to_json(&self) -> String {
+        let mut jobs = String::new();
+        for (i, j) in self.jobs.iter().enumerate() {
+            if i > 0 {
+                jobs.push(',');
+            }
+            jobs.push_str(&format!(
+                "{{\"name\":{},\"workload\":{},\"batch\":{},\"replicas\":{},\
+                 \"requested\":{},\"granted\":{},\"devices\":{:?},\
+                 \"arrival_ns\":{},\"queueing_ns\":{},\"latency_ns\":{},\"rejected\":{}}}",
+                json_str(&j.name),
+                json_str(&j.workload),
+                j.batch,
+                j.replicas,
+                json_str(j.requested.name()),
+                j.granted
+                    .map(|p| json_str(p.name()))
+                    .unwrap_or("null".into()),
+                j.devices,
+                j.arrival.0,
+                j.queueing()
+                    .map(|t| t.0.to_string())
+                    .unwrap_or("null".into()),
+                j.latency()
+                    .map(|t| t.0.to_string())
+                    .unwrap_or("null".into()),
+                j.rejected.as_deref().map(json_str).unwrap_or("null".into()),
+            ));
+        }
+        format!(
+            "{{\"placement\":{},\"devices\":{},\"fleet_dram_bytes\":{},\
+             \"submitted\":{},\"completed\":{},\"rejected\":{},\
+             \"makespan_ns\":{},\"jobs_per_sec\":{:.6},\
+             \"p50_latency_ns\":{},\"p99_latency_ns\":{},\"mean_queueing_ns\":{},\
+             \"compute_utilization\":{:.6},\"memory_utilization\":{:.6},\
+             \"peak_concurrent_jobs\":{},\"predictions_simulated\":{},\
+             \"jobs\":[{}]}}",
+            json_str(self.placement.name()),
+            self.fleet_devices,
+            self.fleet_dram_bytes,
+            self.jobs.len(),
+            self.completed,
+            self.rejected,
+            self.makespan.0,
+            self.jobs_per_sec,
+            self.p50_latency.0,
+            self.p99_latency.0,
+            self.mean_queueing.0,
+            self.compute_utilization,
+            self.memory_utilization,
+            self.peak_concurrent_jobs,
+            self.predictions_simulated,
+            jobs
+        )
+    }
+}
+
+/// Minimal JSON string escaping (quotes, backslash, control chars).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_conventions() {
+        let v: Vec<SimTime> = (1..=100).map(SimTime::from_us).collect();
+        assert_eq!(percentile(&v, 0.50), SimTime::from_us(50));
+        assert_eq!(percentile(&v, 0.99), SimTime::from_us(99));
+        assert_eq!(percentile(&v, 1.0), SimTime::from_us(100));
+        assert_eq!(percentile(&[], 0.5), SimTime::ZERO);
+        assert_eq!(
+            percentile(&[SimTime::from_us(7)], 0.99),
+            SimTime::from_us(7)
+        );
+    }
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_str("plain"), "\"plain\"");
+        assert_eq!(json_str("a\"b\\c"), "\"a\\\"b\\\\c\"");
+        assert_eq!(json_str("x\ny"), "\"x\\ny\"");
+    }
+}

@@ -1,0 +1,312 @@
+//! The discrete-event cluster scheduler.
+//!
+//! Virtual time advances from event to event: job arrivals, gang
+//! completions, and the admission/placement pass that follows each of them.
+//! Devices are shared by time-multiplexing: a device running `k` tenants
+//! gives each `1/k` of its throughput (processor sharing), and a gang runs
+//! in lockstep at the pace of its slowest replica. Memory, by contrast, is
+//! *partitioned*: every replica holds a hard reservation equal to its
+//! predicted peak from admission until the job completes, so co-tenants can
+//! never push each other out of DRAM — the failure mode the paper's
+//! single-job runtime eliminates on one device, lifted to fleet scope.
+//!
+//! Everything is deterministic: event ties are broken by job index, queue
+//! order is FIFO (with backfill past a blocked head), and the RNG-free state
+//! machine is a pure function of the input job stream — identical streams
+//! produce byte-identical schedule traces.
+
+use sn_runtime::ring_allreduce_time;
+use sn_sim::SimTime;
+
+use crate::admission::{feasible_on_idle_fleet, ladder_for, Grant, Profiler};
+use crate::fleet::Fleet;
+use crate::job::JobSpec;
+use crate::placement::PlacementPolicy;
+use crate::report::{ClusterReport, JobOutcome, TraceEvent, TraceKind};
+
+/// Per-device mutable state during a simulation run.
+#[derive(Debug, Clone, Default)]
+struct DeviceState {
+    reserved: u64,
+    tenants: usize,
+    /// Wall time (ns) with at least one tenant.
+    busy_ns: f64,
+    /// ∫ reserved(t) dt, in byte·ns — memory utilization numerator.
+    reserved_integral: f64,
+    peak_reserved: u64,
+    peak_tenants: usize,
+}
+
+/// A gang currently executing.
+#[derive(Debug, Clone)]
+struct Running {
+    job: usize,
+    grant: Grant,
+    /// Remaining work in ns of *solo* execution time.
+    remaining_ns: f64,
+}
+
+/// The cluster scheduler: a fleet, a placement policy, and a memoizing
+/// admission profiler.
+pub struct ClusterSim {
+    pub fleet: Fleet,
+    pub placement: PlacementPolicy,
+    profiler: Profiler,
+}
+
+impl ClusterSim {
+    pub fn new(fleet: Fleet, placement: PlacementPolicy) -> ClusterSim {
+        assert!(!fleet.is_empty(), "cluster needs at least one device");
+        ClusterSim {
+            fleet,
+            placement,
+            profiler: Profiler::new(),
+        }
+    }
+
+    /// The admission decision for `job` against the current reservations:
+    /// walk the job's preset ladder; under each preset, collect the devices
+    /// whose unreserved bytes admit the replica's predicted peak and let the
+    /// placement policy pick a gang.
+    ///
+    /// The prediction budget is the device's free bytes rounded *down* to a
+    /// 1/32-of-DRAM quantum: still sound (the predicted peak fits under the
+    /// real free space), but the profiler's memo key space collapses from
+    /// "every reservation state ever" to at most 32 budgets per device.
+    fn try_admit(&self, devices: &[DeviceState], job: &JobSpec) -> Option<Grant> {
+        if job.replicas == 0 {
+            return None; // an empty gang is not a schedulable job
+        }
+        for preset in ladder_for(job) {
+            let candidates: Vec<_> = self
+                .fleet
+                .devices
+                .iter()
+                .enumerate()
+                .filter_map(|(idx, spec)| {
+                    let free = spec.dram_bytes.saturating_sub(devices[idx].reserved);
+                    let budget = crate::admission::quantized_budget(spec, free);
+                    if budget == 0 {
+                        return None;
+                    }
+                    self.profiler
+                        .profile(job.workload, job.batch, preset, spec, budget)
+                        .map(|p| (idx, free, devices[idx].reserved, p))
+                })
+                .collect();
+            if let Some(placements) = self.placement.choose(candidates, job.replicas) {
+                return Some(Grant { preset, placements });
+            }
+        }
+        None
+    }
+
+    /// One gang iteration's solo duration: slowest replica + ring all-reduce
+    /// across the fleet interconnect.
+    fn step_time(&self, job: &JobSpec, grant: &Grant) -> SimTime {
+        grant.replica_iter_time()
+            + ring_allreduce_time(grant.weight_bytes(), job.replicas, self.fleet.interconnect)
+    }
+
+    /// Gang slowdown under processor sharing: the most-loaded of its devices
+    /// sets the pace (each of `k` tenants gets `1/k` of a device).
+    fn slowdown(devices: &[DeviceState], r: &Running) -> f64 {
+        r.grant
+            .placements
+            .iter()
+            .map(|(d, _)| devices[*d].tenants)
+            .max()
+            .unwrap_or(1)
+            .max(1) as f64
+    }
+
+    /// Run the job stream to completion and report. `arrivals` pairs each
+    /// job with its (virtual) submission time; same-time jobs keep their
+    /// input order in the queue.
+    pub fn run(&mut self, arrivals: Vec<(SimTime, JobSpec)>) -> ClusterReport {
+        let mut arrivals = arrivals;
+        arrivals.sort_by_key(|(t, _)| *t); // stable: ties keep input order
+
+        let n_jobs = arrivals.len();
+        let mut outcomes: Vec<JobOutcome> = arrivals
+            .iter()
+            .map(|(t, j)| JobOutcome::pending(j, *t))
+            .collect();
+        let specs: Vec<JobSpec> = arrivals.iter().map(|(_, j)| j.clone()).collect();
+
+        let mut devices = vec![DeviceState::default(); self.fleet.len()];
+        let mut trace: Vec<TraceEvent> = Vec::new();
+        let mut pending: Vec<usize> = Vec::new(); // FIFO queue of job indices
+        let mut running: Vec<Running> = Vec::new();
+        let mut next_arrival = 0usize;
+        let mut now_ns = 0f64;
+        let mut peak_concurrent = 0usize;
+
+        loop {
+            // Projected completion per running gang (f64-exact, so the same
+            // expression below re-identifies the completing jobs).
+            let projections: Vec<f64> = running
+                .iter()
+                .map(|r| now_ns + r.remaining_ns * Self::slowdown(&devices, r))
+                .collect();
+            let t_completion = projections.iter().copied().fold(f64::INFINITY, f64::min);
+            let t_arrival = arrivals
+                .get(next_arrival)
+                .map(|(t, _)| t.0 as f64)
+                .unwrap_or(f64::INFINITY);
+            let t_next = t_completion.min(t_arrival);
+            if t_next.is_infinite() {
+                debug_assert!(pending.is_empty(), "queued jobs with no future events");
+                break;
+            }
+
+            // Advance the clock: work progresses, accounting integrates.
+            let dt = t_next - now_ns;
+            if dt > 0.0 {
+                for r in running.iter_mut() {
+                    r.remaining_ns -= dt / Self::slowdown(&devices, r);
+                }
+                for d in devices.iter_mut() {
+                    if d.tenants > 0 {
+                        d.busy_ns += dt;
+                    }
+                    d.reserved_integral += d.reserved as f64 * dt;
+                }
+            }
+            now_ns = t_next;
+
+            // Completions first (freeing capacity for same-instant arrivals),
+            // lowest job index first. Partition rather than remove-by-index:
+            // several gangs can finish at the same instant.
+            let mut done: Vec<Running> = Vec::new();
+            let mut still_running = Vec::with_capacity(running.len());
+            for (i, r) in running.into_iter().enumerate() {
+                if projections[i] == t_next {
+                    done.push(r);
+                } else {
+                    still_running.push(r);
+                }
+            }
+            running = still_running;
+            done.sort_by_key(|r| r.job);
+            for r in done {
+                for (d, p) in &r.grant.placements {
+                    devices[*d].reserved -= p.peak_bytes;
+                    devices[*d].tenants -= 1;
+                }
+                outcomes[r.job].completion = Some(SimTime(now_ns.round() as u64));
+                trace.push(TraceEvent {
+                    t_ns: now_ns.round() as u64,
+                    job: specs[r.job].name.clone(),
+                    kind: TraceKind::Complete,
+                });
+            }
+
+            // Arrivals at this instant join the queue in input order.
+            while next_arrival < n_jobs && arrivals[next_arrival].0 .0 as f64 == t_next {
+                pending.push(next_arrival);
+                trace.push(TraceEvent {
+                    t_ns: arrivals[next_arrival].0 .0,
+                    job: specs[next_arrival].name.clone(),
+                    kind: TraceKind::Arrive,
+                });
+                next_arrival += 1;
+            }
+
+            // Admission/placement pass: FIFO with backfill — a blocked job
+            // stays queued while later, smaller jobs may slot in behind it.
+            let mut still_pending = Vec::with_capacity(pending.len());
+            for &job_idx in pending.iter() {
+                let job = &specs[job_idx];
+                match self.try_admit(&devices, job) {
+                    Some(grant) => {
+                        let step = self.step_time(job, &grant);
+                        let work_ns = step.0 as f64 * job.iterations as f64;
+                        for (d, p) in &grant.placements {
+                            devices[*d].reserved += p.peak_bytes;
+                            devices[*d].tenants += 1;
+                            devices[*d].peak_reserved =
+                                devices[*d].peak_reserved.max(devices[*d].reserved);
+                            devices[*d].peak_tenants =
+                                devices[*d].peak_tenants.max(devices[*d].tenants);
+                            debug_assert!(
+                                devices[*d].reserved <= self.fleet.devices[*d].dram_bytes,
+                                "reservation exceeds device {d} DRAM"
+                            );
+                        }
+                        let out = &mut outcomes[job_idx];
+                        out.started = Some(SimTime(now_ns.round() as u64));
+                        out.granted = Some(grant.preset);
+                        out.devices = grant.placements.iter().map(|(d, _)| *d).collect();
+                        out.reservations =
+                            grant.placements.iter().map(|(_, p)| p.peak_bytes).collect();
+                        trace.push(TraceEvent {
+                            t_ns: now_ns.round() as u64,
+                            job: job.name.clone(),
+                            kind: TraceKind::Admit {
+                                preset: grant.preset,
+                                devices: out.devices.clone(),
+                                reservations: out.reservations.clone(),
+                            },
+                        });
+                        running.push(Running {
+                            job: job_idx,
+                            grant,
+                            remaining_ns: work_ns,
+                        });
+                    }
+                    None => {
+                        if feasible_on_idle_fleet(&self.profiler, &self.fleet, job) {
+                            still_pending.push(job_idx); // wait for capacity
+                        } else {
+                            let reason = if job.replicas == 0 {
+                                "gang of zero replicas is not schedulable".to_string()
+                            } else if job.replicas > self.fleet.len() {
+                                format!(
+                                    "wants {} replicas but the fleet has {} devices",
+                                    job.replicas,
+                                    self.fleet.len()
+                                )
+                            } else {
+                                format!(
+                                    "predicted peak exceeds fleet capacity under preset(s) {:?}",
+                                    ladder_for(job).iter().map(|p| p.name()).collect::<Vec<_>>()
+                                )
+                            };
+                            outcomes[job_idx].rejected = Some(reason.clone());
+                            trace.push(TraceEvent {
+                                t_ns: now_ns.round() as u64,
+                                job: job.name.clone(),
+                                kind: TraceKind::Reject { reason },
+                            });
+                        }
+                    }
+                }
+            }
+            pending = still_pending;
+            peak_concurrent = peak_concurrent.max(running.len());
+        }
+
+        let makespan = SimTime(now_ns.round() as u64);
+        ClusterReport::assemble(
+            &self.fleet,
+            self.placement,
+            outcomes,
+            trace,
+            makespan,
+            devices
+                .iter()
+                .map(|d| {
+                    (
+                        d.busy_ns,
+                        d.reserved_integral,
+                        d.peak_reserved,
+                        d.peak_tenants,
+                    )
+                })
+                .collect(),
+            peak_concurrent,
+            self.profiler.simulated(),
+        )
+    }
+}

@@ -1,0 +1,86 @@
+//! Deterministic synthetic job streams for experiments, benches, and tests.
+//!
+//! Uses a bare LCG rather than an RNG crate so the stream is a pure,
+//! stable function of `(n, seed)` — the determinism tests depend on that.
+
+use sn_sim::SimTime;
+
+use crate::job::{JobSpec, PolicyPreset, Workload};
+
+/// Split-mix style step; good enough spread for workload mixing.
+fn next(state: &mut u64) -> u64 {
+    *state = state
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    *state >> 33
+}
+
+/// A reproducible stream of `n` jobs arriving over time: mixed synthetic
+/// workloads (varying width/depth/batch), mostly single-replica with
+/// occasional 2- and 4-replica gangs, all requesting `preset`.
+pub fn synthetic_stream(
+    n: usize,
+    seed: u64,
+    preset: PolicyPreset,
+    allow_downgrade: bool,
+) -> Vec<(SimTime, JobSpec)> {
+    let mut state = seed ^ 0x9e3779b97f4a7c15;
+    let mut t_ns = 0u64;
+    (0..n)
+        .map(|i| {
+            let width = 8 + 8 * (next(&mut state) % 4) as usize; // 8..=32
+            let depth = 2 + (next(&mut state) % 4) as usize; // 2..=5
+            let batch = 8 << (next(&mut state) % 3) as usize; // 8/16/32
+            let replicas = match next(&mut state) % 10 {
+                0 => 4,
+                1 | 2 => 2,
+                _ => 1,
+            };
+            let iterations = 3 + (next(&mut state) % 8) as u32; // 3..=10
+                                                                // Bursty arrivals: mean ~1 ms apart, occasionally back-to-back.
+            t_ns += (next(&mut state) % 2_000_000) * (next(&mut state) % 2);
+            let job = JobSpec::new(
+                format!("job{i:04}"),
+                Workload::Synthetic { width, depth },
+                batch,
+            )
+            .with_iterations(iterations)
+            .with_replicas(replicas)
+            .with_preset(preset)
+            .with_downgrade(allow_downgrade);
+            (SimTime(t_ns), job)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stream_is_deterministic_and_ordered() {
+        let a = synthetic_stream(50, 7, PolicyPreset::Superneurons, true);
+        let b = synthetic_stream(50, 7, PolicyPreset::Superneurons, true);
+        assert_eq!(a.len(), 50);
+        for ((ta, ja), (tb, jb)) in a.iter().zip(&b) {
+            assert_eq!(ta, tb);
+            assert_eq!(ja.name, jb.name);
+            assert_eq!(ja.workload, jb.workload);
+            assert_eq!(ja.batch, jb.batch);
+            assert_eq!(ja.replicas, jb.replicas);
+        }
+        assert!(a.windows(2).all(|w| w[0].0 <= w[1].0), "arrivals sorted");
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = synthetic_stream(20, 1, PolicyPreset::Superneurons, true);
+        let b = synthetic_stream(20, 2, PolicyPreset::Superneurons, true);
+        assert!(
+            a.iter()
+                .zip(&b)
+                .any(|((_, ja), (_, jb))| ja.workload != jb.workload || ja.batch != jb.batch),
+            "seeds must shape the stream"
+        );
+    }
+}

@@ -37,7 +37,6 @@ pub enum ConvAlgo {
     Fft,
 }
 
-
 impl ConvAlgo {
     /// All algorithms, slowest→fastest workspace appetite.
     pub const ALL: [ConvAlgo; 5] = [
@@ -69,12 +68,7 @@ impl ConvAlgo {
 
     /// Workspace bytes required for an input of `in_shape` producing
     /// `out_shape` with `k_out` output channels and a `kernel²` filter.
-    pub fn workspace_bytes(
-        &self,
-        in_shape: Shape4,
-        out_shape: Shape4,
-        kernel: usize,
-    ) -> u64 {
+    pub fn workspace_bytes(&self, in_shape: Shape4, out_shape: Shape4, kernel: usize) -> u64 {
         let c = in_shape.c as u64;
         let k = out_shape.c as u64;
         let n = in_shape.n as u64;
@@ -92,7 +86,8 @@ impl ConvAlgo {
             // Spectra of tiled input/filter/output (complex f32 = 8 bytes).
             ConvAlgo::FftTiling => {
                 let tile = 32u64 * 32;
-                let tiles = ((out_shape.h as u64).div_ceil(24)) * ((out_shape.w as u64).div_ceil(24));
+                let tiles =
+                    ((out_shape.h as u64).div_ceil(24)) * ((out_shape.w as u64).div_ceil(24));
                 (c + k) * tiles * tile * 8 * n + c * k * tile * 8 / 4
             }
             // Full padded spectra of input, output and filters.
@@ -215,7 +210,11 @@ mod tests {
 
         let (net3, c3) = conv_net(3, 1);
         let choice3 = max_speed_algo(&net3, c3);
-        assert_eq!(choice3.algo, ConvAlgo::Winograd, "3x3 stride 1 favours Winograd");
+        assert_eq!(
+            choice3.algo,
+            ConvAlgo::Winograd,
+            "3x3 stride 1 favours Winograd"
+        );
     }
 
     #[test]
@@ -247,7 +246,10 @@ mod tests {
         assert!(gemm > 0 && fft > 0);
         // Both are hundreds of MB at this geometry; im2col GEMM's 25x
         // inflation for 5x5 kernels legitimately rivals the FFT spectra.
-        assert!(fft > gemm / 2, "FFT must be the same order: {fft} vs {gemm}");
+        assert!(
+            fft > gemm / 2,
+            "FFT must be the same order: {fft} vs {gemm}"
+        );
         // Batch-proportional, as cuDNN workspaces are.
         let half = in_s.with_batch(in_s.n / 2);
         let gemm_half = ConvAlgo::Gemm.workspace_bytes(half, out_s.with_batch(out_s.n / 2), 5);

@@ -128,21 +128,35 @@ mod tests {
 
     #[test]
     fn pool_device_charges_small_latency() {
-        let mut d = Device::new(DeviceSpec::k40c(), AllocatorKind::HeapPool, TierConfig::default());
+        let mut d = Device::new(
+            DeviceSpec::k40c(),
+            AllocatorKind::HeapPool,
+            TierConfig::default(),
+        );
         let t0 = d.tl.now();
         let g = d.alloc_charged(1 << 20).unwrap();
         assert!(d.tl.now() > t0);
-        assert!((d.tl.now() - t0).as_ns() < 10_000, "pool alloc must be sub-10us");
+        assert!(
+            (d.tl.now() - t0).as_ns() < 10_000,
+            "pool alloc must be sub-10us"
+        );
         d.free_charged(g.id);
         assert_eq!(d.alloc.used(), 0);
     }
 
     #[test]
     fn cuda_device_charges_large_latency() {
-        let mut d = Device::new(DeviceSpec::k40c(), AllocatorKind::Cuda, TierConfig::default());
+        let mut d = Device::new(
+            DeviceSpec::k40c(),
+            AllocatorKind::Cuda,
+            TierConfig::default(),
+        );
         let t0 = d.tl.now();
         let _g = d.alloc_charged(64 << 20).unwrap();
-        assert!((d.tl.now() - t0).as_ns() > 50_000, "cudaMalloc must cost >50us");
+        assert!(
+            (d.tl.now() - t0).as_ns() > 50_000,
+            "cudaMalloc must cost >50us"
+        );
     }
 
     #[test]

@@ -50,6 +50,19 @@ impl Interconnect {
     }
 }
 
+/// Wire time for a synchronous ring all-reduce of `grad_bytes` over `gpus`
+/// replicas: each participant moves `2·(k−1)/k` of the gradient bytes and
+/// pays `2·(k−1)` message latencies. Zero for a single replica.
+pub fn ring_allreduce_time(grad_bytes: u64, gpus: usize, interconnect: Interconnect) -> SimTime {
+    if gpus <= 1 {
+        return SimTime::ZERO;
+    }
+    let k = gpus as f64;
+    let wire_bytes = (2.0 * (k - 1.0) / k * grad_bytes as f64) as u64;
+    sn_sim::time::transfer_time(wire_bytes, interconnect.gbps)
+        + SimTime(interconnect.latency.0 * 2 * (gpus as u64 - 1))
+}
+
 /// A data-parallel training configuration.
 pub struct DataParallel {
     pub net_builder: Box<dyn Fn(usize) -> Net>,
@@ -83,6 +96,13 @@ pub struct ParallelReport {
 }
 
 impl DataParallel {
+    /// Predicted per-replica peak device bytes — what each GPU in the gang
+    /// must reserve. Replicas are identical, so one prediction covers all.
+    pub fn predicted_peak_bytes(&self) -> Result<u64, ExecError> {
+        let net = (self.net_builder)(self.per_gpu_batch);
+        crate::session::predict_peak_bytes(&net, &self.spec, self.policy)
+    }
+
     /// Simulate one synchronous data-parallel step.
     pub fn run(&self) -> Result<ParallelReport, ExecError> {
         assert!(self.gpus >= 1);
@@ -97,14 +117,7 @@ impl DataParallel {
 
         // Ring all-reduce: each GPU sends/receives 2(k-1)/k of the gradient
         // bytes; k=1 needs no exchange.
-        let allreduce_time = if self.gpus == 1 {
-            SimTime::ZERO
-        } else {
-            let k = self.gpus as f64;
-            let wire_bytes = (2.0 * (k - 1.0) / k * grad_bytes as f64) as u64;
-            sn_sim::time::transfer_time(wire_bytes, self.interconnect.gbps)
-                + SimTime(self.interconnect.latency.0 * 2 * (self.gpus as u64 - 1))
-        };
+        let allreduce_time = ring_allreduce_time(grad_bytes, self.gpus, self.interconnect);
 
         // Overlap: gradients of layer i are ready when its backward step
         // completes; the exchange can hide under the remaining backward
@@ -176,10 +189,16 @@ mod tests {
         let r1 = dp(1, false, Interconnect::pcie()).run().unwrap();
         let r4 = dp(4, false, Interconnect::pcie()).run().unwrap();
         let r8 = dp(8, false, Interconnect::pcie()).run().unwrap();
-        assert!(r4.imgs_per_sec > r1.imgs_per_sec, "more GPUs, more throughput");
+        assert!(
+            r4.imgs_per_sec > r1.imgs_per_sec,
+            "more GPUs, more throughput"
+        );
         assert!(r8.imgs_per_sec > r4.imgs_per_sec);
         assert!(r4.efficiency < 1.0 && r4.efficiency > 0.3);
-        assert!(r8.efficiency <= r4.efficiency, "efficiency decays with scale");
+        assert!(
+            r8.efficiency <= r4.efficiency,
+            "efficiency decays with scale"
+        );
     }
 
     #[test]
@@ -203,5 +222,29 @@ mod tests {
         let r = dp(4, true, Interconnect::pcie()).run().unwrap();
         assert_eq!(r.global_batch, 256);
         assert_eq!(r.gpus, 4);
+    }
+
+    #[test]
+    fn predicted_peak_covers_the_measured_replica() {
+        // The prediction is the high-water mark over a cold + a warm
+        // iteration, so it must cover what a measured warm step reports.
+        let config = dp(4, true, Interconnect::pcie());
+        let predicted = config.predicted_peak_bytes().unwrap();
+        let measured = config.run().unwrap().peak_bytes;
+        assert!(predicted > 0);
+        assert!(
+            predicted >= measured,
+            "prediction {predicted} must cover measured {measured}"
+        );
+    }
+
+    #[test]
+    fn allreduce_time_model_scales_as_documented() {
+        let ic = Interconnect::pcie();
+        assert_eq!(ring_allreduce_time(1 << 20, 1, ic), SimTime::ZERO);
+        let two = ring_allreduce_time(1 << 20, 2, ic);
+        let eight = ring_allreduce_time(1 << 20, 8, ic);
+        assert!(two > SimTime::ZERO);
+        assert!(eight > two, "more replicas, more wire time + latency");
     }
 }

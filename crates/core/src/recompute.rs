@@ -305,6 +305,9 @@ mod tests {
         let without = LivenessPlan::analyze(&net, &route, LivenessOptions::default());
         let (pw, _) = with.peak_resident(0, |_| 0);
         let (po, _) = without.peak_resident(0, |_| 0);
-        assert!(pw < po, "recompute must reduce the analytic peak: {pw} vs {po}");
+        assert!(
+            pw < po,
+            "recompute must reduce the analytic peak: {pw} vs {po}"
+        );
     }
 }

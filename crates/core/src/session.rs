@@ -42,6 +42,47 @@ impl SessionReport {
     }
 }
 
+/// What a policy is predicted to cost on a device: the admission-control
+/// quantities a cluster scheduler needs *before* committing device memory to
+/// a job (peak bytes to reserve, steady-state iteration time, and the
+/// gradient bytes a data-parallel gang exchanges per step).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PeakPrediction {
+    /// High-water device bytes over a cold + a warm iteration — the number a
+    /// reservation must cover so the job never exceeds its grant.
+    pub peak_bytes: u64,
+    /// Warm (steady-state) iteration time.
+    pub iter_time: SimTime,
+    /// Total weight-gradient bytes (the per-iteration all-reduce payload).
+    pub weight_bytes: u64,
+}
+
+/// Predict what training `net` under `policy` costs on `spec`, without
+/// committing to a full measured session: the executor schedules one cold and
+/// one warm virtual iteration (no numeric compute), and the high-water mark
+/// across both is the peak the paper's `peak_m` progression bounds per
+/// policy. Errors mean the job cannot run within `spec.dram_bytes` at all —
+/// the admission-control "reject" signal.
+pub fn predict_run(
+    net: &Net,
+    spec: &DeviceSpec,
+    policy: Policy,
+) -> Result<PeakPrediction, ExecError> {
+    let mut ex = Executor::new(net, spec.clone(), policy)?;
+    let cold = ex.run_iteration()?;
+    let warm = ex.run_iteration()?;
+    Ok(PeakPrediction {
+        peak_bytes: cold.peak_bytes.max(warm.peak_bytes),
+        iter_time: warm.iter_time,
+        weight_bytes: ex.cost.total_weight_bytes(),
+    })
+}
+
+/// Just the predicted peak bytes — see [`predict_run`].
+pub fn predict_peak_bytes(net: &Net, spec: &DeviceSpec, policy: Policy) -> Result<u64, ExecError> {
+    predict_run(net, spec, policy).map(|p| p.peak_bytes)
+}
+
 impl Session {
     pub fn new(net: Net, spec: DeviceSpec, policy: Policy) -> Session {
         Session {
@@ -51,6 +92,12 @@ impl Session {
             warmup: 1,
             iters: 3,
         }
+    }
+
+    /// Predicted peak device bytes for this session's configuration — the
+    /// reservation a multi-tenant scheduler must hold. See [`predict_run`].
+    pub fn predicted_peak_bytes(&self) -> Result<u64, ExecError> {
+        predict_peak_bytes(&self.net, &self.spec, self.policy)
     }
 
     /// Run the session and aggregate.
@@ -137,7 +184,13 @@ pub fn max_feasible_param(
     }
     let mut high = match bad {
         Some(b) => b,
-        None => return good.min(hi).max(if feasible(&build(hi), spec, policy) { hi } else { good }),
+        None => {
+            return good.min(hi).max(if feasible(&build(hi), spec, policy) {
+                hi
+            } else {
+                good
+            })
+        }
     };
     // Binary search in (good, high).
     while high - good > 1 {
@@ -200,5 +253,52 @@ mod tests {
             max_feasible_param(&netb, &spec, Policy::baseline(), 1, 64),
             0
         );
+    }
+
+    #[test]
+    fn predict_run_reports_the_admission_quantities() {
+        let net = netb(32);
+        let spec = DeviceSpec::k40c();
+        let p = predict_run(&net, &spec, Policy::superneurons()).unwrap();
+        assert!(p.peak_bytes > 0 && p.peak_bytes <= spec.dram_bytes);
+        assert!(p.iter_time > SimTime::ZERO);
+        assert!(p.weight_bytes > 0);
+        // The convenience wrappers agree with the full prediction.
+        assert_eq!(
+            predict_peak_bytes(&net, &spec, Policy::superneurons()).unwrap(),
+            p.peak_bytes
+        );
+        let s = Session::new(netb(32), spec, Policy::superneurons());
+        assert_eq!(s.predicted_peak_bytes().unwrap(), p.peak_bytes);
+    }
+
+    #[test]
+    fn predicted_peak_shrinks_with_policy_strength_under_pressure() {
+        // Under a tight budget the adaptive stack must predict a smaller
+        // peak than the keep-everything baseline does uncapped. Needs a deep
+        // chain: offload/recompute can only trim what spans many layers.
+        let deep = |batch: usize| {
+            let mut net = Net::new("deep", sn_graph::Shape4::new(batch, 3, 32, 32));
+            let mut prev = net.data();
+            for _ in 0..8 {
+                let c = net.conv(prev, 32, 3, 1, 1);
+                prev = net.relu(c);
+            }
+            let f = net.fc(prev, 10);
+            net.softmax(f);
+            net
+        };
+        let spec = DeviceSpec::k40c();
+        let base = predict_peak_bytes(&deep(32), &spec, Policy::baseline()).unwrap();
+        let tight = spec.with_dram(base / 2);
+        let sn = predict_peak_bytes(&deep(32), &tight, Policy::superneurons()).unwrap();
+        assert!(sn < base, "superneurons {sn} must undercut baseline {base}");
+        assert!(sn <= tight.dram_bytes, "prediction must respect the budget");
+    }
+
+    #[test]
+    fn prediction_errors_signal_rejection() {
+        let spec = DeviceSpec::k40c().with_dram(64 << 10);
+        assert!(predict_peak_bytes(&netb(32), &spec, Policy::baseline()).is_err());
     }
 }

@@ -98,8 +98,8 @@ impl Framework {
                 offload: true,
                 eager_offload: true,
                 tensor_cache: false,
-                prefetch: false,      // on-demand fetches stall the compute stream
-                pinned_host: false,   // pageable staging: ~50% PCIe bandwidth
+                prefetch: false,    // on-demand fetches stall the compute stream
+                pinned_host: false, // pageable staging: ~50% PCIe bandwidth
                 recompute: RecomputeMode::None,
                 allocator: AllocatorKind::HeapPool,
                 workspace: WorkspacePolicy::Capped(16 << 20),
@@ -247,7 +247,10 @@ mod tests {
         let sn = max_resnet_depth(Framework::SuperNeurons, 2, &spec, 2000);
         let caffe = max_resnet_depth(Framework::Caffe, 2, &spec, 2000);
         assert!(sn > caffe, "sn {sn} vs caffe {caffe}");
-        assert!(sn >= 3 * (6 + 32 + 1 + 6) + 2, "sn should reach at least the minimum: {sn}");
+        assert!(
+            sn >= 3 * (6 + 32 + 1 + 6) + 2,
+            "sn should reach at least the minimum: {sn}"
+        );
         // Depth values follow the 3k+2 convention.
         assert_eq!((sn - 2) % 3, 0);
     }

@@ -192,7 +192,11 @@ impl LayerCost {
     /// weight gradient. This is the quantity the paper's floor argument
     /// uses: "cuDNN needs at least stash the tensors in a layer to compute".
     pub fn working_set_bwd(&self) -> u64 {
-        let x = if self.bwd_reads_input { self.in_bytes } else { 0 };
+        let x = if self.bwd_reads_input {
+            self.in_bytes
+        } else {
+            0
+        };
         // dY + dX + (X if read) + dW.
         self.grad_bytes + self.in_bytes + x + self.wgrad_bytes
     }
@@ -342,8 +346,8 @@ mod tests {
         let c = LayerCost::of(&net, relu);
         let t = c.fwd_time(&relu.kind, &spec, 1.0);
         // Pure bandwidth bound: bytes/bw plus launch overhead.
-        let expect = spec.kernel_launch
-            + sn_sim::time::transfer_time(c.fwd_bytes_moved, spec.mem_bw_gbps);
+        let expect =
+            spec.kernel_launch + sn_sim::time::transfer_time(c.fwd_bytes_moved, spec.mem_bw_gbps);
         assert_eq!(t, expect);
     }
 

@@ -116,9 +116,10 @@ impl LayerKind {
             | LayerKind::Act
             | LayerKind::Dropout { .. } => true,
             // The joins and softmax pass gradients without touching inputs.
-            LayerKind::Softmax | LayerKind::Concat | LayerKind::Eltwise | LayerKind::Data { .. } => {
-                false
-            }
+            LayerKind::Softmax
+            | LayerKind::Concat
+            | LayerKind::Eltwise
+            | LayerKind::Data { .. } => false,
         }
     }
 

@@ -351,8 +351,7 @@ impl LivenessPlan {
             let mut out_set = live.clone();
             for t in live.clone() {
                 let needed_later = (s + 1..self.n_steps).any(|fut| {
-                    self.step_inputs[fut].contains(&t)
-                        || self.created_at[fut].contains(&t)
+                    self.step_inputs[fut].contains(&t) || self.created_at[fut].contains(&t)
                 });
                 if !needed_later {
                     out_set.remove(&t);

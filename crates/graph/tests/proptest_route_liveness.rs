@@ -120,9 +120,9 @@ proptest! {
         ops in proptest::collection::vec(op_strategy(), 1..40)
     ) {
         let net = build_net(&ops);
-        net.validate().map_err(|e| TestCaseError::fail(e))?;
+        net.validate().map_err(TestCaseError::fail)?;
         let route = Route::construct(&net);
-        route.validate(&net).map_err(|e| TestCaseError::fail(e))?;
+        route.validate(&net).map_err(TestCaseError::fail)?;
         // Every layer exactly once.
         prop_assert_eq!(route.len(), net.len());
         let mut seen = vec![false; net.len()];

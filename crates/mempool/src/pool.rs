@@ -229,9 +229,7 @@ impl DeviceAllocator for HeapPool {
 
         // Insert into the address-ordered empty list, coalescing with the
         // predecessor/successor when adjacent.
-        let idx = self
-            .empty
-            .partition_point(|n| n.start < node.start);
+        let idx = self.empty.partition_point(|n| n.start < node.start);
         let mut start = node.start;
         let mut blocks = node.blocks;
         // Merge with successor.
@@ -246,8 +244,7 @@ impl DeviceAllocator for HeapPool {
                 start = p.start;
                 blocks += p.blocks;
                 self.empty.remove(idx - 1);
-                self.empty
-                    .insert(idx - 1, EmptyNode { start, blocks });
+                self.empty.insert(idx - 1, EmptyNode { start, blocks });
                 return Ok(self.cfg.free_latency);
             }
         }

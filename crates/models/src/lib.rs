@@ -142,7 +142,11 @@ pub fn resnet(batch: usize, n: (usize, usize, usize, usize)) -> Net {
     ];
     for (units, mid, out, first_stride) in stages {
         for u in 0..units {
-            let (stride, project) = if u == 0 { (first_stride, true) } else { (1, false) };
+            let (stride, project) = if u == 0 {
+                (first_stride, true)
+            } else {
+                (1, false)
+            };
             prev = bottleneck(&mut net, prev, mid, out, stride, project);
         }
     }
@@ -363,10 +367,13 @@ pub fn lenet(batch: usize, classes: usize) -> Net {
     net
 }
 
+/// A batch-parameterized network constructor.
+pub type NetBuilder = fn(usize) -> Net;
+
 /// All (name, builder) pairs used by the end-to-end experiments.
-pub fn evaluation_networks() -> Vec<(&'static str, fn(usize) -> Net)> {
+pub fn evaluation_networks() -> Vec<(&'static str, NetBuilder)> {
     vec![
-        ("AlexNet", alexnet as fn(usize) -> Net),
+        ("AlexNet", alexnet as NetBuilder),
         ("VGG16", vgg16),
         ("InceptionV4", inception_v4),
         ("ResNet50", resnet50),

@@ -28,10 +28,7 @@ pub struct AllocGrant {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum AllocError {
     /// Not enough free device memory for the request.
-    OutOfMemory {
-        requested: u64,
-        free: u64,
-    },
+    OutOfMemory { requested: u64, free: u64 },
     /// The handle passed to `free` is unknown (double free or corruption).
     UnknownAllocation,
 }

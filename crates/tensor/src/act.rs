@@ -165,13 +165,16 @@ pub fn dropout_forward(input: &Tensor, drop_prob: f32, seed: u64) -> Tensor {
     let keep = 1.0 - drop_prob;
     let inv = 1.0 / keep;
     let mut out = input.clone();
-    out.data_mut().par_iter_mut().enumerate().for_each(|(i, v)| {
-        if dropout_keep(seed, i, keep) {
-            *v *= inv;
-        } else {
-            *v = 0.0;
-        }
-    });
+    out.data_mut()
+        .par_iter_mut()
+        .enumerate()
+        .for_each(|(i, v)| {
+            if dropout_keep(seed, i, keep) {
+                *v *= inv;
+            } else {
+                *v = 0.0;
+            }
+        });
     out
 }
 
@@ -203,7 +206,11 @@ pub fn eltwise_add(a: &Tensor, b: &Tensor) -> Tensor {
 
 /// Deterministic synthetic batch generator — a stand-in for an input
 /// pipeline; produces a separable pattern so numeric training can converge.
-pub fn synthetic_batch(shape: crate::shape::Shape4, classes: usize, seed: u64) -> (Tensor, Vec<usize>) {
+pub fn synthetic_batch(
+    shape: crate::shape::Shape4,
+    classes: usize,
+    seed: u64,
+) -> (Tensor, Vec<usize>) {
     let mut rng = SmallRng::seed_from_u64(seed);
     let mut data = Tensor::zeros(shape);
     let mut labels = Vec::with_capacity(shape.n);
@@ -280,7 +287,10 @@ mod tests {
         let x = Tensor::rand_uniform(Shape4::flat(4, 100), 1.0, 11);
         let a = dropout_forward(&x, 0.5, 77);
         let b = dropout_forward(&x, 0.5, 77);
-        assert_eq!(a, b, "same seed must give the same mask (recompute exactness)");
+        assert_eq!(
+            a, b,
+            "same seed must give the same mask (recompute exactness)"
+        );
         let c = dropout_forward(&x, 0.5, 78);
         assert_ne!(a, c);
     }

@@ -37,14 +37,7 @@ impl ConvParams {
 }
 
 /// Expand one image (`C×H×W` slice) into the `C·R·S × OH·OW` column matrix.
-pub fn im2col(
-    input: &[f32],
-    c: usize,
-    h: usize,
-    w: usize,
-    p: &ConvParams,
-    cols: &mut [f32],
-) {
+pub fn im2col(input: &[f32], c: usize, h: usize, w: usize, p: &ConvParams, cols: &mut [f32]) {
     let oh = Shape4::conv_out_dim(h, p.kernel, p.stride, p.pad);
     let ow = Shape4::conv_out_dim(w, p.kernel, p.stride, p.pad);
     let k = p.kernel;
@@ -74,14 +67,7 @@ pub fn im2col(
 
 /// Scatter a column matrix back into an image (the adjoint of [`im2col`]),
 /// accumulating into `grad_input`.
-pub fn col2im(
-    cols: &[f32],
-    c: usize,
-    h: usize,
-    w: usize,
-    p: &ConvParams,
-    grad_input: &mut [f32],
-) {
+pub fn col2im(cols: &[f32], c: usize, h: usize, w: usize, p: &ConvParams, grad_input: &mut [f32]) {
     let oh = Shape4::conv_out_dim(h, p.kernel, p.stride, p.pad);
     let ow = Shape4::conv_out_dim(w, p.kernel, p.stride, p.pad);
     let k = p.kernel;
@@ -135,7 +121,16 @@ pub fn conv2d_forward(input: &Tensor, weight: &Tensor, bias: &[f32], p: &ConvPar
             let mut cols = vec![0.0f32; crs * ohw];
             im2col(iimg, ishape.c, ishape.h, ishape.w, p, &mut cols);
             // weight is K×CRS row-major already.
-            crate::gemm::sgemm_seq(p.out_channels, ohw, crs, 1.0, weight.data(), &cols, 0.0, oimg);
+            crate::gemm::sgemm_seq(
+                p.out_channels,
+                ohw,
+                crs,
+                1.0,
+                weight.data(),
+                &cols,
+                0.0,
+                oimg,
+            );
             for k in 0..p.out_channels {
                 let b = bias[k];
                 if b != 0.0 {
@@ -237,7 +232,16 @@ pub fn conv2d_backward(
             grad_weight.data_mut(),
         );
         // dcols[CRS×OHW] = W[K×CRS]ᵀ · dY[K×OHW]
-        sgemm_at(crs, ohw, p.out_channels, 1.0, weight.data(), oimg, 0.0, &mut dcols);
+        sgemm_at(
+            crs,
+            ohw,
+            p.out_channels,
+            1.0,
+            weight.data(),
+            oimg,
+            0.0,
+            &mut dcols,
+        );
         let gimg = &mut grad_input.data_mut()[n * in_stride..(n + 1) * in_stride];
         col2im(&dcols, ishape.c, ishape.h, ishape.w, p, gimg);
     }
@@ -324,7 +328,11 @@ mod tests {
             let mut im = input.clone();
             im.data_mut()[i] -= eps;
             let num = (loss(&ip, &weight, &bias) - loss(&im, &weight, &bias)) / (2.0 * eps);
-            assert!((num - gi.data()[i]).abs() < 2e-2, "dX[{i}]: {num} vs {}", gi.data()[i]);
+            assert!(
+                (num - gi.data()[i]).abs() < 2e-2,
+                "dX[{i}]: {num} vs {}",
+                gi.data()[i]
+            );
         }
         // weight gradient
         for &i in &[0usize, 7, 20] {
@@ -333,7 +341,11 @@ mod tests {
             let mut wm = weight.clone();
             wm.data_mut()[i] -= eps;
             let num = (loss(&input, &wp, &bias) - loss(&input, &wm, &bias)) / (2.0 * eps);
-            assert!((num - gw.data()[i]).abs() < 2e-2, "dW[{i}]: {num} vs {}", gw.data()[i]);
+            assert!(
+                (num - gw.data()[i]).abs() < 2e-2,
+                "dW[{i}]: {num} vs {}",
+                gw.data()[i]
+            );
         }
         // bias gradient
         for i in 0..2 {

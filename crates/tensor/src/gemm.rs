@@ -213,7 +213,13 @@ mod tests {
 
     #[test]
     fn matches_reference_various_sizes() {
-        for &(m, n, k) in &[(1, 1, 1), (3, 5, 7), (16, 16, 16), (33, 17, 129), (64, 1, 200)] {
+        for &(m, n, k) in &[
+            (1, 1, 1),
+            (3, 5, 7),
+            (16, 16, 16),
+            (33, 17, 129),
+            (64, 1, 200),
+        ] {
             let a = randv(m * k, 1);
             let b = randv(k * n, 2);
             let mut c1 = randv(m * n, 3);

@@ -18,6 +18,11 @@
 //! experiments run in *virtual* mode (cost models), while numeric mode exists
 //! to validate correctness end-to-end on small networks.
 
+// Kernel style: BLAS-shaped signatures (m, n, k, alpha, ...) and explicit
+// index loops mirror the reference maths; clippy's preferences here would
+// obscure the correspondence.
+#![allow(clippy::needless_range_loop, clippy::too_many_arguments)]
+
 pub mod act;
 pub mod conv;
 pub mod gemm;

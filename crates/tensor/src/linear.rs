@@ -10,11 +10,24 @@ pub fn fc_forward(input: &Tensor, weight: &Tensor, bias: &[f32]) -> Tensor {
     let n = input.shape().n;
     let f = input.shape().features();
     let k = weight.shape().n;
-    assert_eq!(weight.shape().features(), f, "weight features must match input");
+    assert_eq!(
+        weight.shape().features(),
+        f,
+        "weight features must match input"
+    );
     assert_eq!(bias.len(), k);
     let mut out = Tensor::zeros(Shape4::flat(n, k));
     // y = x · Wᵀ
-    sgemm_bt(n, k, f, 1.0, input.data(), weight.data(), 0.0, out.data_mut());
+    sgemm_bt(
+        n,
+        k,
+        f,
+        1.0,
+        input.data(),
+        weight.data(),
+        0.0,
+        out.data_mut(),
+    );
     for row in out.data_mut().chunks_mut(k) {
         for (v, b) in row.iter_mut().zip(bias.iter()) {
             *v += b;
@@ -37,11 +50,29 @@ pub fn fc_backward(
 
     // dX[N×F] = dY[N×K] · W[K×F]
     let mut gi = Tensor::zeros(input.shape());
-    sgemm(n, f, k, 1.0, grad_out.data(), weight.data(), 0.0, gi.data_mut());
+    sgemm(
+        n,
+        f,
+        k,
+        1.0,
+        grad_out.data(),
+        weight.data(),
+        0.0,
+        gi.data_mut(),
+    );
 
     // dW[K×F] = dY[N×K]ᵀ · X[N×F]
     let mut gw = Tensor::zeros(weight.shape());
-    sgemm_at(k, f, n, 1.0, grad_out.data(), input.data(), 0.0, gw.data_mut());
+    sgemm_at(
+        k,
+        f,
+        n,
+        1.0,
+        grad_out.data(),
+        input.data(),
+        0.0,
+        gw.data_mut(),
+    );
 
     // dB[K] = column sums of dY
     let mut gb = vec![0.0f32; k];

@@ -8,11 +8,7 @@ pub fn softmax_forward(input: &Tensor) -> Tensor {
     let n = input.shape().n;
     let f = input.shape().features();
     let mut out = Tensor::zeros(Shape4::flat(n, f));
-    for (orow, irow) in out
-        .data_mut()
-        .chunks_mut(f)
-        .zip(input.data().chunks(f))
-    {
+    for (orow, irow) in out.data_mut().chunks_mut(f).zip(input.data().chunks(f)) {
         let max = irow.iter().fold(f32::NEG_INFINITY, |m, &v| m.max(v));
         let mut sum = 0.0f32;
         for (o, &x) in orow.iter_mut().zip(irow.iter()) {
@@ -135,10 +131,7 @@ mod tests {
 
     #[test]
     fn accuracy_counts_argmax_hits() {
-        let p = Tensor::from_vec(
-            Shape4::flat(2, 3),
-            vec![0.7, 0.2, 0.1, 0.1, 0.1, 0.8],
-        );
+        let p = Tensor::from_vec(Shape4::flat(2, 3), vec![0.7, 0.2, 0.1, 0.1, 0.1, 0.8]);
         assert_eq!(accuracy(&p, &[0, 2]), 1.0);
         assert_eq!(accuracy(&p, &[1, 2]), 0.5);
     }

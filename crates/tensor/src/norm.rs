@@ -179,7 +179,11 @@ mod tests {
             let mut gm = gamma.clone();
             gm[c] -= eps;
             let num = (loss(&x, &gp, &beta) - loss(&x, &gm, &beta)) / (2.0 * eps);
-            assert!((num - dg[c]).abs() < 3e-2, "dGamma[{c}]: {num} vs {}", dg[c]);
+            assert!(
+                (num - dg[c]).abs() < 3e-2,
+                "dGamma[{c}]: {num} vs {}",
+                dg[c]
+            );
 
             let mut bp = beta.clone();
             bp[c] += eps;

@@ -211,10 +211,7 @@ mod tests {
             stride: 2,
             pad: 0,
         };
-        let input = Tensor::from_vec(
-            Shape4::new(1, 1, 2, 2),
-            vec![1.0, 2.0, 3.0, 6.0],
-        );
+        let input = Tensor::from_vec(Shape4::new(1, 1, 2, 2), vec![1.0, 2.0, 3.0, 6.0]);
         let out = avgpool_forward(&input, &p);
         assert_eq!(out.data(), &[3.0]);
     }

@@ -82,7 +82,11 @@ impl Tensor {
 
     /// Reinterpret with a new shape of identical element count.
     pub fn reshape(mut self, shape: Shape4) -> Self {
-        assert_eq!(self.shape.numel(), shape.numel(), "reshape must preserve numel");
+        assert_eq!(
+            self.shape.numel(),
+            shape.numel(),
+            "reshape must preserve numel"
+        );
         self.shape = shape;
         self
     }

@@ -22,7 +22,10 @@ fn main() {
         "GPUs", "interconnect", "overlap", "img/s", "efficiency", "allreduce(ms)"
     );
     for gpus in [1usize, 2, 4, 8, 16] {
-        for (name, ic) in [("PCIe", Interconnect::pcie()), ("NVLink", Interconnect::nvlink())] {
+        for (name, ic) in [
+            ("PCIe", Interconnect::pcie()),
+            ("NVLink", Interconnect::nvlink()),
+        ] {
             for overlap in [false, true] {
                 if gpus == 1 && (name == "NVLink" || overlap) {
                     continue;

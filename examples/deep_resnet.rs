@@ -32,13 +32,19 @@ fn main() {
             continue;
         }
         let ok = feasible(&net, &spec, fw.policy());
-        println!("  {:12} -> {}", fw.name(), if ok { "trains" } else { "out of memory" });
+        println!(
+            "  {:12} -> {}",
+            fw.name(),
+            if ok { "trains" } else { "out of memory" }
+        );
     }
 
     // SuperNeurons trains it; measure an iteration.
-    let mut ex = Executor::new(&net, spec, superneurons::Policy::superneurons())
-        .expect("weights must fit");
-    let r = ex.run_iteration().expect("SuperNeurons trains this network");
+    let mut ex =
+        Executor::new(&net, spec, superneurons::Policy::superneurons()).expect("weights must fit");
+    let r = ex
+        .run_iteration()
+        .expect("SuperNeurons trains this network");
     println!(
         "\n  SuperNeurons -> trains: peak {:.2} GiB of {:.2} GiB, {:.2} s/iteration ({:.1} img/s)",
         r.peak_bytes as f64 / (1u64 << 30) as f64,
@@ -48,7 +54,10 @@ fn main() {
     );
     println!(
         "    offloads {}  prefetches {}  evictions {}  recomputed forwards {}",
-        r.counters.offloads, r.counters.prefetches, r.counters.evictions, r.counters.recompute_forwards
+        r.counters.offloads,
+        r.counters.prefetches,
+        r.counters.evictions,
+        r.counters.recompute_forwards
     );
     println!(
         "    PCIe traffic: {:.2} GB out, {:.2} GB in",

@@ -63,7 +63,10 @@ fn main() {
             eprintln!(
                 "# peak {:.2} MB at '{}'; iteration {:.1} ms; traffic {:.1} MB",
                 r.peak_bytes as f64 / 1e6,
-                ex.trace.peak_step().map(|p| p.layer.clone()).unwrap_or_default(),
+                ex.trace
+                    .peak_step()
+                    .map(|p| p.layer.clone())
+                    .unwrap_or_default(),
                 r.iter_time.as_ms_f64(),
                 (r.h2d_bytes + r.d2h_bytes) as f64 / 1e6
             );

@@ -14,7 +14,11 @@ use superneurons::{DeviceSpec, Policy};
 
 fn main() {
     let spec = DeviceSpec::titan_xp();
-    println!("device: {} ({} GB DRAM)\n", spec.name, spec.dram_bytes >> 30);
+    println!(
+        "device: {} ({} GB DRAM)\n",
+        spec.name,
+        spec.dram_bytes >> 30
+    );
 
     let configs = [
         ("baseline (naive allocator)", Policy::baseline()),

@@ -47,10 +47,7 @@ fn main() {
     // recomputation become mandatory.
     let tight_bytes = cost.total_weight_bytes() + cost.l_peak() + (cost.l_peak() / 4) + (256 << 10);
     let tight_spec = DeviceSpec::k40c().with_dram(tight_bytes);
-    println!(
-        "tight device: {:.2} MB DRAM\n",
-        tight_bytes as f64 / 1e6
-    );
+    println!("tight device: {:.2} MB DRAM\n", tight_bytes as f64 / 1e6);
     let mut tight = Executor::new(&net, tight_spec, Policy::superneurons())
         .expect("tight executor")
         .with_backend(Box::new(backend(&net)));

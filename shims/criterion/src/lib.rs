@@ -1,0 +1,162 @@
+//! Offline stand-in for the subset of `criterion` this workspace uses.
+//!
+//! Provides the same authoring surface (`criterion_group!`/`criterion_main!`,
+//! `Criterion::bench_function`, benchmark groups, `Throughput`, `black_box`)
+//! but a much simpler measurement loop: one warm-up call, then timed batches
+//! until ~`MEASURE_BUDGET` of wall-clock has accumulated, reporting the mean.
+//! No statistical analysis, plots, or HTML reports — the goal is a stable
+//! smoke-number per benchmark so `cargo bench` keeps working offline.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Per-benchmark wall-clock budget for the measurement loop.
+const MEASURE_BUDGET: Duration = Duration::from_millis(200);
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    sample_size: Option<usize>,
+}
+
+impl Criterion {
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = name.into();
+        let mut b = Bencher {
+            iters_done: 0,
+            elapsed: Duration::ZERO,
+            max_iters: self.sample_size,
+        };
+        f(&mut b);
+        let mean_ns = if b.iters_done == 0 {
+            0.0
+        } else {
+            b.elapsed.as_nanos() as f64 / b.iters_done as f64
+        };
+        println!(
+            "bench {name}: {} iters, mean {}",
+            b.iters_done,
+            format_ns(mean_ns)
+        );
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            prefix: name.into(),
+        }
+    }
+}
+
+/// A named group of benchmarks; `sample_size`/`throughput` are accepted for
+/// API compatibility (`sample_size` caps the iteration count).
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    prefix: String,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_size = Some(n);
+        self
+    }
+
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.prefix, name.into());
+        self.criterion.bench_function(full, f);
+        self
+    }
+
+    pub fn finish(&mut self) {
+        self.criterion.sample_size = None;
+    }
+}
+
+/// Declared element-or-byte throughput; recorded only for API compatibility.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// Runs and times the benchmark closure.
+pub struct Bencher {
+    iters_done: u64,
+    elapsed: Duration,
+    max_iters: Option<usize>,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        black_box(f()); // warm-up, untimed
+        let cap = self.max_iters.unwrap_or(usize::MAX) as u64;
+        while self.elapsed < MEASURE_BUDGET && self.iters_done < cap {
+            let start = Instant::now();
+            black_box(f());
+            self.elapsed += start.elapsed();
+            self.iters_done += 1;
+        }
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_the_closure() {
+        let mut c = Criterion::default();
+        let mut runs = 0u64;
+        let mut g = c.benchmark_group("group");
+        g.sample_size(3);
+        g.bench_function("count", |b| b.iter(|| runs += 1));
+        g.finish();
+        assert!(
+            runs >= 3,
+            "warm-up plus at least sample_size iters, got {runs}"
+        );
+    }
+}

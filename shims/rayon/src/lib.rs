@@ -1,0 +1,61 @@
+//! Offline stand-in for the subset of `rayon` this workspace uses.
+//!
+//! The tensor kernels call `par_iter` / `par_iter_mut` / `par_chunks` /
+//! `par_chunks_mut` and then plain `Iterator` combinators (`zip`,
+//! `enumerate`, `for_each`). Sequential execution is semantically identical
+//! for these data-parallel loops (every closure touches a disjoint region),
+//! so the shim maps each `par_*` method to its `std` sequential counterpart.
+//! Numeric results are bit-identical to the parallel version because the
+//! reduction order within one chunk never changes.
+
+pub mod prelude {
+    /// `par_iter` / `par_chunks` over shared slices.
+    pub trait ParallelSlice<T> {
+        fn par_iter(&self) -> std::slice::Iter<'_, T>;
+        fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T>;
+    }
+
+    impl<T> ParallelSlice<T> for [T] {
+        fn par_iter(&self) -> std::slice::Iter<'_, T> {
+            self.iter()
+        }
+
+        fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T> {
+            self.chunks(chunk_size)
+        }
+    }
+
+    /// `par_iter_mut` / `par_chunks_mut` over exclusive slices.
+    pub trait ParallelSliceMut<T> {
+        fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T>;
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T>;
+    }
+
+    impl<T> ParallelSliceMut<T> for [T] {
+        fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T> {
+            self.iter_mut()
+        }
+
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T> {
+            self.chunks_mut(chunk_size)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_methods_visit_every_element() {
+        let mut v = vec![1i32; 8];
+        v.par_iter_mut().for_each(|x| *x += 1);
+        assert_eq!(v.par_iter().sum::<i32>(), 16);
+        let chunks: Vec<usize> = v.par_chunks(3).map(|c| c.len()).collect();
+        assert_eq!(chunks, vec![3, 3, 2]);
+        v.par_chunks_mut(4).enumerate().for_each(|(i, c)| {
+            c.iter_mut().for_each(|x| *x = i as i32);
+        });
+        assert_eq!(v, vec![0, 0, 0, 0, 1, 1, 1, 1]);
+    }
+}

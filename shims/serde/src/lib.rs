@@ -1,0 +1,9 @@
+//! Offline stand-in for `serde`.
+//!
+//! Exposes `Serialize`/`Deserialize` as no-op derive macros so the workspace
+//! compiles without crates.io access. No code in this repository serializes
+//! through serde yet (JSON artifacts are emitted by the hand-rolled writer in
+//! `sn-cluster`); the derives exist so the public structs keep their
+//! wire-format-ready shape for downstream users.
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -4,6 +4,7 @@
 //! users can `use superneurons::...` without tracking internal crate
 //! boundaries. See the README for the architecture overview.
 
+pub use sn_cluster as cluster;
 pub use sn_frameworks as frameworks;
 pub use sn_graph as graph;
 pub use sn_mempool as mempool;
@@ -12,6 +13,7 @@ pub use sn_runtime as runtime;
 pub use sn_sim as sim;
 pub use sn_tensor as tensor;
 
+pub use sn_cluster::{ClusterSim, Fleet, JobSpec, PlacementPolicy, PolicyPreset, Workload};
 pub use sn_frameworks::Framework;
 pub use sn_graph::{Net, Shape4};
 pub use sn_runtime::{Executor, Policy, RecomputeMode, Session};

@@ -95,9 +95,15 @@ fn data_parallel_scales_and_preserves_replica_memory() {
     let r1 = mk(1, false).run().unwrap();
     let r8 = mk(8, false).run().unwrap();
     let r8o = mk(8, true).run().unwrap();
-    assert!(r8.imgs_per_sec > 4.0 * r1.imgs_per_sec, "8 GPUs must beat 4x one GPU");
+    assert!(
+        r8.imgs_per_sec > 4.0 * r1.imgs_per_sec,
+        "8 GPUs must beat 4x one GPU"
+    );
     assert!(r8.efficiency < 1.0);
     assert!(r8o.efficiency >= r8.efficiency);
-    assert_eq!(r1.peak_bytes, r8.peak_bytes, "replica memory is independent of scale");
+    assert_eq!(
+        r1.peak_bytes, r8.peak_bytes,
+        "replica memory is independent of scale"
+    );
     assert_eq!(r8.global_batch, 128);
 }

@@ -51,7 +51,10 @@ fn each_technique_strictly_reduces_alexnet_peak() {
     let live = peak(Policy::liveness_only());
     let off = peak(Policy::liveness_offload());
     let full = peak(Policy::full_memory());
-    assert!(live < base && off < live && full < off, "{base} {live} {off} {full}");
+    assert!(
+        live < base && off < live && full < off,
+        "{base} {live} {off} {full}"
+    );
     let saving = 1.0 - live as f64 / base as f64;
     assert!(
         (0.30..=0.55).contains(&saving),
@@ -80,12 +83,24 @@ fn alexnet_recompute_counts_match_the_paper() {
     let s = run(RecomputeMode::SpeedCentric);
     let m = run(RecomputeMode::MemoryCentric);
     let c = run(RecomputeMode::CostAware);
-    assert_eq!(s.counters.recompute_forwards, 14, "paper Table 1: AlexNet speed-centric");
-    assert_eq!(m.counters.recompute_forwards, 23, "paper Table 1: AlexNet memory-centric");
-    assert_eq!(c.counters.recompute_forwards, 17, "paper Table 1: AlexNet cost-aware");
+    assert_eq!(
+        s.counters.recompute_forwards, 14,
+        "paper Table 1: AlexNet speed-centric"
+    );
+    assert_eq!(
+        m.counters.recompute_forwards, 23,
+        "paper Table 1: AlexNet memory-centric"
+    );
+    assert_eq!(
+        c.counters.recompute_forwards, 17,
+        "paper Table 1: AlexNet cost-aware"
+    );
     assert!(m.peak_bytes <= s.peak_bytes);
     assert!(c.peak_bytes <= s.peak_bytes);
-    assert_eq!(c.peak_bytes, m.peak_bytes, "cost-aware peak == memory-centric peak");
+    assert_eq!(
+        c.peak_bytes, m.peak_bytes,
+        "cost-aware peak == memory-centric peak"
+    );
 }
 
 /// The Tensor Cache eliminates PCIe traffic whenever DRAM suffices
@@ -125,14 +140,18 @@ fn superneurons_widest_batch_on_resnet50() {
     let mut best_other = 0usize;
     let mut sn = 0usize;
     for fw in Framework::ALL {
-        let b = superneurons::frameworks::max_batch(fw, &superneurons::models::resnet50, &spec, 2048);
+        let b =
+            superneurons::frameworks::max_batch(fw, &superneurons::models::resnet50, &spec, 2048);
         if fw == Framework::SuperNeurons {
             sn = b;
         } else {
             best_other = best_other.max(b);
         }
     }
-    assert!(sn as f64 >= 1.89 * best_other as f64, "sn {sn} vs best {best_other}");
+    assert!(
+        sn as f64 >= 1.89 * best_other as f64,
+        "sn {sn} vs best {best_other}"
+    );
 }
 
 /// Going deeper: SuperNeurons trains a ResNet at least 3.24x deeper than
@@ -144,8 +163,14 @@ fn superneurons_deepest_resnet() {
     // (where SuperNeurons exceeds the 8000-depth search cap).
     let spec = DeviceSpec::k40c().with_dram(1 << 30);
     let batch = 8;
-    let sn = superneurons::frameworks::max_resnet_depth(Framework::SuperNeurons, batch, &spec, 2000);
-    for fw in [Framework::Caffe, Framework::Torch, Framework::MXNet, Framework::TensorFlow] {
+    let sn =
+        superneurons::frameworks::max_resnet_depth(Framework::SuperNeurons, batch, &spec, 2000);
+    for fw in [
+        Framework::Caffe,
+        Framework::Torch,
+        Framework::MXNet,
+        Framework::TensorFlow,
+    ] {
         let d = superneurons::frameworks::max_resnet_depth(fw, batch, &spec, 2000);
         assert!(
             sn as f64 >= 3.24 * d as f64,
@@ -161,7 +186,10 @@ fn superneurons_deepest_resnet() {
 fn superneurons_leads_fig14_speed() {
     let spec = DeviceSpec::titan_xp();
     for (name, build) in [
-        ("AlexNet", superneurons::models::alexnet as fn(usize) -> superneurons::Net),
+        (
+            "AlexNet",
+            superneurons::models::alexnet as fn(usize) -> superneurons::Net,
+        ),
         ("ResNet50", superneurons::models::resnet50),
     ] {
         let batch = if name == "AlexNet" { 128 } else { 16 };
@@ -175,7 +203,10 @@ fn superneurons_leads_fig14_speed() {
         }
         let sn = speeds.iter().find(|(n, _)| *n == "SuperNeurons").unwrap().1;
         for (n, v) in &speeds {
-            assert!(sn >= *v, "{name}: SuperNeurons {sn:.0} must lead {n} {v:.0}");
+            assert!(
+                sn >= *v,
+                "{name}: SuperNeurons {sn:.0} must lead {n} {v:.0}"
+            );
         }
     }
 }

@@ -113,5 +113,8 @@ fn recompute_reexecutes_layers() {
         .with_backend(backend(&net, 7));
     let r = ex.run_iteration().unwrap();
     assert!(ex.backend().is_some());
-    assert!(r.counters.recompute_forwards >= 4, "LeNet has >=4 recomputable layers");
+    assert!(
+        r.counters.recompute_forwards >= 4,
+        "LeNet has >=4 recomputable layers"
+    );
 }
