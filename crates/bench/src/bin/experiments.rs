@@ -35,12 +35,13 @@ fn main() {
             "fig13" => sn_bench::fig13(quick),
             "fig14" => sn_bench::fig14(quick),
             "ablation" => sn_bench::run_ablations(),
+            "overlap" => sn_bench::overlap(quick),
             "cluster" => sn_bench::cluster(quick),
             "all" => sn_bench::run_all(quick),
             other => {
                 eprintln!(
                     "unknown experiment '{other}'; known: fig2 fig8 fig10 table1 table2 table3 \
-                     fig11 fig12 table4 table5 fig13 fig14 ablation cluster all  (flag: --quick)"
+                     fig11 fig12 table4 table5 fig13 fig14 ablation overlap cluster all  (flag: --quick)"
                 );
                 std::process::exit(2);
             }

@@ -556,6 +556,7 @@ pub fn run_all(quick: bool) -> String {
         ("table5", table5(quick)),
         ("fig13", fig13(quick)),
         ("fig14", fig14(quick)),
+        ("overlap", crate::overlap::overlap(quick)),
         ("cluster", crate::cluster::cluster(quick)),
     ] {
         out.push_str(&format!(

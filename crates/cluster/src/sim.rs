@@ -150,10 +150,11 @@ impl ClusterSim {
                 .map(|r| now_ns + r.remaining_ns * Self::slowdown(&devices, r))
                 .collect();
             let t_completion = projections.iter().copied().fold(f64::INFINITY, f64::min);
-            let t_arrival = arrivals
-                .get(next_arrival)
-                .map(|(t, _)| t.0 as f64)
-                .unwrap_or(f64::INFINITY);
+            // Keep the arrival timestamp in integer nanoseconds; its f64
+            // projection is only used to order it against completion
+            // projections (which are inherently f64 under processor sharing).
+            let t_arrival_ns: Option<u64> = arrivals.get(next_arrival).map(|(t, _)| t.0);
+            let t_arrival = t_arrival_ns.map(|t| t as f64).unwrap_or(f64::INFINITY);
             let t_next = t_completion.min(t_arrival);
             if t_next.is_infinite() {
                 debug_assert!(pending.is_empty(), "queued jobs with no future events");
@@ -173,7 +174,10 @@ impl ClusterSim {
                     d.reserved_integral += d.reserved as f64 * dt;
                 }
             }
-            now_ns = t_next;
+            // Never move the clock backwards: an arrival timestamp past 2^53
+            // ns can *round down* below a completion the clock already
+            // advanced to.
+            now_ns = now_ns.max(t_next);
 
             // Completions first (freeing capacity for same-instant arrivals),
             // lowest job index first. Partition rather than remove-by-index:
@@ -202,15 +206,23 @@ impl ClusterSim {
                 });
             }
 
-            // Arrivals at this instant join the queue in input order.
-            while next_arrival < n_jobs && arrivals[next_arrival].0 .0 as f64 == t_next {
-                pending.push(next_arrival);
-                trace.push(TraceEvent {
-                    t_ns: arrivals[next_arrival].0 .0,
-                    job: specs[next_arrival].name.clone(),
-                    kind: TraceKind::Arrive,
-                });
-                next_arrival += 1;
+            // Arrivals at this instant join the queue in input order. Match
+            // on the *integer* nanosecond timestamp, not its f64 projection:
+            // beyond 2^53 ns distinct arrival times collapse under `as f64`,
+            // and a float-equality match would drop (or spuriously merge)
+            // coincident arrivals. Only arrivals sharing the exact SimTime
+            // of the one that triggered this event are coincident.
+            if t_arrival <= t_next {
+                let t_ns = t_arrival_ns.expect("finite arrival projection");
+                while next_arrival < n_jobs && arrivals[next_arrival].0 .0 == t_ns {
+                    pending.push(next_arrival);
+                    trace.push(TraceEvent {
+                        t_ns,
+                        job: specs[next_arrival].name.clone(),
+                        kind: TraceKind::Arrive,
+                    });
+                    next_arrival += 1;
+                }
             }
 
             // Admission/placement pass: FIFO with backfill — a blocked job

@@ -247,6 +247,53 @@ fn non_power_of_two_dram_resolves_every_job() {
 }
 
 #[test]
+fn adversarial_arrival_times_are_never_dropped() {
+    // Regression for the f64 arrival-matching bug: beyond 2^53 ns the `as
+    // f64` projection of a nanosecond timestamp is lossy, so distinct (and
+    // coincident) arrival times up there collapse or miscompare under float
+    // equality. The event loop must match arrivals on the integer SimTime.
+    let base: u64 = 1 << 53;
+    let w = Workload::Synthetic { width: 8, depth: 2 };
+    // Four arrivals one ns apart (2^53+1 and 2^53+3 are not representable as
+    // f64), plus an exact duplicate of the last — coincident in integer time.
+    let mut jobs: Vec<(sn_sim::SimTime, JobSpec)> = (0..4)
+        .map(|i| {
+            (
+                sn_sim::SimTime(base + i),
+                JobSpec::new(format!("late{i}"), w, 8).with_iterations(2),
+            )
+        })
+        .collect();
+    jobs.push((
+        sn_sim::SimTime(base + 3),
+        JobSpec::new("late3-twin", w, 8).with_iterations(2),
+    ));
+    let n = jobs.len();
+
+    let mut sim = ClusterSim::new(fleet8(256 * MB), PlacementPolicy::FirstFit);
+    let report = sim.run(jobs);
+
+    let arrive_events = report
+        .trace
+        .iter()
+        .filter(|e| matches!(e.kind, TraceKind::Arrive))
+        .count();
+    assert_eq!(
+        arrive_events, n,
+        "every arrival must be traced exactly once"
+    );
+    assert_eq!(report.jobs.len(), n);
+    for job in &report.jobs {
+        assert!(
+            job.completion.is_some(),
+            "job {} dropped by arrival matching",
+            job.name
+        );
+    }
+    assert_eq!(report.completed, n);
+}
+
+#[test]
 fn zero_replica_jobs_are_rejected_not_phantom_admitted() {
     let mut sim = ClusterSim::new(fleet8(96 * MB), PlacementPolicy::FirstFit);
     let report = sim.run(vec![(

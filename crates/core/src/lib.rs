@@ -35,7 +35,9 @@ pub mod tiers;
 pub use convalgo::{select_algo, AlgoChoice, ConvAlgo};
 pub use device::{AllocatorImpl, Device};
 pub use executor::{ComputeBackend, Counters, ExecError, Executor, IterationReport};
-pub use parallel::{ring_allreduce_time, DataParallel, Interconnect, ParallelReport};
+pub use parallel::{
+    ring_allreduce_time, ring_allreduce_wire_bytes, DataParallel, Interconnect, ParallelReport,
+};
 pub use policy::{AllocatorKind, CachePolicy, Policy, RecomputeMode, WorkspacePolicy};
 pub use recompute::{RecomputePlan, Segment, SegmentStrategy};
 pub use session::{predict_peak_bytes, predict_run, PeakPrediction, Session, SessionReport};

@@ -50,6 +50,19 @@ impl Interconnect {
     }
 }
 
+/// Bytes each ring all-reduce participant moves on the wire: `2·(k−1)/k` of
+/// the gradient bytes, rounded to the nearest byte (truncation would
+/// undercharge every non-divisible gradient size). Zero for a single replica.
+pub fn ring_allreduce_wire_bytes(grad_bytes: u64, gpus: usize) -> u64 {
+    if gpus <= 1 {
+        return 0;
+    }
+    // Integer rounding of 2·(k−1)·bytes / k — exact, no f64 detour.
+    let k = gpus as u128;
+    let numer = 2 * (k - 1) * grad_bytes as u128;
+    ((numer + k / 2) / k) as u64
+}
+
 /// Wire time for a synchronous ring all-reduce of `grad_bytes` over `gpus`
 /// replicas: each participant moves `2·(k−1)/k` of the gradient bytes and
 /// pays `2·(k−1)` message latencies. Zero for a single replica.
@@ -57,8 +70,7 @@ pub fn ring_allreduce_time(grad_bytes: u64, gpus: usize, interconnect: Interconn
     if gpus <= 1 {
         return SimTime::ZERO;
     }
-    let k = gpus as f64;
-    let wire_bytes = (2.0 * (k - 1.0) / k * grad_bytes as f64) as u64;
+    let wire_bytes = ring_allreduce_wire_bytes(grad_bytes, gpus);
     sn_sim::time::transfer_time(wire_bytes, interconnect.gbps)
         + SimTime(interconnect.latency.0 * 2 * (gpus as u64 - 1))
 }
@@ -236,6 +248,26 @@ mod tests {
             predicted >= measured,
             "prediction {predicted} must cover measured {measured}"
         );
+    }
+
+    #[test]
+    fn allreduce_wire_bytes_pin_small_k() {
+        // Pin the 2(k−1)/k volume for small k, at sizes where the old
+        // truncating `as u64` cast was off by one.
+        assert_eq!(ring_allreduce_wire_bytes(1_000, 1), 0);
+        assert_eq!(ring_allreduce_wire_bytes(1_000, 2), 1_000); // 2·1/2
+        assert_eq!(ring_allreduce_wire_bytes(1_000, 4), 1_500); // 2·3/4
+                                                                // 2·2/3·1001 = 1334.67: round to 1335 (truncation said 1334).
+        assert_eq!(ring_allreduce_wire_bytes(1_001, 3), 1_335);
+        // 2·4/5·1 = 1.6: round to 2 (truncation said 1).
+        assert_eq!(ring_allreduce_wire_bytes(1, 5), 2);
+        // The asymptote: 2(k−1)/k → 2, never exceeded after rounding by
+        // more than half a byte's worth.
+        for k in 2..=16usize {
+            let w = ring_allreduce_wire_bytes(1 << 20, k);
+            assert!(w < 2 * (1 << 20));
+            assert!(w >= (1 << 20), "k={k} moved only {w} bytes");
+        }
     }
 
     #[test]

@@ -78,6 +78,11 @@ pub struct Policy {
     /// Pinned host staging (false halves PCIe bandwidth, as the paper notes
     /// for TensorFlow).
     pub pinned_host: bool,
+    /// Serialize every DMA with the host thread (the host blocks until each
+    /// transfer completes, as with `cudaMemcpy` on the null stream). The
+    /// ablation baseline for the async multi-stream engine: compute/transfer
+    /// overlap is zero by construction under this flag.
+    pub sync_transfers: bool,
     pub recompute: RecomputeMode,
     pub allocator: AllocatorKind,
     pub workspace: WorkspacePolicy,
@@ -100,11 +105,21 @@ impl Policy {
             tensor_cache: false,
             prefetch: false,
             pinned_host: true,
+            sync_transfers: false,
             recompute: RecomputeMode::None,
             allocator: AllocatorKind::HeapPool,
             workspace: WorkspacePolicy::None,
             cache_policy: CachePolicy::Lru,
             tiers: crate::tiers::TierConfig::default(),
+        }
+    }
+
+    /// This policy with every DMA serialized against the host — the
+    /// synchronous-transfer ablation baseline.
+    pub fn synchronous(self) -> Policy {
+        Policy {
+            sync_transfers: true,
+            ..self
         }
     }
 
@@ -149,6 +164,7 @@ impl Policy {
             tensor_cache: true,
             prefetch: true,
             pinned_host: true,
+            sync_transfers: false,
             recompute: RecomputeMode::CostAware,
             allocator: AllocatorKind::HeapPool,
             workspace: WorkspacePolicy::Dynamic,

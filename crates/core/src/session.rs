@@ -32,6 +32,12 @@ pub struct SessionReport {
     pub alloc_time: SimTime,
     pub alloc_calls: u64,
     pub stall: SimTime,
+    /// Per-iteration compute-stream busy time (averaged).
+    pub compute_busy: SimTime,
+    /// Per-iteration DMA busy time (averaged).
+    pub transfer_busy: SimTime,
+    /// Per-iteration DMA time hidden under kernels (averaged).
+    pub overlapped: SimTime,
     pub last: IterationReport,
 }
 
@@ -39,6 +45,17 @@ impl SessionReport {
     /// Total PCIe traffic per iteration (Table 3's quantity).
     pub fn traffic_per_iter(&self) -> u64 {
         self.h2d_bytes_per_iter + self.d2h_bytes_per_iter
+    }
+
+    /// Fraction of transfer time hidden under compute across the measured
+    /// iterations, in `[0, 1]` (zero when nothing moved).
+    pub fn overlap_fraction(&self) -> f64 {
+        sn_sim::OverlapStats {
+            compute_busy: self.compute_busy,
+            transfer_busy: self.transfer_busy,
+            overlapped: self.overlapped,
+        }
+        .fraction()
     }
 }
 
@@ -114,6 +131,9 @@ impl Session {
         let mut alloc_time = SimTime::ZERO;
         let mut alloc_calls = 0u64;
         let mut stall = SimTime::ZERO;
+        let mut compute_busy = SimTime::ZERO;
+        let mut transfer_busy = SimTime::ZERO;
+        let mut overlapped = SimTime::ZERO;
         let mut last = None;
         let iters = self.iters.max(1);
         for _ in 0..iters {
@@ -126,6 +146,9 @@ impl Session {
             alloc_time += r.alloc_time;
             alloc_calls += r.alloc_calls;
             stall += r.stall;
+            compute_busy += r.compute_busy;
+            transfer_busy += r.transfer_busy;
+            overlapped += r.overlapped;
             last = Some(r);
         }
         let iter_time = SimTime::from_ns(total_time.as_ns() / iters as u64);
@@ -142,6 +165,9 @@ impl Session {
             alloc_time: SimTime::from_ns(alloc_time.as_ns() / iters as u64),
             alloc_calls: alloc_calls / iters as u64,
             stall: SimTime::from_ns(stall.as_ns() / iters as u64),
+            compute_busy: SimTime::from_ns(compute_busy.as_ns() / iters as u64),
+            transfer_busy: SimTime::from_ns(transfer_busy.as_ns() / iters as u64),
+            overlapped: SimTime::from_ns(overlapped.as_ns() / iters as u64),
             last: last.expect("iters >= 1"),
         })
     }

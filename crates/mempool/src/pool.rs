@@ -182,9 +182,13 @@ impl DeviceAllocator for HeapPool {
         // free memory from the empty list").
         let Some(pos) = self.empty.iter().position(|n| n.blocks >= need) else {
             self.stats.failed_allocs += 1;
+            // Report the largest fragment alongside total free bytes so a
+            // fragmentation failure (largest < requested ≤ free) is
+            // distinguishable from true exhaustion (free < requested).
             return Err(AllocError::OutOfMemory {
                 requested: bytes,
                 free: (self.total_blocks - self.used_blocks) * self.cfg.block_bytes,
+                largest: self.largest_fragment(),
             });
         };
         let node = self.empty[pos];
@@ -320,9 +324,16 @@ mod tests {
         let mut p = pool_kb(4);
         let _g = p.alloc(3 * 1024).unwrap();
         match p.alloc(2 * 1024) {
-            Err(AllocError::OutOfMemory { requested, free }) => {
+            Err(AllocError::OutOfMemory {
+                requested,
+                free,
+                largest,
+            }) => {
                 assert_eq!(requested, 2 * 1024);
                 assert_eq!(free, 1024);
+                // True exhaustion: free < requested, and one fragment holds
+                // all the free bytes.
+                assert_eq!(largest, 1024);
             }
             other => panic!("expected OOM, got {other:?}"),
         }
@@ -340,7 +351,20 @@ mod tests {
         // 4 KB free but split 2+2 around b.
         assert_eq!(p.free_bytes(), 4096);
         assert_eq!(p.largest_fragment(), 2048);
-        assert!(p.alloc(3 * 1024).is_err());
+        match p.alloc(3 * 1024) {
+            Err(AllocError::OutOfMemory {
+                requested,
+                free,
+                largest,
+            }) => {
+                // Fragmentation, not exhaustion: enough total bytes exist,
+                // but no contiguous run fits — and the error says so.
+                assert!(free >= requested, "total free covers the request");
+                assert!(largest < requested, "no fragment covers the request");
+                assert_eq!(largest, 2048);
+            }
+            other => panic!("expected fragmentation OOM, got {other:?}"),
+        }
         p.free(b.id).unwrap();
         // Full coalescing restores one node.
         assert_eq!(p.empty_nodes(), 1);

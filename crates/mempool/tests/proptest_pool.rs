@@ -5,7 +5,7 @@
 
 use proptest::prelude::*;
 use sn_mempool::HeapPool;
-use sn_sim::DeviceAllocator;
+use sn_sim::{AllocError, DeviceAllocator};
 
 #[derive(Debug, Clone)]
 enum Op {
@@ -49,8 +49,23 @@ proptest! {
                             }
                             live.push((g.id, g.addr, g.bytes));
                         }
-                        Err(_) => {
-                            // OOM is acceptable; pool must stay consistent.
+                        Err(AllocError::OutOfMemory { requested, free, largest }) => {
+                            // OOM is acceptable; its diagnostics must be
+                            // truthful so fragmentation failures are
+                            // distinguishable from true exhaustion.
+                            prop_assert_eq!(requested, bytes);
+                            prop_assert_eq!(free, pool.capacity() - pool.used());
+                            prop_assert_eq!(largest, pool.largest_fragment());
+                            prop_assert!(largest <= free);
+                            // The pool only fails when no fragment fits.
+                            prop_assert!(largest < bytes,
+                                "refused {} bytes though a {} byte fragment exists",
+                                bytes, largest);
+                        }
+                        Err(e) => {
+                            return Err(TestCaseError::fail(format!(
+                                "unexpected alloc error: {e}"
+                            )));
                         }
                     }
                 }

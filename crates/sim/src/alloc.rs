@@ -27,8 +27,16 @@ pub struct AllocGrant {
 /// Allocation failure.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum AllocError {
-    /// Not enough free device memory for the request.
-    OutOfMemory { requested: u64, free: u64 },
+    /// No free region can satisfy the request. `largest < requested ≤ free`
+    /// means fragmentation, not exhaustion: enough total bytes exist but no
+    /// contiguous run is big enough.
+    OutOfMemory {
+        requested: u64,
+        /// Total free bytes across all fragments.
+        free: u64,
+        /// Largest contiguous free fragment.
+        largest: u64,
+    },
     /// The handle passed to `free` is unknown (double free or corruption).
     UnknownAllocation,
 }
@@ -36,10 +44,21 @@ pub enum AllocError {
 impl std::fmt::Display for AllocError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            AllocError::OutOfMemory { requested, free } => write!(
-                f,
-                "device out of memory: requested {requested} bytes, {free} free"
-            ),
+            AllocError::OutOfMemory {
+                requested,
+                free,
+                largest,
+            } => {
+                write!(
+                    f,
+                    "device out of memory: requested {requested} bytes, {free} free \
+                     (largest contiguous fragment {largest})"
+                )?;
+                if largest < requested && *requested <= *free {
+                    write!(f, " — fragmentation, not exhaustion")?;
+                }
+                Ok(())
+            }
             AllocError::UnknownAllocation => write!(f, "unknown allocation handle"),
         }
     }
@@ -136,9 +155,13 @@ impl DeviceAllocator for CudaAllocator {
         // cudaMalloc rounds to 256-byte granularity.
         let bytes = bytes.max(1).div_ceil(256) * 256;
         if self.used + bytes > self.capacity {
+            // The cudaMalloc model never fragments (it is a capacity meter,
+            // not an address-space model), so the largest "fragment" is all
+            // of the free space.
             return Err(AllocError::OutOfMemory {
                 requested: bytes,
                 free: self.capacity - self.used,
+                largest: self.capacity - self.used,
             });
         }
         let id = self.next_id;

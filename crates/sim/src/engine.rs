@@ -1,16 +1,26 @@
-//! The execution timeline: one compute engine plus two DMA engines.
+//! The multi-stream execution timeline.
 //!
-//! Modern GPUs expose independent copy engines, which is what lets the
-//! SuperNeurons runtime hide offload (device→host) and prefetch
-//! (host→device) traffic under kernel execution. We model each engine as a
-//! serializing queue with a `busy_until` frontier: an operation submitted at
-//! time `t` starts at `max(t, busy_until)`, runs for its duration, and moves
-//! the frontier. Cross-engine ordering is expressed through [`Event`]s, the
-//! analogue of `cudaEvent_t`.
+//! Modern GPUs expose independent copy engines next to the SM array, which is
+//! what lets the SuperNeurons runtime hide offload (device→host) and prefetch
+//! (host→device) traffic under kernel execution. We model the device as a set
+//! of **streams** — serializing queues with a `busy_until` frontier: an
+//! operation submitted at time `t` starts at `max(t, busy_until, gates)`,
+//! runs for its duration, and moves the frontier. Cross-stream ordering is
+//! expressed through [`Event`]s (the analogue of `cudaEvent_t`), and a submit
+//! may be gated on *any number* of events from other streams.
+//!
+//! Every [`Timeline`] starts with the three canonical streams of a CUDA
+//! device — [`StreamId::COMPUTE`], [`StreamId::H2D`], [`StreamId::D2H`] —
+//! and callers may [`Timeline::add_stream`] more (extra copy queues, a second
+//! kernel stream) without touching this module. Each stream keeps a busy
+//! *timeline* (coalesced `[start, end)` spans), from which
+//! [`Timeline::overlap`] derives how much DMA time was hidden under compute —
+//! the quantity the `overlap` bench experiment reports per policy.
 
 use crate::time::SimTime;
 
-/// Which hardware queue an operation occupies.
+/// Which kind of hardware queue a stream models. Several streams may share a
+/// kind (e.g. two H2D copy queues); statistics aggregate per kind.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum EngineKind {
     /// The SM array: kernels (layer forward/backward, recompute passes).
@@ -28,20 +38,33 @@ pub enum TransferDirection {
     DeviceToHost,
 }
 
+/// Handle to one stream of a [`Timeline`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct StreamId(pub usize);
+
+impl StreamId {
+    /// The canonical kernel stream every `Timeline` starts with.
+    pub const COMPUTE: StreamId = StreamId(0);
+    /// The canonical host→device copy stream.
+    pub const H2D: StreamId = StreamId(1);
+    /// The canonical device→host copy stream.
+    pub const D2H: StreamId = StreamId(2);
+}
+
 /// Completion marker for a submitted operation (cf. `cudaEvent_t`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Event {
     /// Virtual time at which the operation finishes.
     pub done_at: SimTime,
-    /// Engine the operation ran on.
-    pub engine: EngineKind,
+    /// Stream the operation ran on.
+    pub stream: StreamId,
 }
 
 impl Event {
     /// An event that is already complete at time zero.
     pub const COMPLETED: Event = Event {
         done_at: SimTime::ZERO,
-        engine: EngineKind::Compute,
+        stream: StreamId::COMPUTE,
     };
 
     /// Has this event completed by time `now`?
@@ -51,25 +74,52 @@ impl Event {
     }
 }
 
-#[derive(Debug, Clone, Copy, Default)]
-struct Engine {
+/// A tracked in-flight DMA: the completion event plus the payload size (for
+/// traffic accounting and diagnostics by whoever holds it). This is what
+/// subsystems hold instead of bare events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Dma {
+    pub event: Event,
+    pub bytes: u64,
+}
+
+/// One serializing queue: its frontier plus the busy timeline since the last
+/// stats reset.
+#[derive(Debug, Clone)]
+struct Stream {
+    kind: EngineKind,
     busy_until: SimTime,
     busy_total: SimTime,
     ops: u64,
+    /// Coalesced busy spans `[start, end)` in ns, ascending — per-stream ops
+    /// serialize, so spans never overlap and append in order.
+    intervals: Vec<(u64, u64)>,
 }
 
-/// Per-run transfer and utilization statistics.
+impl Stream {
+    fn new(kind: EngineKind) -> Stream {
+        Stream {
+            kind,
+            busy_until: SimTime::ZERO,
+            busy_total: SimTime::ZERO,
+            ops: 0,
+            intervals: Vec::new(),
+        }
+    }
+}
+
+/// Per-run transfer and utilization statistics, aggregated per stream kind.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct TimelineStats {
     /// Bytes moved host→device.
     pub h2d_bytes: u64,
     /// Bytes moved device→host.
     pub d2h_bytes: u64,
-    /// Total busy time of the compute engine.
+    /// Total busy time of compute streams.
     pub compute_busy: SimTime,
-    /// Total busy time of the H2D engine.
+    /// Total busy time of H2D streams.
     pub h2d_busy: SimTime,
-    /// Total busy time of the D2H engine.
+    /// Total busy time of D2H streams.
     pub d2h_busy: SimTime,
     /// Time the *caller* spent blocked waiting on events (stalls that the
     /// overlap machinery failed to hide).
@@ -86,25 +136,121 @@ impl TimelineStats {
     }
 }
 
-/// The device timeline: a virtual clock and the three engines.
+/// How much transfer time was hidden under compute, derived from the busy
+/// timelines: `overlapped` is the length of the intersection between the
+/// union of compute spans and the union of DMA spans.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OverlapStats {
+    /// Union length of compute busy spans.
+    pub compute_busy: SimTime,
+    /// Union length of DMA busy spans (all transfer streams together).
+    pub transfer_busy: SimTime,
+    /// Length of compute ∩ transfer — DMA time hidden under kernels.
+    pub overlapped: SimTime,
+}
+
+impl OverlapStats {
+    /// Fraction of transfer time hidden under compute, in `[0, 1]`.
+    /// Zero when no transfers occurred.
+    pub fn fraction(&self) -> f64 {
+        if self.transfer_busy == SimTime::ZERO {
+            0.0
+        } else {
+            self.overlapped.as_ns() as f64 / self.transfer_busy.as_ns() as f64
+        }
+    }
+}
+
+/// Merge possibly-unsorted span lists into one sorted, disjoint union.
+fn union_spans(lists: &[&[(u64, u64)]]) -> Vec<(u64, u64)> {
+    let mut all: Vec<(u64, u64)> = lists.iter().flat_map(|l| l.iter().copied()).collect();
+    all.sort_unstable();
+    let mut out: Vec<(u64, u64)> = Vec::with_capacity(all.len());
+    for (s, e) in all {
+        match out.last_mut() {
+            Some(last) if s <= last.1 => last.1 = last.1.max(e),
+            _ => out.push((s, e)),
+        }
+    }
+    out
+}
+
+/// Total length of the intersection of two sorted, disjoint span lists.
+fn intersect_len(a: &[(u64, u64)], b: &[(u64, u64)]) -> u64 {
+    let (mut i, mut j, mut total) = (0, 0, 0u64);
+    while i < a.len() && j < b.len() {
+        let lo = a[i].0.max(b[j].0);
+        let hi = a[i].1.min(b[j].1);
+        if lo < hi {
+            total += hi - lo;
+        }
+        if a[i].1 <= b[j].1 {
+            i += 1;
+        } else {
+            j += 1;
+        }
+    }
+    total
+}
+
+fn span_len(spans: &[(u64, u64)]) -> u64 {
+    spans.iter().map(|(s, e)| e - s).sum()
+}
+
+/// The device timeline: a virtual clock plus a set of streams.
 ///
 /// The caller (the runtime's executor) plays the role of the host thread: it
 /// submits work, occasionally waits on events, and advances `now` past
 /// host-side costs (e.g. `cudaMalloc` latency) with [`Timeline::advance`].
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct Timeline {
     now: SimTime,
-    compute: Engine,
-    h2d: Engine,
-    d2h: Engine,
+    streams: Vec<Stream>,
     h2d_bytes: u64,
     d2h_bytes: u64,
     stall: SimTime,
 }
 
+impl Default for Timeline {
+    fn default() -> Self {
+        Timeline::new()
+    }
+}
+
 impl Timeline {
+    /// A timeline with the three canonical streams of a CUDA device.
     pub fn new() -> Self {
-        Self::default()
+        Timeline {
+            now: SimTime::ZERO,
+            streams: vec![
+                Stream::new(EngineKind::Compute),
+                Stream::new(EngineKind::H2D),
+                Stream::new(EngineKind::D2H),
+            ],
+            h2d_bytes: 0,
+            d2h_bytes: 0,
+            stall: SimTime::ZERO,
+        }
+    }
+
+    /// Add another stream of the given kind (e.g. a second copy queue).
+    pub fn add_stream(&mut self, kind: EngineKind) -> StreamId {
+        self.streams.push(Stream::new(kind));
+        StreamId(self.streams.len() - 1)
+    }
+
+    /// Number of streams (canonical + added).
+    pub fn stream_count(&self) -> usize {
+        self.streams.len()
+    }
+
+    /// The canonical stream for a kind.
+    pub fn canonical(kind: EngineKind) -> StreamId {
+        match kind {
+            EngineKind::Compute => StreamId::COMPUTE,
+            EngineKind::H2D => StreamId::H2D,
+            EngineKind::D2H => StreamId::D2H,
+        }
     }
 
     /// Current host-thread virtual time.
@@ -113,43 +259,66 @@ impl Timeline {
         self.now
     }
 
-    fn engine_mut(&mut self, kind: EngineKind) -> &mut Engine {
-        match kind {
-            EngineKind::Compute => &mut self.compute,
-            EngineKind::H2D => &mut self.h2d,
-            EngineKind::D2H => &mut self.d2h,
+    /// Submit an operation of `duration` to `stream`, not starting before any
+    /// of the `gates` complete (cross-stream dependencies). Returns the
+    /// completion event. Does **not** block the host thread.
+    pub fn submit_on(&mut self, stream: StreamId, duration: SimTime, gates: &[Event]) -> Event {
+        let gate = gates
+            .iter()
+            .map(|e| e.done_at)
+            .fold(SimTime::ZERO, SimTime::max);
+        let now = self.now;
+        let s = &mut self.streams[stream.0];
+        let start = s.busy_until.max(now).max(gate);
+        let done = start + duration;
+        s.busy_until = done;
+        s.busy_total += duration;
+        s.ops += 1;
+        if duration > SimTime::ZERO {
+            match s.intervals.last_mut() {
+                Some(last) if last.1 == start.as_ns() => last.1 = done.as_ns(),
+                _ => s.intervals.push((start.as_ns(), done.as_ns())),
+            }
+        }
+        Event {
+            done_at: done,
+            stream,
         }
     }
 
-    /// Submit an operation of `duration` to `kind`'s queue, optionally not
-    /// starting before `after` (a cross-engine dependency). Returns the
-    /// completion event. Does **not** block the host thread.
+    /// Submit to a kind's canonical stream with at most one dependency
+    /// (the common case in the executor's hot path).
     pub fn submit_after(
         &mut self,
         kind: EngineKind,
         duration: SimTime,
         after: Option<Event>,
     ) -> Event {
-        let gate = after.map(|e| e.done_at).unwrap_or(SimTime::ZERO);
-        let now = self.now;
-        let eng = self.engine_mut(kind);
-        let start = eng.busy_until.max(now).max(gate);
-        let done = start + duration;
-        eng.busy_until = done;
-        eng.busy_total += duration;
-        eng.ops += 1;
-        Event {
-            done_at: done,
-            engine: kind,
+        match after {
+            Some(e) => self.submit_on(Self::canonical(kind), duration, &[e]),
+            None => self.submit_on(Self::canonical(kind), duration, &[]),
         }
     }
 
-    /// Submit an operation with no cross-engine dependency.
+    /// Submit an operation with no cross-stream dependency.
     pub fn submit(&mut self, kind: EngineKind, duration: SimTime) -> Event {
-        self.submit_after(kind, duration, None)
+        self.submit_on(Self::canonical(kind), duration, &[])
     }
 
-    /// Submit a DMA transfer of `bytes` at `gbps`, recording traffic.
+    /// Submit a DMA transfer of `bytes` at `gbps` on `stream` (which must be
+    /// a transfer stream; its kind determines the accounting direction).
+    pub fn transfer_on(&mut self, stream: StreamId, bytes: u64, gbps: f64, gates: &[Event]) -> Dma {
+        match self.streams[stream.0].kind {
+            EngineKind::H2D => self.h2d_bytes += bytes,
+            EngineKind::D2H => self.d2h_bytes += bytes,
+            EngineKind::Compute => panic!("transfer submitted to a compute stream"),
+        }
+        let duration = crate::time::transfer_time(bytes, gbps);
+        let event = self.submit_on(stream, duration, gates);
+        Dma { event, bytes }
+    }
+
+    /// Submit a DMA transfer on the direction's canonical stream.
     pub fn submit_transfer(
         &mut self,
         dir: TransferDirection,
@@ -157,17 +326,15 @@ impl Timeline {
         gbps: f64,
         after: Option<Event>,
     ) -> Event {
-        let duration = crate::time::transfer_time(bytes, gbps);
-        match dir {
-            TransferDirection::HostToDevice => {
-                self.h2d_bytes += bytes;
-                self.submit_after(EngineKind::H2D, duration, after)
-            }
-            TransferDirection::DeviceToHost => {
-                self.d2h_bytes += bytes;
-                self.submit_after(EngineKind::D2H, duration, after)
-            }
-        }
+        let stream = match dir {
+            TransferDirection::HostToDevice => StreamId::H2D,
+            TransferDirection::DeviceToHost => StreamId::D2H,
+        };
+        let gates: &[Event] = match &after {
+            Some(e) => std::slice::from_ref(e),
+            None => &[],
+        };
+        self.transfer_on(stream, bytes, gbps, gates).event
     }
 
     /// Block the host thread until `event` completes, accounting the stall.
@@ -178,17 +345,22 @@ impl Timeline {
         }
     }
 
-    /// Block until *all* engines drain (cf. `cudaDeviceSynchronize`).
+    /// Block until *all* streams drain (cf. `cudaDeviceSynchronize`).
     pub fn sync_all(&mut self) {
         let frontier = self
-            .compute
-            .busy_until
-            .max(self.h2d.busy_until)
-            .max(self.d2h.busy_until);
+            .streams
+            .iter()
+            .map(|s| s.busy_until)
+            .fold(self.now, SimTime::max);
         if frontier > self.now {
             self.stall += frontier - self.now;
             self.now = frontier;
         }
+    }
+
+    /// Block until one stream drains (cf. `cudaStreamSynchronize`).
+    pub fn sync_stream(&mut self, stream: StreamId) {
+        self.wait(self.frontier_event(stream));
     }
 
     /// Advance the host thread by `d` (host-side work such as allocator
@@ -200,46 +372,96 @@ impl Timeline {
     /// Move the host clock up to the compute frontier. The executor calls
     /// this after submitting a layer's kernels: the host thread in a training
     /// loop is logically synchronous with compute (it must observe results
-    /// before scheduling dependent memory operations), while DMA engines
+    /// before scheduling dependent memory operations), while DMA streams
     /// drain in the background.
     pub fn join_compute(&mut self) {
-        if self.compute.busy_until > self.now {
-            self.now = self.compute.busy_until;
+        let frontier = self
+            .streams
+            .iter()
+            .filter(|s| s.kind == EngineKind::Compute)
+            .map(|s| s.busy_until)
+            .fold(self.now, SimTime::max);
+        if frontier > self.now {
+            self.now = frontier;
         }
     }
 
-    /// Completion frontier of one engine.
+    /// Completion frontier of a kind's canonical stream.
     pub fn frontier(&self, kind: EngineKind) -> SimTime {
-        match kind {
-            EngineKind::Compute => self.compute.busy_until,
-            EngineKind::H2D => self.h2d.busy_until,
-            EngineKind::D2H => self.d2h.busy_until,
+        self.streams[Self::canonical(kind).0].busy_until
+    }
+
+    /// Completion frontier of one stream.
+    pub fn stream_frontier(&self, stream: StreamId) -> SimTime {
+        self.streams[stream.0].busy_until
+    }
+
+    /// An event that completes when everything currently queued on `stream`
+    /// has drained — the gate for "after all reads of X issued so far".
+    pub fn frontier_event(&self, stream: StreamId) -> Event {
+        Event {
+            done_at: self.streams[stream.0].busy_until,
+            stream,
         }
     }
 
-    /// Snapshot of accumulated statistics.
+    /// Snapshot of accumulated statistics, aggregated per stream kind.
     pub fn stats(&self) -> TimelineStats {
-        TimelineStats {
+        let mut s = TimelineStats {
             h2d_bytes: self.h2d_bytes,
             d2h_bytes: self.d2h_bytes,
-            compute_busy: self.compute.busy_total,
-            h2d_busy: self.h2d.busy_total,
-            d2h_busy: self.d2h.busy_total,
             stall: self.stall,
-            compute_ops: self.compute.ops,
+            ..TimelineStats::default()
+        };
+        for st in &self.streams {
+            match st.kind {
+                EngineKind::Compute => {
+                    s.compute_busy += st.busy_total;
+                    s.compute_ops += st.ops;
+                }
+                EngineKind::H2D => s.h2d_busy += st.busy_total,
+                EngineKind::D2H => s.d2h_busy += st.busy_total,
+            }
+        }
+        s
+    }
+
+    /// Compute/transfer overlap since the last stats reset, from the
+    /// per-stream busy timelines.
+    pub fn overlap(&self) -> OverlapStats {
+        let compute: Vec<&[(u64, u64)]> = self
+            .streams
+            .iter()
+            .filter(|s| s.kind == EngineKind::Compute)
+            .map(|s| s.intervals.as_slice())
+            .collect();
+        let transfer: Vec<&[(u64, u64)]> = self
+            .streams
+            .iter()
+            .filter(|s| s.kind != EngineKind::Compute)
+            .map(|s| s.intervals.as_slice())
+            .collect();
+        let cu = union_spans(&compute);
+        let tu = union_spans(&transfer);
+        OverlapStats {
+            compute_busy: SimTime::from_ns(span_len(&cu)),
+            transfer_busy: SimTime::from_ns(span_len(&tu)),
+            overlapped: SimTime::from_ns(intersect_len(&cu, &tu)),
         }
     }
 
-    /// Reset traffic/stall counters but keep the clock running. Used between
-    /// warm-up and measured iterations.
+    /// Reset traffic/stall/busy counters and the busy timelines, but keep
+    /// the clock and frontiers running. Used between warm-up and measured
+    /// iterations.
     pub fn reset_stats(&mut self) {
         self.h2d_bytes = 0;
         self.d2h_bytes = 0;
         self.stall = SimTime::ZERO;
-        self.compute.busy_total = SimTime::ZERO;
-        self.h2d.busy_total = SimTime::ZERO;
-        self.d2h.busy_total = SimTime::ZERO;
-        self.compute.ops = 0;
+        for s in &mut self.streams {
+            s.busy_total = SimTime::ZERO;
+            s.ops = 0;
+            s.intervals.clear();
+        }
     }
 }
 
@@ -281,6 +503,43 @@ mod tests {
     }
 
     #[test]
+    fn multi_gate_submit_waits_for_the_latest() {
+        let mut tl = Timeline::new();
+        let a = tl.submit(EngineKind::Compute, SimTime::from_us(3));
+        let b = tl.submit_transfer(TransferDirection::HostToDevice, 8_000_000, 8.0, None); // 1 ms
+        let c = tl.submit_on(StreamId::COMPUTE, SimTime::from_us(2), &[a, b]);
+        assert_eq!(c.done_at, b.done_at + SimTime::from_us(2));
+    }
+
+    #[test]
+    fn added_streams_serialize_independently() {
+        let mut tl = Timeline::new();
+        let d2h_b = tl.add_stream(EngineKind::D2H);
+        let x = tl.transfer_on(StreamId::D2H, 8_000, 8.0, &[]);
+        let y = tl.transfer_on(d2h_b, 8_000, 8.0, &[]);
+        // Two D2H streams run concurrently; one serializes.
+        assert_eq!(x.event.done_at, SimTime::from_us(1));
+        assert_eq!(y.event.done_at, SimTime::from_us(1));
+        let z = tl.transfer_on(d2h_b, 8_000, 8.0, &[]);
+        assert_eq!(z.event.done_at, SimTime::from_us(2));
+        // Accounting aggregates across streams of a kind.
+        assert_eq!(tl.stats().d2h_bytes, 24_000);
+        assert_eq!(tl.stats().d2h_busy, SimTime::from_us(3));
+    }
+
+    #[test]
+    fn dma_completion_never_precedes_its_enqueue() {
+        let mut tl = Timeline::new();
+        tl.advance(SimTime::from_us(7));
+        let d = tl.transfer_on(StreamId::D2H, 1, 1000.0, &[]);
+        assert!(d.event.done_at > SimTime::from_us(7));
+        assert_eq!(d.bytes, 1);
+        // Even a gate in the past cannot start a transfer before `now`.
+        let gated = tl.transfer_on(StreamId::H2D, 8_000, 8.0, &[Event::COMPLETED]);
+        assert!(gated.event.done_at >= SimTime::from_us(8));
+    }
+
+    #[test]
     fn wait_accounts_stall() {
         let mut tl = Timeline::new();
         let k = tl.submit(EngineKind::Compute, SimTime::from_us(10));
@@ -300,6 +559,16 @@ mod tests {
         tl.submit(EngineKind::D2H, SimTime::from_us(6));
         tl.sync_all();
         assert_eq!(tl.now(), SimTime::from_us(9));
+    }
+
+    #[test]
+    fn sync_stream_drains_only_that_stream() {
+        let mut tl = Timeline::new();
+        tl.submit(EngineKind::H2D, SimTime::from_us(9));
+        tl.submit(EngineKind::D2H, SimTime::from_us(6));
+        tl.sync_stream(StreamId::D2H);
+        assert_eq!(tl.now(), SimTime::from_us(6));
+        assert_eq!(tl.frontier(EngineKind::H2D), SimTime::from_us(9));
     }
 
     #[test]
@@ -331,5 +600,63 @@ mod tests {
         assert_eq!(tl.now(), SimTime::from_us(2));
         assert_eq!(tl.stats().total_traffic(), 0);
         assert_eq!(tl.stats().stall, SimTime::ZERO);
+        assert_eq!(tl.overlap(), OverlapStats::default());
+    }
+
+    #[test]
+    fn overlap_measures_hidden_transfer_time() {
+        let mut tl = Timeline::new();
+        // Compute busy [0, 10) us; one transfer [0, 4) us fully hidden, a
+        // second [10, 14) us entirely in the open.
+        tl.submit(EngineKind::Compute, SimTime::from_us(10));
+        tl.transfer_on(StreamId::D2H, 32_000, 8.0, &[]); // 4 us from t=0
+        tl.sync_stream(StreamId::D2H);
+        tl.join_compute();
+        tl.transfer_on(StreamId::H2D, 32_000, 8.0, &[]); // 4 us from t=10
+        tl.sync_all();
+        let o = tl.overlap();
+        assert_eq!(o.compute_busy, SimTime::from_us(10));
+        assert_eq!(o.transfer_busy, SimTime::from_us(8));
+        assert_eq!(o.overlapped, SimTime::from_us(4));
+        assert!((o.fraction() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overlap_is_zero_when_host_serializes_every_transfer() {
+        let mut tl = Timeline::new();
+        for _ in 0..3 {
+            let k = tl.submit(EngineKind::Compute, SimTime::from_us(5));
+            tl.wait(k);
+            let d = tl.submit_transfer(TransferDirection::DeviceToHost, 16_000, 8.0, None);
+            tl.wait(d);
+        }
+        let o = tl.overlap();
+        assert_eq!(o.overlapped, SimTime::ZERO);
+        assert_eq!(o.fraction(), 0.0);
+    }
+
+    #[test]
+    fn per_stream_busy_time_never_exceeds_makespan() {
+        let mut tl = Timeline::new();
+        for i in 0..5u64 {
+            let k = tl.submit(EngineKind::Compute, SimTime::from_us(2 + i));
+            tl.submit_transfer(
+                TransferDirection::DeviceToHost,
+                8_000 * (i + 1),
+                8.0,
+                Some(k),
+            );
+            tl.submit_transfer(TransferDirection::HostToDevice, 4_000, 8.0, None);
+            tl.join_compute();
+        }
+        tl.sync_all();
+        let makespan = tl.now();
+        let s = tl.stats();
+        assert!(s.compute_busy <= makespan);
+        assert!(s.h2d_busy <= makespan);
+        assert!(s.d2h_busy <= makespan);
+        let o = tl.overlap();
+        assert!(o.compute_busy <= makespan && o.transfer_busy <= makespan);
+        assert!(o.overlapped <= o.compute_busy.min(o.transfer_busy));
     }
 }

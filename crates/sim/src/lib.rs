@@ -7,11 +7,14 @@
 //!
 //! * a **virtual clock** ([`SimTime`]) in integer nanoseconds, deterministic
 //!   across runs;
-//! * three **engines** ([`Timeline`]) mirroring a CUDA device: one compute
-//!   stream and two independent DMA engines (host-to-device and
-//!   device-to-host), each serializing its own operations while running
-//!   concurrently with the others — exactly the overlap structure the paper's
-//!   prefetch/offload design exploits;
+//! * a **multi-stream timeline** ([`Timeline`]) mirroring a CUDA device:
+//!   per-device compute, host-to-device and device-to-host streams (plus any
+//!   extra via [`Timeline::add_stream`]), each serializing its own operations
+//!   while running concurrently with the others, with [`Event`]-based
+//!   cross-stream waits and per-stream busy timelines from which
+//!   [`Timeline::overlap`] derives how much DMA time was hidden under
+//!   kernels — exactly the overlap structure the paper's prefetch/offload
+//!   design exploits;
 //! * [`DeviceSpec`] describing a concrete card (DRAM capacity, arithmetic
 //!   throughput, memory and PCIe bandwidths, allocation latencies) with
 //!   presets for the NVIDIA K40c and TITAN Xp used in the paper;
@@ -30,7 +33,9 @@ pub mod time;
 pub mod trace;
 
 pub use alloc::{AllocError, AllocGrant, AllocId, CudaAllocator, DeviceAllocator};
-pub use engine::{EngineKind, Event, Timeline, TransferDirection};
+pub use engine::{
+    Dma, EngineKind, Event, OverlapStats, StreamId, Timeline, TimelineStats, TransferDirection,
+};
 pub use spec::DeviceSpec;
 pub use time::SimTime;
 pub use trace::{StepRecord, StepTrace};
