@@ -558,6 +558,7 @@ pub fn run_all(quick: bool) -> String {
         ("fig14", fig14(quick)),
         ("overlap", crate::overlap::overlap(quick)),
         ("cluster", crate::cluster::cluster(quick)),
+        ("plan", crate::plan::plan(quick)),
     ] {
         out.push_str(&format!(
             "\n==================== {id} ====================\n"

@@ -13,9 +13,11 @@ pub mod ablation;
 pub mod cluster;
 pub mod experiments;
 pub mod overlap;
+pub mod plan;
 pub mod table;
 
 pub use ablation::run_ablations;
 pub use cluster::cluster;
 pub use experiments::*;
 pub use overlap::overlap;
+pub use plan::plan;

@@ -1,37 +1,47 @@
 //! Memory-aware admission control.
 //!
 //! Before a job touches a device, the scheduler predicts its peak device
-//! bytes under each candidate policy preset with the runtime's own
-//! cost/liveness machinery ([`sn_runtime::predict_run`] walks the paper's
-//! `peak_m` progression: baseline `Σ l_f + Σ l_b` down to `max_i(l_i)` for
-//! the full stack). A job is only placed where its predicted peak fits the
-//! device's *unreserved* bytes, so the sum of reservations on a device can
-//! never exceed its DRAM — the central multi-tenancy invariant.
+//! bytes under each candidate policy preset by **compiling a
+//! [`sn_runtime::MemoryPlan`]** ([`sn_runtime::plan_prediction`] /
+//! [`sn_runtime::plan_prediction_inference`]) — no simulated iteration runs
+//! on the admission hot path. The plan's peak walks the paper's `peak_m`
+//! progression (baseline `Σ l_f + Σ l_b` down to `max_i(l_i)` for the full
+//! stack) and is **exact**: the executor replays the plan's alloc/free
+//! sequence, so the reservation equals the runtime high-water to the byte.
+//! A job is only placed where that peak fits the device's *unreserved*
+//! bytes, so the sum of reservations on a device can never exceed its DRAM
+//! — the central multi-tenancy invariant.
 //!
 //! Predictions are made against a device capped to the candidate budget
 //! (`spec.with_dram(budget)`), because the runtime adapts to pressure: the
 //! dynamic workspace policy and the Tensor Cache shrink their footprint when
 //! memory is scarce. The returned peak is the high-water mark of that exact
-//! adaptive schedule, so reserving it is sound by construction.
+//! adaptive plan, so reserving it is sound by construction.
 
 use std::cell::RefCell;
 use std::collections::HashMap;
 
-use sn_runtime::{predict_run, PeakPrediction};
+use sn_runtime::{plan_prediction, plan_prediction_inference, PeakPrediction};
 use sn_sim::DeviceSpec;
 
-use crate::job::{JobSpec, PolicyPreset, Workload};
+use crate::job::{JobKind, JobSpec, PolicyPreset, Workload};
 
 /// Memoization key: everything the prediction depends on. Perf-relevant
 /// device fields are folded in bit-exactly so heterogeneous fleets that
-/// reuse a card name cannot alias.
+/// reuse a card name cannot alias — and the key carries the **device-spec
+/// cap** the prediction was compiled against (`capped_dram`, the DRAM of
+/// `spec.with_dram(budget)`), not just the preset: the planner adapts its
+/// evictions and workspaces to that cap, so a peak compiled for a larger
+/// device must never be reused for a smaller one.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 struct ProfileKey {
     workload: Workload,
     batch: usize,
     preset: PolicyPreset,
+    kind: JobKind,
     device: String,
-    budget: u64,
+    /// The cap applied to the prediction device: `capped.dram_bytes`.
+    capped_dram: u64,
     gflops_bits: u64,
     mem_bw_bits: u64,
     h2d_bits: u64,
@@ -48,32 +58,33 @@ impl ProfileKey {
         w: Workload,
         batch: usize,
         preset: PolicyPreset,
-        spec: &DeviceSpec,
-        budget: u64,
+        kind: JobKind,
+        capped: &DeviceSpec,
     ) -> Self {
         ProfileKey {
             workload: w,
             batch,
             preset,
-            device: spec.name.clone(),
-            budget,
-            gflops_bits: spec.peak_gflops.to_bits(),
-            mem_bw_bits: spec.mem_bw_gbps.to_bits(),
-            h2d_bits: spec.pcie_h2d_gbps.to_bits(),
-            d2h_bits: spec.pcie_d2h_gbps.to_bits(),
-            unpinned_bits: spec.unpinned_factor.to_bits(),
-            malloc_base_ns: spec.malloc_base.0,
-            malloc_per_mib_ns: spec.malloc_per_mib.0,
-            free_base_ns: spec.free_base.0,
-            kernel_launch_ns: spec.kernel_launch.0,
+            kind,
+            device: capped.name.clone(),
+            capped_dram: capped.dram_bytes,
+            gflops_bits: capped.peak_gflops.to_bits(),
+            mem_bw_bits: capped.mem_bw_gbps.to_bits(),
+            h2d_bits: capped.pcie_h2d_gbps.to_bits(),
+            d2h_bits: capped.pcie_d2h_gbps.to_bits(),
+            unpinned_bits: capped.unpinned_factor.to_bits(),
+            malloc_base_ns: capped.malloc_base.0,
+            malloc_per_mib_ns: capped.malloc_per_mib.0,
+            free_base_ns: capped.free_base.0,
+            kernel_launch_ns: capped.kernel_launch.0,
         }
     }
 }
 
-/// Memoizing wrapper around [`sn_runtime::predict_run`]: the cluster loop
-/// re-evaluates queued jobs at every event, but distinct (workload, batch,
-/// preset, device, budget) tuples are few, so each prediction simulates at
-/// most once. `None` records "does not fit within this budget".
+/// Memoizing wrapper around the plan compiler: the cluster loop re-evaluates
+/// queued jobs at every event, but distinct (workload, batch, preset, kind,
+/// capped device) tuples are few, so each prediction compiles at most once.
+/// `None` records "does not fit within this budget".
 #[derive(Default)]
 pub struct Profiler {
     cache: RefCell<HashMap<ProfileKey, Option<PeakPrediction>>>,
@@ -84,9 +95,35 @@ impl Profiler {
         Profiler::default()
     }
 
-    /// Predicted cost of one replica of (`workload`, `batch`) under `preset`
-    /// on `spec` given `budget` bytes of device memory, or `None` if it
-    /// cannot run within the budget.
+    /// Predicted cost of one replica of (`workload`, `batch`, `kind`) under
+    /// `preset` on `spec` given `budget` bytes of device memory, or `None`
+    /// if it cannot run within the budget. Compile-only: no iteration is
+    /// simulated.
+    pub fn profile_kind(
+        &self,
+        workload: Workload,
+        batch: usize,
+        preset: PolicyPreset,
+        kind: JobKind,
+        spec: &DeviceSpec,
+        budget: u64,
+    ) -> Option<PeakPrediction> {
+        let capped = spec.clone().with_dram(budget);
+        let key = ProfileKey::new(workload, batch, preset, kind, &capped);
+        if let Some(hit) = self.cache.borrow().get(&key) {
+            return *hit;
+        }
+        let net = workload.build(batch);
+        let result = match kind {
+            JobKind::Training => plan_prediction(&net, &capped, preset.policy()).ok(),
+            JobKind::Inference => plan_prediction_inference(&net, &capped, preset.policy()).ok(),
+        };
+        self.cache.borrow_mut().insert(key, result);
+        result
+    }
+
+    /// [`Profiler::profile_kind`] for training jobs (the historical entry
+    /// point, kept for tests and benches).
     pub fn profile(
         &self,
         workload: Workload,
@@ -95,18 +132,10 @@ impl Profiler {
         spec: &DeviceSpec,
         budget: u64,
     ) -> Option<PeakPrediction> {
-        let key = ProfileKey::new(workload, batch, preset, spec, budget);
-        if let Some(hit) = self.cache.borrow().get(&key) {
-            return *hit;
-        }
-        let net = workload.build(batch);
-        let capped = spec.clone().with_dram(budget);
-        let result = predict_run(&net, &capped, preset.policy()).ok();
-        self.cache.borrow_mut().insert(key, result);
-        result
+        self.profile_kind(workload, batch, preset, JobKind::Training, spec, budget)
     }
 
-    /// Number of distinct predictions simulated so far.
+    /// Number of distinct predictions compiled so far.
     pub fn simulated(&self) -> usize {
         self.cache.borrow().len()
     }
@@ -172,7 +201,7 @@ pub fn feasible_on_idle_fleet(
                 let budget = quantized_budget(spec, spec.dram_bytes);
                 budget > 0
                     && profiler
-                        .profile(job.workload, job.batch, preset, spec, budget)
+                        .profile_kind(job.workload, job.batch, preset, job.kind, spec, budget)
                         .is_some()
             })
             .count();
@@ -255,6 +284,73 @@ mod tests {
             sn.peak_bytes,
             base.peak_bytes
         );
+    }
+
+    #[test]
+    fn memo_key_includes_the_device_cap() {
+        // Satellite regression: heterogeneous fleets reuse card names, and
+        // the planner adapts to the capped DRAM — a peak compiled for a
+        // larger cap must never be served for a smaller one. Two budgets on
+        // the "same" card must produce two cache entries (and, under real
+        // pressure, different adaptive peaks).
+        let p = Profiler::new();
+        let w = Workload::Synthetic {
+            width: 64,
+            depth: 8,
+        };
+        let spec = DeviceSpec::k40c();
+        let roomy = p
+            .profile(w, 32, PolicyPreset::Superneurons, &spec, spec.dram_bytes)
+            .expect("fits uncapped");
+        let tight = p
+            .profile(w, 32, PolicyPreset::Superneurons, &spec, 48 << 20)
+            .expect("adapts under a 48 MB cap");
+        assert_eq!(p.simulated(), 2, "distinct caps must not share an entry");
+        assert!(tight.peak_bytes <= 48 << 20);
+        assert!(
+            tight.peak_bytes < roomy.peak_bytes,
+            "the adaptive plan must shrink under the cap: {} vs {}",
+            tight.peak_bytes,
+            roomy.peak_bytes
+        );
+    }
+
+    #[test]
+    fn inference_profiles_reserve_less_than_training() {
+        let p = Profiler::new();
+        let w = Workload::Synthetic {
+            width: 32,
+            depth: 6,
+        };
+        let spec = DeviceSpec::k40c();
+        let train = p
+            .profile_kind(
+                w,
+                32,
+                PolicyPreset::Superneurons,
+                JobKind::Training,
+                &spec,
+                spec.dram_bytes,
+            )
+            .unwrap();
+        let infer = p
+            .profile_kind(
+                w,
+                32,
+                PolicyPreset::Superneurons,
+                JobKind::Inference,
+                &spec,
+                spec.dram_bytes,
+            )
+            .unwrap();
+        assert_eq!(p.simulated(), 2, "kinds must not alias in the memo key");
+        assert!(
+            infer.peak_bytes < train.peak_bytes,
+            "forward-only {} must undercut training {}",
+            infer.peak_bytes,
+            train.peak_bytes
+        );
+        assert!(infer.iter_time < train.iter_time);
     }
 
     #[test]

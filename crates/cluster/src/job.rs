@@ -61,6 +61,29 @@ impl Workload {
     }
 }
 
+/// What a job *does* with its network: train it (forward + backward, gangs
+/// exchange gradients) or serve it (forward-only inference replicas, no
+/// gradient traffic). The admission profiler compiles a training or an
+/// inference [`sn_runtime::MemoryPlan`] accordingly — an inference replica
+/// of the same `(workload, batch)` reserves a much smaller exact peak, which
+/// is what lets the fleet co-locate serving jobs against training jobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum JobKind {
+    #[default]
+    Training,
+    /// Forward-only serving: one "iteration" serves one batch.
+    Inference,
+}
+
+impl JobKind {
+    pub fn name(self) -> &'static str {
+        match self {
+            JobKind::Training => "training",
+            JobKind::Inference => "inference",
+        }
+    }
+}
+
 /// The paper's policy presets, ordered from weakest to strongest memory
 /// efficiency. Admission control walks this ladder when a requested preset
 /// does not fit: a stronger preset trades (virtual) compute and PCIe traffic
@@ -129,6 +152,8 @@ pub struct JobSpec {
     /// May admission fall back to memory-stronger presets when the requested
     /// one does not fit? (`false` = run exactly as requested or queue.)
     pub allow_downgrade: bool,
+    /// Training iterations or forward-only serving batches?
+    pub kind: JobKind,
 }
 
 impl JobSpec {
@@ -141,6 +166,7 @@ impl JobSpec {
             replicas: 1,
             preset: PolicyPreset::Superneurons,
             allow_downgrade: true,
+            kind: JobKind::Training,
         }
     }
 
@@ -162,6 +188,16 @@ impl JobSpec {
     pub fn with_downgrade(mut self, allow: bool) -> Self {
         self.allow_downgrade = allow;
         self
+    }
+
+    pub fn with_kind(mut self, kind: JobKind) -> Self {
+        self.kind = kind;
+        self
+    }
+
+    /// Shorthand: a forward-only serving job.
+    pub fn inference(self) -> Self {
+        self.with_kind(JobKind::Inference)
     }
 }
 

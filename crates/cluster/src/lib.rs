@@ -12,12 +12,15 @@
 //!
 //! Pieces:
 //!
-//! * [`job`] — [`JobSpec`]/[`Workload`]/[`PolicyPreset`]: what a tenant
-//!   wants to train and under which policy ladder;
+//! * [`job`] — [`JobSpec`]/[`Workload`]/[`PolicyPreset`]/[`JobKind`]: what
+//!   a tenant wants — a training run or a forward-only *inference* service —
+//!   and under which policy ladder;
 //! * [`fleet`] — [`Fleet`]: the (heterogeneous) device pool + interconnect;
-//! * [`admission`] — memoized peak prediction via the runtime's own
-//!   cost/liveness machinery ([`sn_runtime::predict_run`]) and the
-//!   reject/queue/downgrade decision;
+//! * [`admission`] — memoized **plan compilation**
+//!   ([`sn_runtime::plan_prediction`]): each candidate (job, preset, capped
+//!   device) compiles a [`sn_runtime::MemoryPlan`] whose `peak_bytes` is the
+//!   exact runtime high-water — no simulated iteration runs on the hot path
+//!   — and the reject/queue/downgrade decision;
 //! * [`placement`] — first-fit / best-fit / bin-packing device selection;
 //! * [`sim`] — [`ClusterSim`]: the deterministic virtual-time event loop
 //!   with processor-sharing compute and hard memory reservations, gang
@@ -46,8 +49,8 @@ pub mod stream;
 
 pub use admission::{feasible_on_idle_fleet, Grant, Profiler};
 pub use fleet::Fleet;
-pub use job::{JobSpec, PolicyPreset, Workload};
+pub use job::{JobKind, JobSpec, PolicyPreset, Workload};
 pub use placement::PlacementPolicy;
 pub use report::{ClusterReport, JobOutcome, TraceEvent, TraceKind};
 pub use sim::ClusterSim;
-pub use stream::synthetic_stream;
+pub use stream::{mixed_serving_stream, synthetic_stream};

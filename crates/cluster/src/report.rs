@@ -5,7 +5,7 @@
 use sn_sim::SimTime;
 
 use crate::fleet::Fleet;
-use crate::job::{JobSpec, PolicyPreset};
+use crate::job::{JobKind, JobSpec, PolicyPreset};
 use crate::placement::PlacementPolicy;
 
 /// What happened at one scheduling instant.
@@ -64,6 +64,8 @@ pub struct JobOutcome {
     pub workload: String,
     pub batch: usize,
     pub replicas: usize,
+    /// Training job or forward-only serving job?
+    pub kind: JobKind,
     pub requested: PolicyPreset,
     /// Preset actually granted (may be memory-stronger than requested).
     pub granted: Option<PolicyPreset>,
@@ -83,6 +85,7 @@ impl JobOutcome {
             workload: job.workload.label(),
             batch: job.batch,
             replicas: job.replicas,
+            kind: job.kind,
             requested: job.preset,
             granted: None,
             devices: Vec::new(),
@@ -248,13 +251,14 @@ impl ClusterReport {
                 jobs.push(',');
             }
             jobs.push_str(&format!(
-                "{{\"name\":{},\"workload\":{},\"batch\":{},\"replicas\":{},\
+                "{{\"name\":{},\"workload\":{},\"batch\":{},\"replicas\":{},\"kind\":{},\
                  \"requested\":{},\"granted\":{},\"devices\":{:?},\
                  \"arrival_ns\":{},\"queueing_ns\":{},\"latency_ns\":{},\"rejected\":{}}}",
                 json_str(&j.name),
                 json_str(&j.workload),
                 j.batch,
                 j.replicas,
+                json_str(j.kind.name()),
                 json_str(j.requested.name()),
                 j.granted
                     .map(|p| json_str(p.name()))

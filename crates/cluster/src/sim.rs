@@ -90,7 +90,7 @@ impl ClusterSim {
                         return None;
                     }
                     self.profiler
-                        .profile(job.workload, job.batch, preset, spec, budget)
+                        .profile_kind(job.workload, job.batch, preset, job.kind, spec, budget)
                         .map(|p| (idx, free, devices[idx].reserved, p))
                 })
                 .collect();
@@ -102,10 +102,16 @@ impl ClusterSim {
     }
 
     /// One gang iteration's solo duration: slowest replica + ring all-reduce
-    /// across the fleet interconnect.
+    /// across the fleet interconnect. Inference replicas serve independent
+    /// batches — no gradients, no all-reduce.
     fn step_time(&self, job: &JobSpec, grant: &Grant) -> SimTime {
-        grant.replica_iter_time()
-            + ring_allreduce_time(grant.weight_bytes(), job.replicas, self.fleet.interconnect)
+        let sync = match job.kind {
+            crate::job::JobKind::Training => {
+                ring_allreduce_time(grant.weight_bytes(), job.replicas, self.fleet.interconnect)
+            }
+            crate::job::JobKind::Inference => SimTime::ZERO,
+        };
+        grant.replica_iter_time() + sync
     }
 
     /// Gang slowdown under processor sharing: the most-loaded of its devices

@@ -53,9 +53,37 @@ pub fn synthetic_stream(
         .collect()
 }
 
+/// The mixed training + inference serving preset: a reproducible stream in
+/// which roughly one job in three is a forward-only serving job (more
+/// batches, smaller reservations) co-scheduled against training tenants.
+/// Because admission reserves each job's **exact plan peak**, inference
+/// replicas slot into the memory training jobs leave unreserved — the
+/// co-location the ISSUE-3 tentpole opens.
+pub fn mixed_serving_stream(
+    n: usize,
+    seed: u64,
+    preset: PolicyPreset,
+    allow_downgrade: bool,
+) -> Vec<(SimTime, JobSpec)> {
+    let mut state = seed ^ 0xa0761d6478bd642f;
+    synthetic_stream(n, seed, preset, allow_downgrade)
+        .into_iter()
+        .map(|(t, job)| {
+            if next(&mut state).is_multiple_of(3) {
+                // Serving jobs run more, cheaper "iterations" (batches).
+                let batches = job.iterations * 4;
+                (t, job.inference().with_iterations(batches))
+            } else {
+                (t, job)
+            }
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::job::JobKind;
 
     #[test]
     fn stream_is_deterministic_and_ordered() {
@@ -70,6 +98,22 @@ mod tests {
             assert_eq!(ja.replicas, jb.replicas);
         }
         assert!(a.windows(2).all(|w| w[0].0 <= w[1].0), "arrivals sorted");
+    }
+
+    #[test]
+    fn mixed_stream_contains_both_kinds_deterministically() {
+        let a = mixed_serving_stream(60, 4, PolicyPreset::Superneurons, true);
+        let b = mixed_serving_stream(60, 4, PolicyPreset::Superneurons, true);
+        for ((ta, ja), (tb, jb)) in a.iter().zip(&b) {
+            assert_eq!(ta, tb);
+            assert_eq!(ja.kind, jb.kind);
+        }
+        let inf = a
+            .iter()
+            .filter(|(_, j)| j.kind == JobKind::Inference)
+            .count();
+        assert!(inf > 0, "stream must carry serving jobs");
+        assert!(inf < a.len(), "stream must carry training jobs");
     }
 
     #[test]

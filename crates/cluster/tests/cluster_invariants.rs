@@ -8,8 +8,8 @@
 //!    concurrent tenants under `superneurons` than under `baseline`.
 
 use sn_cluster::{
-    synthetic_stream, ClusterSim, Fleet, JobSpec, PlacementPolicy, PolicyPreset, TraceKind,
-    Workload,
+    mixed_serving_stream, synthetic_stream, ClusterSim, Fleet, JobKind, JobSpec, PlacementPolicy,
+    PolicyPreset, TraceKind, Workload,
 };
 use sn_runtime::Interconnect;
 use sn_sim::DeviceSpec;
@@ -303,6 +303,69 @@ fn zero_replica_jobs_are_rejected_not_phantom_admitted() {
     let job = &report.jobs[0];
     assert!(job.rejected.is_some(), "an empty gang must be rejected");
     assert!(job.completion.is_none() && job.devices.is_empty());
+}
+
+#[test]
+fn mixed_training_and_inference_streams_co_schedule() {
+    // The ISSUE-3 serving scenario: forward-only inference jobs are
+    // co-located against training jobs using exact plan peaks. Both kinds
+    // must resolve, inference must actually run, the admission-safety
+    // invariant must hold throughout, and the schedule stays deterministic.
+    let run = || {
+        let mut sim = ClusterSim::new(fleet8(96 * MB), PlacementPolicy::BestFit);
+        let report = sim.run(mixed_serving_stream(
+            60,
+            7,
+            PolicyPreset::Superneurons,
+            true,
+        ));
+        (report, sim)
+    };
+    let (report, sim) = run();
+    let done = |kind| {
+        report
+            .jobs
+            .iter()
+            .filter(|j| j.kind == kind && j.completion.is_some())
+            .count()
+    };
+    assert!(done(JobKind::Inference) > 0, "serving jobs must complete");
+    assert!(done(JobKind::Training) > 0, "training jobs must complete");
+    for job in &report.jobs {
+        assert!(job.completion.is_some() || job.rejected.is_some());
+    }
+    for (d, peak) in report.peak_reserved.iter().enumerate() {
+        assert!(*peak <= sim.fleet.devices[d].dram_bytes);
+    }
+    let (again, _) = run();
+    assert_eq!(report.schedule_fingerprint(), again.schedule_fingerprint());
+
+    // An inference twin of a training job reserves strictly less memory.
+    let w = Workload::Synthetic {
+        width: 32,
+        depth: 4,
+    };
+    let mut sim = ClusterSim::new(fleet8(256 * MB), PlacementPolicy::FirstFit);
+    let train = JobSpec::new("train", w, 16);
+    let serve = JobSpec::new("serve", w, 16).inference();
+    let report = sim.run(vec![
+        (sn_sim::SimTime::ZERO, train),
+        (sn_sim::SimTime::ZERO, serve),
+    ]);
+    let res = |name: &str| {
+        report
+            .jobs
+            .iter()
+            .find(|j| j.name == name)
+            .unwrap()
+            .reservations[0]
+    };
+    assert!(
+        res("serve") < res("train"),
+        "inference reservation {} must undercut training {}",
+        res("serve"),
+        res("train")
+    );
 }
 
 #[test]

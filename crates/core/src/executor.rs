@@ -1,13 +1,26 @@
-//! The SuperNeurons executor: runs training iterations over the simulated
-//! device, orchestrating tensor placement, movement, allocation and
-//! deallocation per the active [`Policy`] — liveness frees, Unified Tensor
-//! Pool offload/prefetch over the DMA engines, the Alg. 2 LRU Tensor Cache,
-//! segment recomputation, and dynamic convolution workspace selection.
+//! The executor: an *interpreter* over a compiled [`MemoryPlan`].
 //!
-//! The same scheduler drives both execution modes: *virtual* (durations from
-//! the cost model; used by every paper-scale experiment) and *numeric* (an
-//! attached [`ComputeBackend`] really computes tensors; used to validate
-//! that scheduling decisions — including recomputation — preserve exact
+//! All scheduling decisions — liveness frees, Unified Tensor Pool
+//! offload/prefetch points, Alg. 2 cache evictions, §3.4 recomputation
+//! replays, §3.5 workspace choices — are made ahead of time by the planner
+//! ([`crate::plan`]) and recorded as an explicit per-step op stream. This
+//! module replays that stream over the [`Utp`] residency manager and the
+//! multi-stream sim engine: it performs the planned allocations and frees in
+//! exactly the planned order (waiting out an in-flight copy-out before
+//! reusing its bytes), submits kernels gated on every input's in-flight
+//! prefetch, and drives the optional numeric backend.
+//!
+//! Because the interpreter performs the identical alloc/free sequence
+//! through an identical allocator, the measured peak equals
+//! [`MemoryPlan::peak_bytes`] **exactly** — the invariant cluster admission
+//! relies on, asserted per-iteration in debug builds and across the whole
+//! preset × model matrix by the `plan` bench experiment. Overlap changes
+//! *when* transfers run, never what is resident.
+//!
+//! The same interpreter drives both execution modes: *virtual* (durations
+//! from the cost model; used by every paper-scale experiment) and *numeric*
+//! (an attached [`ComputeBackend`] really computes tensors; used to validate
+//! that planned schedules — including recomputation — preserve exact
 //! training semantics).
 
 use sn_graph::liveness::{LivenessPlan, TensorId, TensorRole};
@@ -17,12 +30,12 @@ use sn_sim::{
     DeviceAllocator, DeviceSpec, Dma, Event, OverlapStats, SimTime, StepRecord, StepTrace, StreamId,
 };
 
-use crate::convalgo::{self, AlgoChoice};
 use crate::device::Device;
-use crate::policy::CachePolicy;
-use crate::policy::{Policy, WorkspacePolicy};
-use crate::recompute::{RecomputePlan, SegmentStrategy};
-use crate::tiers::{Tier, TierSlot};
+use crate::plan::{self, CompiledPlan, MemoryPlan, PlanOp};
+use crate::policy::Policy;
+use crate::recompute::RecomputePlan;
+use crate::tiers::Tier;
+use crate::utp::Utp;
 
 /// Hook for numeric execution: the executor tells the backend *when* to
 /// compute and *which* values ceased to exist; the backend owns the values.
@@ -40,52 +53,6 @@ pub trait ComputeBackend {
     fn loss(&self) -> Option<f32> {
         None
     }
-}
-
-/// Where a tensor currently lives.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Residence {
-    /// Not materialized anywhere (never produced, or dropped for recompute).
-    None,
-    /// On device DRAM (possibly with a transfer in flight).
-    Device,
-    /// Host copy only.
-    Host,
-}
-
-#[derive(Debug, Clone, Copy)]
-struct TensorState {
-    residence: Residence,
-    grant: Option<sn_sim::AllocId>,
-    host_slot: Option<TierSlot>,
-    /// Host copy is a valid replica of the tensor's contents.
-    host_valid: bool,
-    lock: u32,
-    /// Monotone insertion stamp for the FIFO cache policy.
-    inserted_at: u64,
-    /// In-flight device→host copy on the D2H stream (device memory freed
-    /// once it completes and its consumers allow).
-    offload: Option<Dma>,
-    /// The pending offload is an eviction: release the device copy as soon
-    /// as the copy-out completes, rather than waiting for forward consumers.
-    evicting: bool,
-    /// In-flight host→device copy on the H2D stream (consumers must gate
-    /// their kernels on it).
-    prefetch: Option<Dma>,
-}
-
-impl TensorState {
-    const EMPTY: TensorState = TensorState {
-        residence: Residence::None,
-        grant: None,
-        host_slot: None,
-        host_valid: false,
-        lock: 0,
-        inserted_at: 0,
-        offload: None,
-        evicting: false,
-        prefetch: None,
-    };
 }
 
 /// Execution failure.
@@ -158,10 +125,23 @@ pub struct IterationReport {
     pub loss: Option<f32>,
 }
 
+/// `batch / seconds`, guarded so zero-duration measurements report zero
+/// throughput instead of `inf`/NaN — zero-cost stub layers can produce such
+/// iterations, and bench JSON must stay finite. The single implementation of
+/// that invariant for every report type.
+pub(crate) fn finite_rate(batch: usize, time: SimTime) -> f64 {
+    if time == SimTime::ZERO {
+        return 0.0;
+    }
+    batch as f64 / time.as_secs_f64()
+}
+
 impl IterationReport {
-    /// Throughput in images per second for a given batch size.
+    /// Throughput in images per second for a given batch size. Zero (not
+    /// `inf`/NaN) when the iteration took no virtual time — see
+    /// [`finite_rate`].
     pub fn imgs_per_sec(&self, batch: usize) -> f64 {
-        batch as f64 / self.iter_time.as_secs_f64()
+        finite_rate(batch, self.iter_time)
     }
 
     /// Fraction of transfer time hidden under compute, in `[0, 1]` (zero
@@ -189,26 +169,23 @@ pub struct WorkspaceRecord {
     pub speedup: f64,
 }
 
-/// The executor. Owns the device; borrows the network.
+/// The executor. Owns the device and the compiled plan; borrows the network.
 pub struct Executor<'n> {
     pub net: &'n Net,
     pub route: Route,
     pub cost: NetCost,
     pub plan: LivenessPlan,
     pub rplan: RecomputePlan,
+    /// The compiled schedule this executor interprets.
+    pub mplan: MemoryPlan,
     pub policy: Policy,
     pub dev: Device,
-    states: Vec<TensorState>,
-    /// LRU list of device-resident, cache-managed tensors (front = MRU).
-    lru: Vec<TensorId>,
+    utp: Utp,
     /// Held for the executor's lifetime: the permanently resident weights.
     _weights_grant: Option<sn_sim::AllocId>,
-    /// Recomputed tensors to free at the end of a given step.
-    recomputed_free_at: std::collections::HashMap<usize, Vec<TensorId>>,
-    /// Tensors with an in-flight device→host copy (kept small; avoids
-    /// scanning every tensor state at every step).
-    pending_offloads: Vec<TensorId>,
-    insertion_clock: u64,
+    /// The current step's transient grants (workspace, weight gradient).
+    ws_grant: Option<sn_sim::AllocId>,
+    tr_grant: Option<sn_sim::AllocId>,
     pub trace: StepTrace,
     pub ws_records: Vec<WorkspaceRecord>,
     pub counters: Counters,
@@ -217,12 +194,36 @@ pub struct Executor<'n> {
 }
 
 impl<'n> Executor<'n> {
-    /// Build an executor; allocates the (permanently resident) weights.
+    /// Compile a training plan and build its interpreter; allocates the
+    /// (permanently resident) weights.
     pub fn new(net: &'n Net, spec: DeviceSpec, policy: Policy) -> Result<Executor<'n>, ExecError> {
-        let route = Route::construct(net);
-        let cost = NetCost::of(net);
-        let plan = LivenessPlan::analyze(net, &route, policy.liveness_options());
-        let rplan = RecomputePlan::build(net, &route, &cost, policy.recompute);
+        let compiled = plan::compile(net, &spec, policy)?;
+        Executor::from_compiled(net, spec, policy, compiled)
+    }
+
+    /// Compile a forward-only inference plan and build its interpreter.
+    pub fn new_inference(
+        net: &'n Net,
+        spec: DeviceSpec,
+        policy: Policy,
+    ) -> Result<Executor<'n>, ExecError> {
+        let compiled = plan::compile_inference(net, &spec, policy)?;
+        Executor::from_compiled(net, spec, policy, compiled)
+    }
+
+    fn from_compiled(
+        net: &'n Net,
+        spec: DeviceSpec,
+        policy: Policy,
+        compiled: CompiledPlan,
+    ) -> Result<Executor<'n>, ExecError> {
+        let CompiledPlan {
+            route,
+            cost,
+            liveness,
+            rplan,
+            plan: mplan,
+        } = compiled;
         let mut dev = Device::new(spec, policy.allocator, policy.tiers);
 
         let wbytes = cost.total_weight_bytes();
@@ -242,21 +243,20 @@ impl<'n> Executor<'n> {
             None
         };
 
-        let n_tensors = plan.tensors.len();
+        let n_tensors = liveness.tensors.len();
         Ok(Executor {
             net,
             route,
             cost,
-            plan,
+            plan: liveness,
             rplan,
+            mplan,
             policy,
             dev,
-            states: vec![TensorState::EMPTY; n_tensors],
-            lru: Vec::new(),
+            utp: Utp::new(n_tensors),
             _weights_grant: weights_grant,
-            recomputed_free_at: std::collections::HashMap::new(),
-            pending_offloads: Vec::new(),
-            insertion_clock: 0,
+            ws_grant: None,
+            tr_grant: None,
             trace: StepTrace::new(),
             ws_records: Vec::new(),
             counters: Counters::default(),
@@ -282,10 +282,7 @@ impl<'n> Executor<'n> {
     /// Effective transfer bandwidth for tensor `t`'s external tier. The
     /// pageable (unpinned) penalty applies to the local-host tier only.
     fn tier_gbps(&self, t: TensorId) -> f64 {
-        let tier = self.states[t.0]
-            .host_slot
-            .map(|s| s.tier)
-            .unwrap_or(Tier::LocalHost);
+        let tier = self.utp.tier_of(t);
         match tier {
             Tier::LocalHost if !self.policy.pinned_host => {
                 tier.gbps() * self.dev.spec.unpinned_factor
@@ -308,504 +305,22 @@ impl<'n> Executor<'n> {
         dma
     }
 
-    // ------------------------------------------------------------------
-    // LRU Tensor Cache (Alg. 2)
-    // ------------------------------------------------------------------
-
-    fn lru_touch(&mut self, t: TensorId) {
-        if let Some(pos) = self.lru.iter().position(|x| *x == t) {
-            let id = self.lru.remove(pos);
-            self.lru.insert(0, id); // MFU position: the list front
+    /// Allocate device memory the plan promised would fit. A failure here
+    /// is a plan/replay divergence, which the deterministic allocator rules
+    /// out — kept as a hard error rather than a panic for belt-and-braces.
+    fn planned_alloc(&mut self, bytes: u64, step: usize) -> Result<sn_sim::AllocId, ExecError> {
+        match self.dev.alloc_charged(bytes) {
+            Ok(g) => Ok(g.id),
+            Err(_) => Err(ExecError::Oom {
+                step,
+                layer: "plan replay".into(),
+                requested: bytes,
+                capacity: self.dev.alloc.capacity(),
+            }),
         }
     }
 
-    fn lru_insert(&mut self, t: TensorId) {
-        debug_assert!(!self.lru.contains(&t));
-        self.insertion_clock += 1;
-        self.states[t.0].inserted_at = self.insertion_clock;
-        self.lru.insert(0, t);
-    }
-
-    fn lru_remove(&mut self, t: TensorId) {
-        if let Some(pos) = self.lru.iter().position(|x| *x == t) {
-            self.lru.remove(pos);
-        }
-    }
-
-    /// `LRU.out`: evict the least-recently-used unlocked tensor, offloading
-    /// it to the host if its contents are still needed. Returns false when
-    /// nothing is evictable.
-    ///
-    /// The offload is *asynchronous*: it is enqueued on the D2H stream
-    /// (gated behind every kernel already queued, which may still read the
-    /// victim) and the victim's device memory is released by
-    /// [`Executor::poll_offloads`] once the copy-out completes. Compute only
-    /// blocks when the allocation ladder actually needs the freed bytes.
-    fn evict_one(&mut self, step: usize) -> Result<bool, ExecError> {
-        let evictable = |st: &TensorState| st.lock == 0 && st.offload.is_none();
-        let victim = match self.policy.cache_policy {
-            // Front of the list is MFU (Alg. 2), so LRU victims come from
-            // the back and MRU victims from the front.
-            CachePolicy::Lru => self
-                .lru
-                .iter()
-                .rev()
-                .find(|t| evictable(&self.states[t.0]))
-                .copied(),
-            CachePolicy::Mru => self
-                .lru
-                .iter()
-                .find(|t| evictable(&self.states[t.0]))
-                .copied(),
-            CachePolicy::Fifo => self
-                .lru
-                .iter()
-                .filter(|t| evictable(&self.states[t.0]))
-                .min_by_key(|t| self.states[t.0].inserted_at)
-                .copied(),
-        };
-        let Some(victim) = victim else {
-            return Ok(false);
-        };
-        // Inclusive: a tensor whose last use is the *current* step is still
-        // needed by it (eviction can run while the step assembles inputs).
-        let needed_later = self.meta(victim).last_use_step >= step
-            || self.meta(victim).bwd_last_use.is_some_and(|b| b >= step);
-        let st = &self.states[victim.0];
-        debug_assert_eq!(st.residence, Residence::Device);
-
-        if needed_later && !st.host_valid {
-            // Asynchronous offload: enqueue the copy-out behind every kernel
-            // already queued (which may still read the victim) and let
-            // poll_offloads release the device copy on completion. The
-            // allocation ladder waits on the event only when it actually
-            // needs the bytes.
-            self.ensure_host_slot(victim)?;
-            let gate = self.dev.tl.frontier_event(StreamId::COMPUTE);
-            let dma = self.submit_dma(StreamId::D2H, victim, &[gate]);
-            let st = &mut self.states[victim.0];
-            st.offload = Some(dma);
-            st.evicting = true;
-            st.prefetch = None;
-            self.pending_offloads.push(victim);
-            self.counters.offloads += 1;
-        } else {
-            // Host copy already valid (or contents dead): drop the device
-            // copy immediately, no transfer needed.
-            let st = &mut self.states[victim.0];
-            if let Some(g) = st.grant.take() {
-                st.residence = if st.host_valid {
-                    Residence::Host
-                } else {
-                    Residence::None
-                };
-                st.prefetch = None;
-                self.dev.free_charged(g);
-            }
-        }
-        self.lru_remove(victim);
-        self.counters.evictions += 1;
-        Ok(true)
-    }
-
-    // ------------------------------------------------------------------
-    // Allocation with reclamation
-    // ------------------------------------------------------------------
-
-    fn ensure_host_slot(&mut self, t: TensorId) -> Result<(), ExecError> {
-        if self.states[t.0].host_slot.is_none() {
-            let bytes = self.meta(t).bytes;
-            let slot = self
-                .dev
-                .host
-                .reserve(bytes)
-                .ok_or(ExecError::HostExhausted { requested: bytes })?;
-            self.states[t.0].host_slot = Some(slot);
-        }
-        Ok(())
-    }
-
-    /// May tensor `t`'s pending offload release the device copy at `step`
-    /// (once its DMA lands)? True for evictions (the bytes are what the
-    /// eviction was for) and for eager checkpoint offloads whose forward
-    /// consumers have all run — never while the tensor is locked. The single
-    /// source of truth for poll/drain/reclaim, which must agree.
-    fn offload_reapable(&self, t: TensorId, step: usize) -> bool {
-        let st = &self.states[t.0];
-        st.lock == 0 && (st.evicting || step > self.plan.tensors[t.0].fwd_last_use)
-    }
-
-    /// Poll DMA completion: offloads whose event finished release their
-    /// device copy — the paper frees a tensor's GPU memory "once the event
-    /// is completed". Eager checkpoint offloads additionally wait for all
-    /// forward consumers to run; eviction offloads release as soon as the
-    /// copy-out is done (the bytes are what the eviction was for).
-    fn poll_offloads(&mut self, step: usize) {
-        let now = self.dev.tl.now();
-        let mut j = 0;
-        while j < self.pending_offloads.len() {
-            let t = self.pending_offloads[j];
-            let i = t.0;
-            let retain = match self.states[i].offload {
-                None => false, // cancelled (freed in the meantime)
-                Some(dma) => {
-                    if !dma.event.is_done(now) || !self.offload_reapable(t, step) {
-                        true // not yet reapable
-                    } else {
-                        self.states[i].offload = None;
-                        self.states[i].evicting = false;
-                        self.states[i].host_valid = true;
-                        if let Some(g) = self.states[i].grant.take() {
-                            self.dev.free_charged(g);
-                        }
-                        self.states[i].residence = Residence::Host;
-                        self.lru_remove(t);
-                        false
-                    }
-                }
-            };
-            if retain {
-                j += 1;
-            } else {
-                self.pending_offloads.swap_remove(j);
-            }
-        }
-    }
-
-    /// Allocations never overtake releases: wait out any in-flight offload
-    /// whose device copy is *only* waiting on its DMA to land (every consumer
-    /// already ran, or it is an eviction), then reap. Called at each step
-    /// boundary, this pins the memory trajectory at every allocation point to
-    /// the synchronous engine's — overlap changes *when* transfers run, never
-    /// the peak — which keeps executed peaks exactly equal to the peaks
-    /// `predict_run` promised the cluster's admission control, independent of
-    /// DMA timing. The cost is bounded: only the un-overlapped remainder of a
-    /// transfer (past the consumer layers' compute) can stall the host.
-    fn drain_reapable_offloads(&mut self, step: usize) {
-        let mut latest: Option<Event> = None;
-        for &t in &self.pending_offloads {
-            if !self.offload_reapable(t, step) {
-                continue; // device copy still serves forward consumers
-            }
-            let Some(dma) = self.states[t.0].offload else {
-                continue;
-            };
-            latest = Some(match latest {
-                Some(e) if e.done_at >= dma.event.done_at => e,
-                _ => dma.event,
-            });
-        }
-        if let Some(e) = latest {
-            self.dev.tl.wait(e);
-        }
-        self.poll_offloads(step);
-    }
-
-    /// One rung of the reclamation ladder shared by tensor and transient
-    /// allocations: reap completed offloads; else wait out the earliest
-    /// *reapable* in-flight offload; else evict (which enqueues an async
-    /// copy-out for the next rung to wait on). `Ok(true)` means memory may
-    /// have been freed (or an eviction is now in flight) and the allocation
-    /// is worth retrying; `Ok(false)` means nothing further can be reclaimed.
-    fn reclaim_some(&mut self, step: usize) -> Result<bool, ExecError> {
-        // 1) Reap offloads that completed by now.
-        let before = self.dev.alloc.used();
-        self.poll_offloads(step);
-        if self.dev.alloc.used() < before {
-            return Ok(true);
-        }
-        // 2) Wait out the earliest in-flight offload that is actually
-        //    reapable. An eager offload whose forward consumers are still
-        //    outstanding cannot release memory however long we wait, and its
-        //    (possibly already-completed) event must not shadow a later
-        //    eviction copy-out as the minimum.
-        if let Some(e) = self
-            .pending_offloads
-            .iter()
-            .filter(|t| self.offload_reapable(**t, step))
-            .filter_map(|t| self.states[t.0].offload.map(|d| d.event))
-            .min_by_key(|e| e.done_at)
-        {
-            self.dev.tl.wait(e);
-            self.poll_offloads(step);
-            if self.dev.alloc.used() < before {
-                return Ok(true);
-            }
-        }
-        // 3) LRU eviction (Tensor Cache).
-        if self.policy.tensor_cache {
-            return self.evict_one(step);
-        }
-        Ok(false)
-    }
-
-    /// Allocate device memory for tensor `t`, reclaiming via completed
-    /// offloads, reapable-offload waits, then LRU eviction (cache policy).
-    fn alloc_device(&mut self, t: TensorId, step: usize) -> Result<(), ExecError> {
-        let bytes = self.meta(t).bytes;
-        loop {
-            match self.dev.alloc_charged(bytes) {
-                Ok(g) => {
-                    let st = &mut self.states[t.0];
-                    st.grant = Some(g.id);
-                    st.residence = Residence::Device;
-                    if self.policy.tensor_cache {
-                        self.lru_insert(t);
-                    }
-                    return Ok(());
-                }
-                Err(_) => {
-                    if self.reclaim_some(step)? {
-                        continue;
-                    }
-                    return Err(ExecError::Oom {
-                        step,
-                        layer: self.net.layer(self.meta(t).layer).name.clone(),
-                        requested: bytes,
-                        capacity: self.dev.alloc.capacity(),
-                    });
-                }
-            }
-        }
-    }
-
-    /// Allocate a transient buffer (workspace / weight gradient), with the
-    /// same reclamation ladder. Returns `None` for zero bytes.
-    fn alloc_transient(
-        &mut self,
-        bytes: u64,
-        step: usize,
-        what: &str,
-    ) -> Result<Option<sn_sim::AllocId>, ExecError> {
-        if bytes == 0 {
-            return Ok(None);
-        }
-        loop {
-            match self.dev.alloc_charged(bytes) {
-                Ok(g) => return Ok(Some(g.id)),
-                Err(_) => {
-                    if self.reclaim_some(step)? {
-                        continue;
-                    }
-                    return Err(ExecError::Oom {
-                        step,
-                        layer: what.into(),
-                        requested: bytes,
-                        capacity: self.dev.alloc.capacity(),
-                    });
-                }
-            }
-        }
-    }
-
-    // ------------------------------------------------------------------
-    // Presence management (the Check() of Alg. 2)
-    // ------------------------------------------------------------------
-
-    /// Make tensor `t` device-resident; returns the event consumers must
-    /// gate on (a pending prefetch), if any.
-    fn ensure_present(&mut self, t: TensorId, step: usize) -> Result<Option<Event>, ExecError> {
-        match self.states[t.0].residence {
-            Residence::Device => {
-                self.counters.cache_hits += 1;
-                self.lru_touch(t);
-                Ok(self.states[t.0].prefetch.map(|d| d.event))
-            }
-            Residence::Host => {
-                self.counters.cache_misses += 1;
-                self.alloc_device(t, step)?;
-                let dma = self.submit_dma(StreamId::H2D, t, &[]);
-                self.counters.prefetches += 1;
-                self.states[t.0].prefetch = Some(dma);
-                Ok(Some(dma.event))
-            }
-            Residence::None => {
-                // Only recomputable forward outputs may be legitimately
-                // absent; anything else is a scheduling bug.
-                let meta = self.meta(t);
-                assert_eq!(
-                    meta.role,
-                    TensorRole::FwdOut,
-                    "tensor {:?} of {} absent at step {step}",
-                    meta.role,
-                    self.net.layer(meta.layer).name
-                );
-                let layer = meta.layer;
-                self.recompute_for(layer, step)?;
-                debug_assert_eq!(self.states[t.0].residence, Residence::Device);
-                Ok(self.states[t.0].prefetch.map(|d| d.event))
-            }
-        }
-    }
-
-    // ------------------------------------------------------------------
-    // Recomputation (§3.4)
-    // ------------------------------------------------------------------
-
-    /// Reconstruct the forward output of non-checkpoint `layer` for use at
-    /// backward `step`, following the segment's chosen strategy.
-    fn recompute_for(&mut self, layer: LayerId, step: usize) -> Result<(), ExecError> {
-        let si = self.rplan.segment_of[layer.0]
-            .unwrap_or_else(|| panic!("{} is not recomputable", self.net.layer(layer).name));
-        let (strategy, anchor) = {
-            let seg = &self.rplan.segments[si];
-            (seg.strategy, seg.anchor)
-        };
-
-        // The anchor checkpoint seeds the replay: bring it back first.
-        let anchor_t = self.plan.fwd_out[anchor.0];
-        let gate = self.ensure_present(anchor_t, step)?;
-        if let Some(e) = gate {
-            self.dev.tl.wait(e);
-            self.states[anchor_t.0].prefetch = None;
-        }
-        self.states[anchor_t.0].lock += 1;
-
-        let members: Vec<LayerId> = match strategy {
-            SegmentStrategy::SpeedCentric => self.rplan.segments[si].members.clone(),
-            SegmentStrategy::MemoryCentric => self.rplan.chain_to(self.net, layer),
-        };
-        // Memory-centric replay frees each chain intermediate as soon as the
-        // next link has consumed it, keeping the replay working set at two
-        // tensors (Fig. 9b's "memcost stays at l_b").
-        let target = *members.last().unwrap_or(&layer);
-        let mut prev_link: Option<TensorId> = None;
-
-        for m in members {
-            let mt = self.plan.fwd_out[m.0];
-            match self.states[mt.0].residence {
-                Residence::Device => continue, // materialized by an earlier replay
-                Residence::Host => {
-                    // A previously recomputed copy was evicted to the host;
-                    // fetching it back is cheaper than recomputing the chain.
-                    if let Some(e) = self.ensure_present(mt, step)? {
-                        self.dev.tl.wait(e);
-                        self.states[mt.0].prefetch = None;
-                    }
-                    continue;
-                }
-                Residence::None => {}
-            }
-            // Inputs of a segment member are its (single) producer's output,
-            // which is either the anchor or an earlier member — resident.
-            self.alloc_device(mt, step)?;
-            let lk = &self.net.layer(m).kind;
-            let d = self.cost.layer(m).fwd_time(lk, &self.dev.spec, 1.0);
-            self.dev.tl.submit(sn_sim::EngineKind::Compute, d);
-            self.dev.tl.join_compute();
-            if let Some(b) = self.backend.as_mut() {
-                b.forward(m);
-            }
-            self.counters.recompute_forwards += 1;
-
-            // Free point: speed-centric keeps the tensor for the rest of the
-            // segment's backward; memory-centric drops intermediates as soon
-            // as the next chain link has consumed them, and the target after
-            // this step.
-            match strategy {
-                SegmentStrategy::SpeedCentric => {
-                    let free_at = self.plan.tensors[mt.0]
-                        .bwd_last_use
-                        .unwrap_or(step)
-                        .max(step);
-                    self.recomputed_free_at.entry(free_at).or_default().push(mt);
-                }
-                SegmentStrategy::MemoryCentric => {
-                    if let Some(prev) = prev_link.take() {
-                        self.drop_device_copy(prev);
-                    }
-                    if m == target {
-                        self.recomputed_free_at.entry(step).or_default().push(mt);
-                    } else {
-                        prev_link = Some(mt);
-                    }
-                }
-            }
-        }
-
-        self.states[anchor_t.0].lock -= 1;
-        Ok(())
-    }
-
-    // ------------------------------------------------------------------
-    // Offload / prefetch (§3.3.1)
-    // ------------------------------------------------------------------
-
-    /// Eagerly offload a checkpoint output after its forward computation.
-    fn schedule_offload(&mut self, t: TensorId, compute_done: Event) -> Result<(), ExecError> {
-        if self.states[t.0].host_valid || self.states[t.0].offload.is_some() {
-            return Ok(());
-        }
-        self.ensure_host_slot(t)?;
-        let dma = self.submit_dma(StreamId::D2H, t, &[compute_done]);
-        self.states[t.0].offload = Some(dma);
-        self.states[t.0].evicting = false;
-        self.pending_offloads.push(t);
-        self.counters.offloads += 1;
-        Ok(())
-    }
-
-    /// Asynchronously prefetch host-resident tensors needed by upcoming
-    /// backward steps, up to and including the next offloadable checkpoint's
-    /// backward (the paper: "at any CONV layers in the backward, the runtime
-    /// asynchronously fetches the required tensors for the previous CONV
-    /// layer").
-    fn prefetch_ahead(&mut self, step: usize) {
-        let total = self.route.total_steps();
-        let mut seen_ckpt = false;
-        for s in (step + 1)..total.min(step + 9) {
-            let inputs: Vec<TensorId> = self.plan.step_inputs[s].clone();
-            for t in inputs {
-                if self.states[t.0].residence != Residence::Host {
-                    continue;
-                }
-                let bytes = self.meta(t).bytes;
-                // Opportunistic: never evict on behalf of a prefetch.
-                let Ok(g) = self.dev.alloc_charged(bytes) else {
-                    return;
-                };
-                let dma = self.submit_dma(StreamId::H2D, t, &[]);
-                let st = &mut self.states[t.0];
-                st.grant = Some(g.id);
-                st.residence = Residence::Device;
-                st.prefetch = Some(dma);
-                self.counters.prefetches += 1;
-                if self.policy.tensor_cache {
-                    self.lru_insert(t);
-                }
-            }
-            let l = self.route.step(s).layer;
-            if self.route.step(s).phase == StepPhase::Backward
-                && self.net.layer(l).kind.is_offload_candidate()
-            {
-                if seen_ckpt {
-                    break;
-                }
-                seen_ckpt = true;
-            }
-        }
-    }
-
-    // ------------------------------------------------------------------
-    // Tensor release
-    // ------------------------------------------------------------------
-
-    /// Fully release a tensor: device grant, host slot, pending transfers.
-    fn free_tensor(&mut self, t: TensorId) {
-        let st = &mut self.states[t.0];
-        debug_assert_eq!(st.lock, 0, "freeing a locked tensor");
-        st.offload = None; // cancels any in-flight copy-out
-        st.evicting = false;
-        st.prefetch = None;
-        if let Some(g) = st.grant.take() {
-            self.dev.free_charged(g);
-        }
-        if let Some(slot) = self.states[t.0].host_slot.take() {
-            self.dev.host.release(slot);
-        }
-        self.states[t.0].host_valid = false;
-        self.states[t.0].residence = Residence::None;
-        self.lru_remove(t);
+    fn notify_drop(&mut self, t: TensorId) {
         if let Some(b) = self.backend.as_mut() {
             let meta = &self.plan.tensors[t.0];
             match meta.role {
@@ -815,43 +330,96 @@ impl<'n> Executor<'n> {
         }
     }
 
-    /// Drop only the device copy of a recomputed tensor (memory-centric
-    /// cleanup); re-requests will recompute again.
-    fn drop_device_copy(&mut self, t: TensorId) {
-        let st = &mut self.states[t.0];
-        if st.lock > 0 {
-            return;
-        }
-        if st.offload.is_some() {
-            // An eviction's copy-out is still reading the device bytes;
-            // poll_offloads will release the grant when it completes.
-            return;
-        }
-        if let Some(g) = st.grant.take() {
-            self.dev.free_charged(g);
-        }
-        st.prefetch = None;
-        st.residence = if st.host_valid {
-            Residence::Host
-        } else {
-            Residence::None
-        };
-        self.lru_remove(t);
-        if self.states[t.0].residence == Residence::None {
-            if let Some(b) = self.backend.as_mut() {
-                let meta = &self.plan.tensors[t.0];
-                if meta.role == TensorRole::FwdOut {
-                    b.drop_output(meta.layer);
+    /// Execute one residency op. `compute_done` is the step's kernel event
+    /// (the gate for eager offloads), present only for post-kernel ops.
+    fn apply(
+        &mut self,
+        op: PlanOp,
+        step: usize,
+        compute_done: Option<Event>,
+    ) -> Result<(), ExecError> {
+        match op {
+            PlanOp::Alloc(t) => {
+                let g = self.planned_alloc(self.meta(t).bytes, step)?;
+                self.utp.mark_device(t, g, false);
+            }
+            PlanOp::Fetch(t) => {
+                let g = self.planned_alloc(self.meta(t).bytes, step)?;
+                self.utp.mark_device(t, g, false);
+                let dma = self.submit_dma(StreamId::H2D, t, &[]);
+                self.utp.states[t.0].prefetch = Some(dma);
+            }
+            PlanOp::Offload { t, evict } => {
+                let bytes = self.meta(t).bytes;
+                if !self.utp.ensure_host_slot(t, bytes, &mut self.dev) {
+                    return Err(ExecError::HostExhausted { requested: bytes });
+                }
+                // An eviction's copy-out must run behind every kernel already
+                // queued (which may still read the victim); an eager offload
+                // only behind the kernel that produced the tensor.
+                let gate = match (evict, compute_done) {
+                    (false, Some(e)) => e,
+                    _ => self.dev.tl.frontier_event(StreamId::COMPUTE),
+                };
+                let dma = self.submit_dma(StreamId::D2H, t, &[gate]);
+                self.utp.mark_offloading(t, evict, Some(dma));
+            }
+            PlanOp::ReleaseDevice(t) => {
+                // The device bytes may only be reused once the copy-out has
+                // landed — the "allocations never overtake releases" wait
+                // that pins the trajectory to the plan's.
+                if let Some(dma) = self.utp.states[t.0].offload {
+                    self.dev.tl.wait(dma.event);
+                }
+                if self.utp.release_device(t, &mut self.dev) {
+                    self.notify_drop(t);
+                }
+            }
+            PlanOp::Free(t) => {
+                self.utp.free_tensor(t, &mut self.dev);
+                self.notify_drop(t);
+            }
+            PlanOp::Recompute(l) => {
+                // The replay reads its producer synchronously: wait out any
+                // in-flight prefetch of the producer's output first.
+                let p = self.net.layer(l).prevs[0];
+                let pt = self.plan.fwd_out[p.0];
+                if let Some(dma) = self.utp.states[pt.0].prefetch.take() {
+                    self.dev.tl.wait(dma.event);
+                }
+                let lk = &self.net.layer(l).kind;
+                let d = self.cost.layer(l).fwd_time(lk, &self.dev.spec, 1.0);
+                self.dev.tl.submit(sn_sim::EngineKind::Compute, d);
+                self.dev.tl.join_compute();
+                if let Some(b) = self.backend.as_mut() {
+                    b.forward(l);
+                }
+            }
+            PlanOp::AllocWorkspace(bytes) => {
+                debug_assert!(self.ws_grant.is_none());
+                self.ws_grant = Some(self.planned_alloc(bytes, step)?);
+            }
+            PlanOp::AllocTransient(bytes) => {
+                debug_assert!(self.tr_grant.is_none());
+                self.tr_grant = Some(self.planned_alloc(bytes, step)?);
+            }
+            PlanOp::FreeTransients => {
+                if let Some(g) = self.ws_grant.take() {
+                    self.dev.free_charged(g);
+                }
+                if let Some(g) = self.tr_grant.take() {
+                    self.dev.free_charged(g);
                 }
             }
         }
+        Ok(())
     }
 
     // ------------------------------------------------------------------
     // The iteration loop
     // ------------------------------------------------------------------
 
-    /// Run one training iteration; returns the measured report.
+    /// Replay the plan for one iteration; returns the measured report.
     pub fn run_iteration(&mut self) -> Result<IterationReport, ExecError> {
         self.iter += 1;
         self.reset_iteration_state();
@@ -860,7 +428,7 @@ impl<'n> Executor<'n> {
         let alloc_calls0 = self.dev.alloc_calls;
         self.dev.tl.reset_stats();
         self.dev.alloc.reset_high_water();
-        self.counters = Counters::default();
+        self.counters = self.mplan.predicted;
         self.trace.clear();
         self.ws_records.clear();
         if let Some(b) = self.backend.as_mut() {
@@ -873,14 +441,16 @@ impl<'n> Executor<'n> {
         }
 
         // Drain DMA engines so trailing offloads are charged to this
-        // iteration, then release anything still held (e.g. offloaded
-        // tensors whose host copies we no longer need across iterations).
+        // iteration, then release anything whose consumers have all run.
         self.dev.tl.sync_all();
-        self.poll_offloads(total);
+        for i in 0..self.mplan.final_ops.len() {
+            let op = self.mplan.final_ops[i];
+            self.apply(op, total, None)?;
+        }
 
         let stats = self.dev.tl.stats();
         let overlap = self.dev.tl.overlap();
-        Ok(IterationReport {
+        let report = IterationReport {
             iter_time: self.dev.tl.now() - t_start,
             peak_bytes: self.dev.alloc.high_water(),
             h2d_bytes: stats.h2d_bytes,
@@ -893,135 +463,73 @@ impl<'n> Executor<'n> {
             transfer_busy: overlap.transfer_busy,
             overlapped: overlap.overlapped,
             loss: self.backend.as_ref().and_then(|b| b.loss()),
-        })
+        };
+        // The contract the whole stack rests on: replaying the plan's
+        // alloc/free sequence reproduces its peak to the byte.
+        debug_assert_eq!(
+            report.peak_bytes, self.mplan.peak_bytes,
+            "executed peak diverged from the plan"
+        );
+        Ok(report)
     }
 
     fn reset_iteration_state(&mut self) {
-        for i in 0..self.states.len() {
-            self.states[i].lock = 0;
-            self.states[i].offload = None;
-            self.states[i].evicting = false;
-            self.states[i].prefetch = None;
-            if let Some(g) = self.states[i].grant.take() {
-                self.dev.free_charged(g);
-            }
-            if let Some(slot) = self.states[i].host_slot.take() {
-                self.dev.host.release(slot);
-            }
-            self.states[i].host_valid = false;
-            self.states[i].residence = Residence::None;
+        self.utp.reset(&mut self.dev);
+        if let Some(g) = self.ws_grant.take() {
+            self.dev.free_charged(g);
         }
-        self.lru.clear();
-        self.recomputed_free_at.clear();
-        self.pending_offloads.clear();
+        if let Some(g) = self.tr_grant.take() {
+            self.dev.free_charged(g);
+        }
     }
 
     fn run_step(&mut self, s: usize) -> Result<(), ExecError> {
-        let step = self.route.step(s);
-        let layer_id = step.layer;
-        let kind = self.net.layer(layer_id).kind.clone();
-        let lcost = *self.cost.layer(layer_id);
+        let layer_id = self.mplan.steps[s].layer;
+        let phase = self.mplan.steps[s].phase;
+        let duration = self.mplan.steps[s].duration;
 
-        // Reap offloads whose consumers have all run (waiting out any DMA
-        // remainder) so this step's allocations see the same free memory a
-        // synchronous engine would — see drain_reapable_offloads.
-        self.drain_reapable_offloads(s);
+        // 1. Residency ops ahead of the kernel (staging, evictions,
+        //    recompute replays, workspace/transient allocation). Indexed
+        //    iteration: `PlanOp` is `Copy`, so the interpreter's hottest
+        //    loop never clones the plan's op vectors.
+        for i in 0..self.mplan.steps[s].pre.len() {
+            let op = self.mplan.steps[s].pre[i];
+            self.apply(op, s, None)?;
+        }
 
-        // 1. Bring inputs on-device (Check() of Alg. 2; may recompute). The
-        //    step's kernels gate on *every* input's in-flight prefetch: a
+        // 2. The kernel, gated on *every* input's in-flight prefetch: a
         //    tensor is never read while its H2D copy is still on the wire.
         let inputs: Vec<TensorId> = self.plan.step_inputs[s].clone();
-        let mut gates: Vec<Event> = Vec::new();
-        for t in &inputs {
-            if let Some(e) = self.ensure_present(*t, s)? {
-                gates.push(e);
-            }
-            // Lock immediately: ensuring a later input may trigger eviction
-            // and must not victimize an input we already staged.
-            self.states[t.0].lock += 1;
-        }
+        let gates: Vec<Event> = inputs
+            .iter()
+            .filter_map(|t| self.utp.states[t.0].prefetch.map(|d| d.event))
+            .collect();
+        let compute_done = self.dev.tl.submit_on(StreamId::COMPUTE, duration, &gates);
 
-        // 2. Materialize this step's outputs.
-        let created: Vec<TensorId> = self.plan.created_at[s].clone();
-        for t in &created {
-            if self.states[t.0].residence == Residence::None {
-                self.alloc_device(*t, s)?;
-            }
-            self.states[t.0].lock += 1;
-        }
-
-        // 3. Transients: convolution workspace (dynamic selection, §3.5)
-        //    and the backward weight-gradient buffer.
-        let mut choice = AlgoChoice::fallback();
-        let mut ws_grant = None;
-        if matches!(kind, sn_graph::LayerKind::Conv { .. }) {
-            let budget = match self.policy.workspace {
-                WorkspacePolicy::None => None,
-                WorkspacePolicy::Dynamic => Some(
-                    self.dev
-                        .alloc
-                        .free_bytes()
-                        .min(self.dev.alloc.largest_free_contiguous()),
-                ),
-                WorkspacePolicy::Capped(cap) => Some(
-                    self.dev
-                        .alloc
-                        .free_bytes()
-                        .min(self.dev.alloc.largest_free_contiguous())
-                        .min(cap),
-                ),
-            };
-            if let Some(free) = budget {
-                choice = convalgo::select_algo(self.net, layer_id, free);
-            }
-            ws_grant = self.alloc_transient(choice.workspace, s, "conv workspace")?;
-            let max_choice = convalgo::max_speed_algo(self.net, layer_id);
+        if let Some(ws) = self.mplan.steps[s].workspace {
             self.ws_records.push(WorkspaceRecord {
                 layer: layer_id,
                 name: self.net.layer(layer_id).name.clone(),
-                phase: match step.phase {
+                phase: match phase {
                     StepPhase::Forward => Phase::Forward,
                     StepPhase::Backward => Phase::Backward,
                 },
-                assigned_bytes: choice.workspace,
-                max_speed_bytes: max_choice.workspace,
-                algo: choice.algo.name(),
-                speedup: choice.speedup,
+                assigned_bytes: ws.bytes,
+                max_speed_bytes: ws.max_speed_bytes,
+                algo: ws.algo,
+                speedup: ws.speedup,
             });
         }
-        let wgrad_grant = if step.phase == StepPhase::Backward {
-            self.alloc_transient(lcost.wgrad_bytes, s, "weight gradient")?
-        } else {
-            self.alloc_transient(lcost.fwd_workspace, s, "fwd workspace")?
-        };
-
-        // 4. Compute.
-        let duration = match step.phase {
-            StepPhase::Forward => lcost.fwd_time(&kind, &self.dev.spec, choice.speedup),
-            StepPhase::Backward => lcost.bwd_time(&kind, &self.dev.spec, choice.speedup),
-        };
-        let compute_done = self.dev.tl.submit_on(StreamId::COMPUTE, duration, &gates);
-        // Invariant (Alg. 2): no input may be read before its prefetch has
-        // landed — the kernel's start must cover every in-flight H2D copy.
-        debug_assert!(inputs.iter().all(|t| {
-            self.states[t.0]
-                .prefetch
-                .is_none_or(|d| d.event.done_at + duration <= compute_done.done_at)
-        }));
         // Record the trace at the step's high-water moment.
         self.trace.push(StepRecord {
             step: s + 1,
             layer: self.net.layer(layer_id).name.clone(),
-            phase: match step.phase {
+            phase: match phase {
                 StepPhase::Forward => Phase::Forward,
                 StepPhase::Backward => Phase::Backward,
             },
             resident_bytes: self.dev.alloc.used(),
-            live_tensors: self
-                .states
-                .iter()
-                .filter(|st| st.residence == Residence::Device)
-                .count(),
+            live_tensors: self.utp.device_resident(),
             free_bytes: self.dev.alloc.free_bytes(),
             completed_at: compute_done.done_at,
         });
@@ -1029,53 +537,17 @@ impl<'n> Executor<'n> {
         // granularity; DMA engines keep draining in the background.
         self.dev.tl.join_compute();
         if let Some(b) = self.backend.as_mut() {
-            match step.phase {
+            match phase {
                 StepPhase::Forward => b.forward(layer_id),
                 StepPhase::Backward => b.backward(layer_id),
             }
         }
 
-        // 5. Release transients.
-        if let Some(g) = ws_grant {
-            self.dev.free_charged(g);
-        }
-        if let Some(g) = wgrad_grant {
-            self.dev.free_charged(g);
-        }
-
-        // 6. Unlock.
-        for t in inputs.iter().chain(created.iter()) {
-            self.states[t.0].lock = self.states[t.0].lock.saturating_sub(1);
-        }
-
-        // 7. Eager offload of checkpoint outputs (Fig. 10b policy — with
-        //    the Tensor Cache on, transfers instead happen lazily via
-        //    LRU eviction only under actual memory pressure).
-        if step.phase == StepPhase::Forward && self.policy.offload && self.policy.eager_offload {
-            let t = self.plan.fwd_out[layer_id.0];
-            if self.meta(t).offloadable && self.meta(t).bytes > 0 {
-                self.schedule_offload(t, compute_done)?;
-            }
-        }
-
-        // 8. Overlapped prefetch for upcoming backward consumers.
-        if step.phase == StepPhase::Backward && self.policy.offload && self.policy.prefetch {
-            self.prefetch_ahead(s);
-        }
-
-        // 9. Liveness frees.
-        let freed: Vec<TensorId> = self.plan.freed_after[s].clone();
-        for t in freed {
-            if self.states[t.0].residence != Residence::None || self.states[t.0].host_slot.is_some()
-            {
-                self.free_tensor(t);
-            }
-        }
-        // Recomputed-tensor frees scheduled for this step.
-        if let Some(list) = self.recomputed_free_at.remove(&s) {
-            for t in list {
-                self.drop_device_copy(t);
-            }
+        // 3. Post-kernel ops (transient release, eager offload gated on the
+        //    kernel, prefetch-ahead, liveness frees, recompute cleanup).
+        for i in 0..self.mplan.steps[s].post.len() {
+            let op = self.mplan.steps[s].post[i];
+            self.apply(op, s, Some(compute_done))?;
         }
         Ok(())
     }
@@ -1099,6 +571,7 @@ impl<'n> Executor<'n> {
 mod tests {
     use super::*;
     use crate::policy::RecomputeMode;
+    use crate::policy::{CachePolicy, WorkspacePolicy};
     use sn_graph::Shape4;
     use sn_sim::spec::MB;
 
@@ -1161,6 +634,31 @@ mod tests {
         assert_eq!(r.counters.recompute_forwards, 0);
         assert_eq!(r.d2h_bytes, 0);
         assert!(r.iter_time > SimTime::ZERO);
+    }
+
+    #[test]
+    fn executed_peak_equals_plan_peak_for_every_preset() {
+        // The tentpole contract: the interpreter's measured high-water is
+        // byte-identical to the plan's predicted peak, per preset.
+        let net = alex_stub(16);
+        for policy in [
+            Policy::baseline(),
+            Policy::liveness_only(),
+            Policy::liveness_offload(),
+            Policy::full_memory(),
+            Policy::superneurons(),
+            Policy::superneurons_no_cache(),
+            Policy::superneurons_cuda_alloc(),
+        ] {
+            let mut ex = Executor::new(&net, spec(), policy).unwrap();
+            for _ in 0..3 {
+                let r = ex.run_iteration().unwrap();
+                assert_eq!(
+                    r.peak_bytes, ex.mplan.peak_bytes,
+                    "executed peak must equal the planned peak"
+                );
+            }
+        }
     }
 
     #[test]
@@ -1331,8 +829,8 @@ mod tests {
             .unwrap();
         assert!(r.peak_bytes <= tight.dram_bytes);
         // Liveness-only cannot fit in the same budget.
-        // An Err from Executor::new (even the weights didn't fit) is also
-        // acceptable.
+        // An Err from Executor::new (even the weights didn't fit, or the
+        // plan itself cannot be compiled within the budget) is acceptable.
         if let Ok(mut ex) = Executor::new(&net, tight, Policy::liveness_only()) {
             assert!(ex.run_iteration().is_err());
         }
@@ -1408,10 +906,10 @@ mod tests {
 
     #[test]
     fn async_engine_overlaps_and_beats_synchronous_baseline() {
-        // The ISSUE-2 acceptance scenario: offloading on a memory-constrained
-        // VGG-style net. The async multi-stream engine must be strictly
-        // faster than the synchronous-transfer baseline, with a positive
-        // overlap fraction, at an unchanged peak.
+        // Offloading on a memory-constrained VGG-style net: the async
+        // multi-stream engine must be strictly faster than the synchronous-
+        // transfer baseline, with a positive overlap fraction, at an
+        // unchanged peak.
         let net = vgg_stub(16);
         let peak = Executor::new(&net, spec(), Policy::liveness_offload())
             .unwrap()
@@ -1475,7 +973,7 @@ mod tests {
         assert!(async_r.peak_bytes <= tight.dram_bytes);
         assert_eq!(async_r.peak_bytes, sync_r.peak_bytes);
         assert!(async_r.iter_time <= sync_r.iter_time);
-        // Identical scheduling decisions either way.
+        // Identical scheduling decisions either way — it is the same plan.
         assert_eq!(async_r.counters.evictions, sync_r.counters.evictions);
         assert_eq!(async_r.d2h_bytes, sync_r.d2h_bytes);
     }
@@ -1542,5 +1040,116 @@ mod tests {
             ex.dev.alloc.used(),
             ex.cost.total_weight_bytes().div_ceil(1024) * 1024
         );
+    }
+
+    #[test]
+    fn inference_runs_forward_only_at_the_plan_peak() {
+        let net = alex_stub(16);
+        let mut ex = Executor::new_inference(&net, spec(), Policy::superneurons()).unwrap();
+        let r = ex.run_iteration().unwrap();
+        assert_eq!(r.peak_bytes, ex.mplan.peak_bytes);
+        assert_eq!(r.counters.recompute_forwards, 0);
+        assert_eq!(r.d2h_bytes + r.h2d_bytes, 0);
+        assert_eq!(ex.trace.records.len(), net.len());
+        // Forward-only peak undercuts the training peak.
+        let train = Executor::new(&net, spec(), Policy::superneurons())
+            .unwrap()
+            .run_iteration()
+            .unwrap();
+        assert!(
+            r.peak_bytes < train.peak_bytes,
+            "inference {} vs training {}",
+            r.peak_bytes,
+            train.peak_bytes
+        );
+        assert!(r.iter_time < train.iter_time);
+    }
+
+    #[test]
+    fn nonlinear_routes_recompute_through_fanout_segments() {
+        // Satellite coverage: until this PR the executor's recompute tests
+        // only exercised linear AlexNet/VGG stubs. A residual block plus an
+        // inception-style fan-out must replay exactly the predicted number
+        // of segment members, at the plan's peak, under every strategy.
+        let mut net = Net::new("nonlin", Shape4::new(8, 4, 16, 16));
+        let d = net.data();
+        let c1 = net.conv(d, 8, 3, 1, 1);
+        let b1 = net.bn(c1);
+        let r1 = net.relu(b1);
+        let c2 = net.conv(r1, 8, 3, 1, 1);
+        let e = net.eltwise(&[c2, c1]); // residual join (checkpoint)
+        let r2 = net.relu(e);
+        let p1 = net.max_pool(r2, 2, 2, 0); // fan-out below the join:
+        let p2 = net.avg_pool(r2, 2, 2, 0); // two branches, one tree segment
+        let j = net.concat(&[p1, p2]);
+        let f = net.fc(j, 10);
+        net.softmax(f);
+        net.validate().unwrap();
+
+        for mode in [
+            RecomputeMode::SpeedCentric,
+            RecomputeMode::MemoryCentric,
+            RecomputeMode::CostAware,
+        ] {
+            let pol = Policy {
+                recompute: mode,
+                ..Policy::full_memory()
+            };
+            let mut ex = Executor::new(&net, spec(), pol).unwrap();
+            let r = ex.run_iteration().unwrap();
+            assert!(r.counters.recompute_forwards > 0, "{mode:?}");
+            assert_eq!(r.peak_bytes, ex.mplan.peak_bytes, "{mode:?}");
+            if mode == RecomputeMode::SpeedCentric {
+                // Each segment replays exactly once: [BN,ACT] @c1 and
+                // [ACT,POOL,POOL] @eltwise → the predicted member count.
+                assert_eq!(
+                    r.counters.recompute_forwards as usize,
+                    ex.rplan.predicted_speed_centric_extra()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn zero_time_iteration_reports_zero_not_nan_throughput() {
+        // Satellite regression: `imgs_per_sec` must never emit non-finite
+        // numbers into bench JSON, even for zero-duration iterations.
+        let r = IterationReport {
+            iter_time: SimTime::ZERO,
+            peak_bytes: 0,
+            h2d_bytes: 0,
+            d2h_bytes: 0,
+            counters: Counters::default(),
+            alloc_time: SimTime::ZERO,
+            alloc_calls: 0,
+            stall: SimTime::ZERO,
+            compute_busy: SimTime::ZERO,
+            transfer_busy: SimTime::ZERO,
+            overlapped: SimTime::ZERO,
+            loss: None,
+        };
+        assert_eq!(r.imgs_per_sec(128), 0.0);
+        assert!(r.imgs_per_sec(128).is_finite());
+        assert_eq!(r.overlap_fraction(), 0.0);
+    }
+
+    #[test]
+    fn cache_policies_all_replay_their_plans() {
+        let net = vgg_stub(8);
+        let full = Executor::new(&net, spec(), Policy::full_memory())
+            .unwrap()
+            .run_iteration()
+            .unwrap();
+        let tight = spec().with_dram(full.peak_bytes + 4 * MB);
+        for cp in [CachePolicy::Lru, CachePolicy::Fifo, CachePolicy::Mru] {
+            let pol = Policy {
+                cache_policy: cp,
+                ..Policy::superneurons()
+            };
+            let mut ex = Executor::new(&net, tight.clone(), pol).unwrap();
+            let r = ex.run_iteration().unwrap();
+            assert!(r.peak_bytes <= tight.dram_bytes, "{cp:?}");
+            assert_eq!(r.peak_bytes, ex.mplan.peak_bytes, "{cp:?}");
+        }
     }
 }

@@ -1,7 +1,27 @@
 //! # sn-runtime — the SuperNeurons dynamic GPU memory scheduling runtime
 //!
 //! This crate is the paper's primary contribution, rebuilt in Rust on top of
-//! the simulated device substrate:
+//! the simulated device substrate and split into three explicit layers:
+//!
+//! 1. **Plan** — [`plan`] compiles `(Net, DeviceSpec, Policy)` into a
+//!    static, inspectable [`MemoryPlan`]: per-step residency actions
+//!    (alloc/free/offload/prefetch/recompute/workspace), the **exact**
+//!    predicted peak, and per-tensor lifetimes. Training plans cover one
+//!    `2N`-step iteration; forward-only *inference* plans open a serving
+//!    path the training-only executor could not express.
+//! 2. **UTP** — [`utp`] is the Unified Tensor Pool residency manager: the
+//!    tensor-state map, the Alg. 2 LRU Tensor Cache, the reclamation
+//!    ladder's pending-offload reservoir, host-slot management over the
+//!    Fig. 7 tiers, and in-flight DMA handles, behind a narrow API shared
+//!    by the planner and the executor.
+//! 3. **Interpret** — [`executor`] walks the plan over the UTP and the
+//!    multi-stream sim engine. Because it replays the identical alloc/free
+//!    sequence through an identical allocator, the executed peak equals
+//!    [`MemoryPlan::peak_bytes`] to the byte — which is why cluster
+//!    admission ([`sn-cluster`](../sn_cluster/index.html)) reserves plan
+//!    peaks without simulating an iteration.
+//!
+//! Around the three layers:
 //!
 //! * [`policy`] — every technique as an independent switch, with presets for
 //!   the paper's component studies (`baseline`, `liveness_only`,
@@ -9,14 +29,12 @@
 //! * [`device`] — the device bundle (timeline + allocator + pinned host);
 //! * [`convalgo`] — the cuDNN-style convolution algorithm catalogue and the
 //!   dynamic workspace selector (§3.5);
-//! * [`recompute`] — Cost-Aware Recomputation planning (§3.4);
-//! * [`executor`] — the scheduler: liveness frees, UTP offload/prefetch over
-//!   independent DMA engines, the Alg. 2 LRU Tensor Cache, recomputation
-//!   replay, workspace provisioning, per-step tracing;
-//! * [`numeric`] — a real compute backend proving the schedule preserves
-//!   exact training semantics;
-//! * [`session`] — a high-level training-session API used by examples and
-//!   the experiment harness.
+//! * [`recompute`] — Cost-Aware Recomputation segment planning (§3.4);
+//! * [`numeric`] — a real compute backend proving the plans preserve exact
+//!   training semantics;
+//! * [`session`] — high-level [`Session`] (training) and
+//!   [`InferenceSession`] (forward-only serving) APIs, plus the
+//!   plan-compile-only [`plan_prediction`] admission predictor.
 //!
 //! `peak_m` progression implemented (and asserted by tests):
 //! baseline `Σ l_f + Σ l_b` → liveness `Σ l_f + l_b_N` → +offload
@@ -27,10 +45,12 @@ pub mod device;
 pub mod executor;
 pub mod numeric;
 pub mod parallel;
+pub mod plan;
 pub mod policy;
 pub mod recompute;
 pub mod session;
 pub mod tiers;
+pub mod utp;
 
 pub use convalgo::{select_algo, AlgoChoice, ConvAlgo};
 pub use device::{AllocatorImpl, Device};
@@ -38,7 +58,12 @@ pub use executor::{ComputeBackend, Counters, ExecError, Executor, IterationRepor
 pub use parallel::{
     ring_allreduce_time, ring_allreduce_wire_bytes, DataParallel, Interconnect, ParallelReport,
 };
+pub use plan::{CompiledPlan, MemoryPlan, PlanOp, StepPlan, TensorLifetime, WorkspacePlan};
 pub use policy::{AllocatorKind, CachePolicy, Policy, RecomputeMode, WorkspacePolicy};
 pub use recompute::{RecomputePlan, Segment, SegmentStrategy};
-pub use session::{predict_peak_bytes, predict_run, PeakPrediction, Session, SessionReport};
+pub use session::{
+    plan_prediction, plan_prediction_inference, predict_peak_bytes, predict_run, InferenceReport,
+    InferenceSession, PeakPrediction, Session, SessionReport,
+};
 pub use tiers::{Tier, TierConfig, TieredPool};
+pub use utp::{Residence, TensorState, Utp};

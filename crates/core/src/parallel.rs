@@ -1,7 +1,8 @@
 //! Data-parallel multi-GPU training on top of the single-device runtime.
 //!
 //! The paper scopes itself to "addressing the GPU memory shortage issue for
-//! training deep neural networks under [the] data parallelism model" (§2.1):
+//! training deep neural networks under \[the\] data parallelism model"
+//! (§2.1):
 //! each GPU holds a network replica, computes a sub-gradient on a sub-batch,
 //! and all sub-gradients are aggregated into one global gradient. This
 //! module composes that outer loop over the simulated devices:
@@ -11,7 +12,7 @@
 //!   (`2·(k−1)/k · bytes` on the wire per GPU);
 //! * optionally, communication of layer `i`'s weight gradients overlaps the
 //!   backward computation of layers `< i` (the standard bucketed-overlap
-//!   optimization the paper cites as [25]).
+//!   optimization the paper cites as \[25\]).
 //!
 //! Replicas are deterministic and identical, so one executor is simulated
 //! and the aggregate behaviour derived — exactly how the data-parallel

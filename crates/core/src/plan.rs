@@ -1,0 +1,969 @@
+//! The memory planner: compile `(Net, DeviceSpec, Policy)` into a static
+//! [`MemoryPlan`].
+//!
+//! SuperNeurons is architecturally a *planning* system — liveness windows,
+//! cost-aware recomputation segments, offload/prefetch points and workspace
+//! choices are all derivable from the `(net, policy, device)` triple before
+//! the first kernel runs. This module performs that derivation once, ahead
+//! of time: it walks the route with the same decision logic the executor
+//! used to interleave with execution (the Alg. 2 Tensor Cache, the
+//! reclamation ladder, eager offload, prefetch-ahead, §3.4 segment replay,
+//! §3.5 dynamic workspaces), driving a *real* allocator and the tiered host
+//! pools — but no timeline — and records every residency mutation as an
+//! explicit [`PlanOp`].
+//!
+//! The result is a cheap, inspectable, reusable artifact:
+//!
+//! * [`MemoryPlan::peak_bytes`] is the **exact** peak the execution will hit
+//!   — the executor replays the identical alloc/free sequence through an
+//!   identical allocator, so the high-water mark is equal *by construction*
+//!   (asserted across the whole preset × model matrix by the `plan` bench
+//!   experiment). Cluster admission reserves this number without ever
+//!   running a simulated iteration.
+//! * [`MemoryPlan::steps`] is a complete instruction stream — the executor
+//!   is an interpreter over it, and [`MemoryPlan::render`] prints the
+//!   on-disk debug format (one line per op) for inspection.
+//! * [`MemoryPlan::lifetimes`] summarizes per-tensor residency: creation,
+//!   death, whether the plan offloads or recomputes it.
+//!
+//! Training plans cover one `2N`-step iteration; **inference plans**
+//! (compiled from [`Route::construct_inference`]) are forward-only: no
+//! gradients exist, every output is freed at its last forward reader, and
+//! nothing is eagerly offloaded (there is no backward to fetch it back for).
+
+use std::collections::HashMap;
+
+use sn_graph::liveness::{LivenessOptions, LivenessPlan, TensorId, TensorRole};
+use sn_graph::{LayerId, Net, NetCost, Route, StepPhase};
+use sn_sim::{AllocGrant, DeviceAllocator, DeviceSpec, SimTime};
+
+use crate::convalgo::{self, AlgoChoice};
+use crate::device::Device;
+use crate::executor::{Counters, ExecError};
+use crate::policy::{Policy, RecomputeMode, WorkspacePolicy};
+use crate::recompute::{RecomputePlan, SegmentStrategy};
+use crate::tiers::Tier;
+use crate::utp::{Residence, Utp};
+
+/// One residency instruction. A step's ops execute strictly in order: `pre`
+/// ops before the kernel, `post` ops after it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlanOp {
+    /// Materialize tensor `t` on device (fresh allocation).
+    Alloc(TensorId),
+    /// Allocate device memory for `t` and copy it in from its host slot
+    /// (H2D; consumers gate on the transfer).
+    Fetch(TensorId),
+    /// Start a device→host copy-out of `t`: `evict: true` is an Alg. 2
+    /// cache eviction (release as soon as the copy lands), `false` an eager
+    /// checkpoint offload (release once all forward consumers ran).
+    Offload { t: TensorId, evict: bool },
+    /// Release the device copy of `t` (awaiting its in-flight copy-out
+    /// first); the host copy, if any, becomes the residence.
+    ReleaseDevice(TensorId),
+    /// Fully free `t`: device grant, host slot, any in-flight transfer.
+    Free(TensorId),
+    /// Replay `layer`'s forward as part of a §3.4 recomputation segment.
+    Recompute(LayerId),
+    /// Allocate the step's convolution workspace (exactly these bytes).
+    AllocWorkspace(u64),
+    /// Allocate the step's transient buffer (weight gradient / fwd mask).
+    AllocTransient(u64),
+    /// Release the step's workspace + transient buffer.
+    FreeTransients,
+}
+
+/// The workspace decision for one CONV step (Fig. 12's record).
+#[derive(Debug, Clone, Copy)]
+pub struct WorkspacePlan {
+    pub bytes: u64,
+    pub max_speed_bytes: u64,
+    pub algo: &'static str,
+    pub speedup: f64,
+}
+
+/// The compiled schedule of one step.
+#[derive(Debug, Clone)]
+pub struct StepPlan {
+    pub layer: LayerId,
+    pub phase: StepPhase,
+    /// Kernel duration (with the chosen conv algorithm's speed factor).
+    pub duration: SimTime,
+    /// Residency ops before the kernel (input staging, evictions, replays,
+    /// workspace/transient allocation).
+    pub pre: Vec<PlanOp>,
+    /// Residency ops after the kernel (transient release, eager offload,
+    /// prefetch-ahead, liveness frees, recompute cleanup).
+    pub post: Vec<PlanOp>,
+    /// CONV steps only: the dynamic workspace choice.
+    pub workspace: Option<WorkspacePlan>,
+}
+
+/// Per-tensor residency summary (the serializable lifetime table).
+#[derive(Debug, Clone, Copy)]
+pub struct TensorLifetime {
+    pub tensor: TensorId,
+    pub layer: LayerId,
+    pub role: TensorRole,
+    pub bytes: u64,
+    /// Step at which the tensor is materialized.
+    pub created_step: usize,
+    /// Step after which the plan frees it.
+    pub freed_after: usize,
+    /// The plan moves this tensor to an external tier at least once.
+    pub offloaded: bool,
+    /// Forward replays of the owning layer the plan schedules.
+    pub recomputes: u32,
+}
+
+/// The static memory plan: per-step actions, the exact predicted peak, and
+/// per-tensor residency lifetimes.
+#[derive(Debug, Clone)]
+pub struct MemoryPlan {
+    pub steps: Vec<StepPlan>,
+    /// End-of-iteration ops (trailing offloads whose device copies release
+    /// once every consumer has run).
+    pub final_ops: Vec<PlanOp>,
+    /// Exact peak device bytes the execution will hit (allocator
+    /// high-water over the planned alloc/free sequence, weights included).
+    pub peak_bytes: u64,
+    /// Step at which the peak occurs.
+    pub peak_step: usize,
+    /// Resident weight bytes (the plan's first allocation).
+    pub weight_bytes: u64,
+    /// Per-iteration counter totals the execution will report.
+    pub predicted: Counters,
+    pub lifetimes: Vec<TensorLifetime>,
+    /// Forward-only serving plan (no backward half, no gradients)?
+    pub inference: bool,
+    /// Analytic busy totals per engine, for the iteration-time estimate.
+    pub compute_ns: u64,
+    pub alloc_ns: u64,
+    pub h2d_ns: u64,
+    pub d2h_ns: u64,
+    /// Every DMA serializes against the host under this policy.
+    pub serialized: bool,
+}
+
+impl MemoryPlan {
+    /// Total op count (diagnostic).
+    pub fn n_ops(&self) -> usize {
+        self.steps
+            .iter()
+            .map(|s| s.pre.len() + s.post.len())
+            .sum::<usize>()
+            + self.final_ops.len()
+    }
+
+    /// Analytic iteration-time estimate: the busiest engine bounds the
+    /// makespan (compute serializes with allocator calls on the host
+    /// thread; DMA engines run concurrently unless the policy serializes
+    /// them). A pacing estimate for schedulers — the executor's measured
+    /// [`crate::IterationReport::iter_time`] is the ground truth.
+    pub fn iter_time_estimate(&self) -> SimTime {
+        let host = self.compute_ns + self.alloc_ns;
+        let ns = if self.serialized {
+            host + self.h2d_ns + self.d2h_ns
+        } else {
+            host.max(self.h2d_ns).max(self.d2h_ns)
+        };
+        SimTime::from_ns(ns)
+    }
+
+    /// The on-disk debug format: a line per step with its ops, then the
+    /// peak/lifetime summary. Stable enough to diff across PRs.
+    pub fn render(&self, net: &Net) -> String {
+        fn op_str(op: &PlanOp) -> String {
+            match op {
+                PlanOp::Alloc(t) => format!("alloc t{}", t.0),
+                PlanOp::Fetch(t) => format!("fetch t{}", t.0),
+                PlanOp::Offload { t, evict: true } => format!("evict-offload t{}", t.0),
+                PlanOp::Offload { t, evict: false } => format!("offload t{}", t.0),
+                PlanOp::ReleaseDevice(t) => format!("release t{}", t.0),
+                PlanOp::Free(t) => format!("free t{}", t.0),
+                PlanOp::Recompute(l) => format!("recompute L{}", l.0),
+                PlanOp::AllocWorkspace(b) => format!("ws+{b}"),
+                PlanOp::AllocTransient(b) => format!("tr+{b}"),
+                PlanOp::FreeTransients => "tr-".into(),
+            }
+        }
+        let mut out = format!(
+            "MemoryPlan[{}] {} steps, {} ops, peak {} bytes @step {}, weights {}\n",
+            if self.inference {
+                "inference"
+            } else {
+                "training"
+            },
+            self.steps.len(),
+            self.n_ops(),
+            self.peak_bytes,
+            self.peak_step,
+            self.weight_bytes,
+        );
+        for (s, sp) in self.steps.iter().enumerate() {
+            let ops: Vec<String> = sp
+                .pre
+                .iter()
+                .map(op_str)
+                .chain(std::iter::once("KERNEL".to_string()))
+                .chain(sp.post.iter().map(op_str))
+                .collect();
+            out.push_str(&format!(
+                "  {s:>5} {} {:<12} {}{}\n",
+                match sp.phase {
+                    StepPhase::Forward => "F",
+                    StepPhase::Backward => "B",
+                },
+                net.layer(sp.layer).name,
+                sp.workspace
+                    .map(|w| format!("[{} ws={}] ", w.algo, w.bytes))
+                    .unwrap_or_default(),
+                ops.join(" "),
+            ));
+        }
+        if !self.final_ops.is_empty() {
+            let ops: Vec<String> = self.final_ops.iter().map(op_str).collect();
+            out.push_str(&format!("  final {}\n", ops.join(" ")));
+        }
+        out
+    }
+}
+
+/// Everything a compilation produces: the graph-derived inputs (route,
+/// costs, liveness, recomputation segments) plus the [`MemoryPlan`] built
+/// from them. The executor owns one of these.
+#[derive(Debug, Clone)]
+pub struct CompiledPlan {
+    pub route: Route,
+    pub cost: NetCost,
+    pub liveness: LivenessPlan,
+    pub rplan: RecomputePlan,
+    pub plan: MemoryPlan,
+}
+
+/// Compile a training plan: one `2N`-step iteration.
+pub fn compile(net: &Net, spec: &DeviceSpec, policy: Policy) -> Result<CompiledPlan, ExecError> {
+    compile_route(net, spec, policy, Route::construct(net))
+}
+
+/// Compile a forward-only inference plan: `N` steps, outputs freed at their
+/// last forward reader, no gradients, no eager offload, no recomputation.
+pub fn compile_inference(
+    net: &Net,
+    spec: &DeviceSpec,
+    policy: Policy,
+) -> Result<CompiledPlan, ExecError> {
+    compile_route(net, spec, policy, Route::construct_inference(net))
+}
+
+fn compile_route(
+    net: &Net,
+    spec: &DeviceSpec,
+    policy: Policy,
+    route: Route,
+) -> Result<CompiledPlan, ExecError> {
+    let inference = !route.has_backward();
+    let cost = NetCost::of(net);
+    let liveness_options = if inference {
+        // Forward-only: recompute-aware lifetime shortening is meaningless
+        // (nothing lives past its forward readers to begin with).
+        LivenessOptions {
+            recompute_non_checkpoints: false,
+            ..policy.liveness_options()
+        }
+    } else {
+        policy.liveness_options()
+    };
+    let liveness = LivenessPlan::analyze(net, &route, liveness_options);
+    let rmode = if inference {
+        RecomputeMode::None
+    } else {
+        policy.recompute
+    };
+    let rplan = RecomputePlan::build(net, &route, &cost, rmode);
+
+    let planner = Planner {
+        net,
+        spec,
+        route: &route,
+        cost: &cost,
+        liveness: &liveness,
+        rplan: &rplan,
+        policy,
+        inference,
+        dev: Device::new(spec.clone(), policy.allocator, policy.tiers),
+        utp: Utp::new(liveness.tensors.len()),
+        counters: Counters::default(),
+        recomputed_free_at: HashMap::new(),
+        ops: Vec::new(),
+        peak_step: 0,
+        peak_seen: 0,
+        cur_step: 0,
+        compute_ns: 0,
+        h2d_ns: 0,
+        d2h_ns: 0,
+        offloaded: vec![false; liveness.tensors.len()],
+        recomputes: vec![0; net.len()],
+    };
+    let plan = planner.run()?;
+    Ok(CompiledPlan {
+        route,
+        cost,
+        liveness,
+        rplan,
+        plan,
+    })
+}
+
+/// The compiler: the executor's old scheduling brain, run against allocator
+/// + host-pool state only, emitting ops instead of touching a timeline.
+struct Planner<'a> {
+    net: &'a Net,
+    spec: &'a DeviceSpec,
+    route: &'a Route,
+    cost: &'a NetCost,
+    liveness: &'a LivenessPlan,
+    rplan: &'a RecomputePlan,
+    policy: Policy,
+    inference: bool,
+    dev: Device,
+    utp: Utp,
+    counters: Counters,
+    /// Recomputed tensors to drop at the end of a given step.
+    recomputed_free_at: HashMap<usize, Vec<TensorId>>,
+    /// Op accumulator for the current pre/post section.
+    ops: Vec<PlanOp>,
+    peak_step: usize,
+    peak_seen: u64,
+    cur_step: usize,
+    compute_ns: u64,
+    h2d_ns: u64,
+    d2h_ns: u64,
+    offloaded: Vec<bool>,
+    recomputes: Vec<u32>,
+}
+
+impl<'a> Planner<'a> {
+    fn meta(&self, t: TensorId) -> &sn_graph::TensorMeta {
+        &self.liveness.tensors[t.0]
+    }
+
+    /// Effective transfer bandwidth for `t`'s external tier (the pageable
+    /// penalty applies to the local-host tier only).
+    fn tier_gbps(&self, t: TensorId) -> f64 {
+        let tier = self.utp.tier_of(t);
+        match tier {
+            Tier::LocalHost if !self.policy.pinned_host => tier.gbps() * self.spec.unpinned_factor,
+            _ => tier.gbps(),
+        }
+    }
+
+    fn transfer_ns(&self, t: TensorId) -> u64 {
+        sn_sim::time::transfer_time(self.meta(t).bytes, self.tier_gbps(t)).as_ns()
+    }
+
+    /// Allocate, tracking where the peak lands.
+    fn charged_alloc(&mut self, bytes: u64) -> Result<AllocGrant, sn_sim::AllocError> {
+        let g = self.dev.alloc_charged(bytes)?;
+        let used = self.dev.alloc.used();
+        if used > self.peak_seen {
+            self.peak_seen = used;
+            self.peak_step = self.cur_step;
+        }
+        Ok(g)
+    }
+
+    /// Emit `ReleaseDevice(t)` and apply it.
+    fn release_device(&mut self, t: TensorId) {
+        self.ops.push(PlanOp::ReleaseDevice(t));
+        self.utp.release_device(t, &mut self.dev);
+    }
+
+    /// Drop a recomputed tensor's device copy (memory-centric cleanup),
+    /// honouring the lock/offloading guards.
+    fn drop_device_copy(&mut self, t: TensorId) {
+        let st = self.utp.state(t);
+        if st.lock > 0 || st.offloading || st.residence != Residence::Device {
+            return;
+        }
+        self.release_device(t);
+    }
+
+    /// Release every pending offload whose consumers have all run — the
+    /// step-boundary drain that pins the memory trajectory at every
+    /// allocation point, independent of DMA timing.
+    fn drain_reapable(&mut self, step: usize) {
+        for t in self.utp.reapable(self.liveness, step) {
+            self.release_device(t);
+        }
+    }
+
+    /// One rung of the reclamation ladder: release the earliest reapable
+    /// in-flight offload, else evict via the Tensor Cache. `Ok(true)` means
+    /// memory may have been freed and the allocation is worth retrying.
+    fn reclaim_some(&mut self, step: usize) -> Result<bool, ExecError> {
+        if let Some(t) = self.utp.first_reapable(self.liveness, step) {
+            self.release_device(t);
+            return Ok(true);
+        }
+        if self.policy.tensor_cache {
+            return self.evict_one(step);
+        }
+        Ok(false)
+    }
+
+    /// `LRU.out` (Alg. 2): pick the cache's victim; start an eviction
+    /// copy-out if its contents are still needed, release directly if a
+    /// valid host copy exists (or the contents are dead).
+    fn evict_one(&mut self, step: usize) -> Result<bool, ExecError> {
+        let Some(victim) = self.utp.pick_victim(self.policy.cache_policy) else {
+            return Ok(false);
+        };
+        // Inclusive: a tensor whose last use is the *current* step is still
+        // needed by it (eviction can run while the step assembles inputs).
+        let meta = self.meta(victim);
+        let needed_later =
+            meta.last_use_step >= step || meta.bwd_last_use.is_some_and(|b| b >= step);
+        let bytes = meta.bytes;
+        let st = self.utp.state(victim);
+        debug_assert_eq!(st.residence, Residence::Device);
+        if needed_later && !st.host_valid {
+            if !self.utp.ensure_host_slot(victim, bytes, &mut self.dev) {
+                return Err(ExecError::HostExhausted { requested: bytes });
+            }
+            self.d2h_ns += self.transfer_ns(victim);
+            self.utp.mark_offloading(victim, true, None);
+            self.utp.lru_remove(victim);
+            self.ops.push(PlanOp::Offload {
+                t: victim,
+                evict: true,
+            });
+            self.offloaded[victim.0] = true;
+            self.counters.offloads += 1;
+        } else {
+            self.release_device(victim);
+        }
+        self.counters.evictions += 1;
+        Ok(true)
+    }
+
+    /// Allocate device memory for `bytes` with the reclamation ladder.
+    fn ladder_alloc(
+        &mut self,
+        bytes: u64,
+        step: usize,
+        what: &str,
+    ) -> Result<AllocGrant, ExecError> {
+        loop {
+            match self.charged_alloc(bytes) {
+                Ok(g) => return Ok(g),
+                Err(_) => {
+                    if self.reclaim_some(step)? {
+                        continue;
+                    }
+                    return Err(ExecError::Oom {
+                        step,
+                        layer: what.into(),
+                        requested: bytes,
+                        capacity: self.dev.alloc.capacity(),
+                    });
+                }
+            }
+        }
+    }
+
+    /// Make `t` device-resident (the Check() of Alg. 2; may recompute).
+    fn ensure_present(&mut self, t: TensorId, step: usize) -> Result<(), ExecError> {
+        match self.utp.state(t).residence {
+            Residence::Device => {
+                self.counters.cache_hits += 1;
+                self.utp.lru_touch(t);
+                Ok(())
+            }
+            Residence::Host => {
+                self.counters.cache_misses += 1;
+                let bytes = self.meta(t).bytes;
+                let name = self.net.layer(self.meta(t).layer).name.clone();
+                let g = self.ladder_alloc(bytes, step, &name)?;
+                self.utp.mark_device(t, g.id, self.policy.tensor_cache);
+                self.h2d_ns += self.transfer_ns(t);
+                self.ops.push(PlanOp::Fetch(t));
+                self.counters.prefetches += 1;
+                Ok(())
+            }
+            Residence::None => {
+                // Only recomputable forward outputs may be legitimately
+                // absent; anything else is a scheduling bug.
+                let meta = self.meta(t);
+                assert_eq!(
+                    meta.role,
+                    TensorRole::FwdOut,
+                    "tensor {:?} of {} absent at step {step}",
+                    meta.role,
+                    self.net.layer(meta.layer).name
+                );
+                let layer = meta.layer;
+                self.recompute_for(layer, step)?;
+                debug_assert_eq!(self.utp.state(t).residence, Residence::Device);
+                Ok(())
+            }
+        }
+    }
+
+    /// Plan the §3.4 segment replay reconstructing `layer`'s forward output.
+    fn recompute_for(&mut self, layer: LayerId, step: usize) -> Result<(), ExecError> {
+        let si = self.rplan.segment_of[layer.0]
+            .unwrap_or_else(|| panic!("{} is not recomputable", self.net.layer(layer).name));
+        let (strategy, anchor) = {
+            let seg = &self.rplan.segments[si];
+            (seg.strategy, seg.anchor)
+        };
+
+        // The anchor checkpoint seeds the replay: bring it back first.
+        let anchor_t = self.liveness.fwd_out[anchor.0];
+        self.ensure_present(anchor_t, step)?;
+        self.utp.states[anchor_t.0].lock += 1;
+
+        let members: Vec<LayerId> = match strategy {
+            SegmentStrategy::SpeedCentric => self.rplan.segments[si].members.clone(),
+            SegmentStrategy::MemoryCentric => self.rplan.chain_to(self.net, layer),
+        };
+        // Memory-centric replay frees each chain intermediate as soon as the
+        // next link has consumed it, keeping the replay working set at two
+        // tensors (Fig. 9b's "memcost stays at l_b").
+        let target = *members.last().unwrap_or(&layer);
+        let mut prev_link: Option<TensorId> = None;
+
+        for m in members {
+            let mt = self.liveness.fwd_out[m.0];
+            match self.utp.state(mt).residence {
+                Residence::Device => continue, // materialized by an earlier replay
+                Residence::Host => {
+                    // A previously recomputed copy was evicted to the host;
+                    // fetching it back is cheaper than recomputing the chain.
+                    self.ensure_present(mt, step)?;
+                    continue;
+                }
+                Residence::None => {}
+            }
+            // Inputs of a segment member are its (single) producer's output,
+            // which is either the anchor or an earlier member — resident.
+            let bytes = self.meta(mt).bytes;
+            let name = self.net.layer(m).name.clone();
+            let g = self.ladder_alloc(bytes, step, &name)?;
+            self.utp.mark_device(mt, g.id, self.policy.tensor_cache);
+            self.ops.push(PlanOp::Alloc(mt));
+            self.ops.push(PlanOp::Recompute(m));
+            let lk = &self.net.layer(m).kind;
+            self.compute_ns += self.cost.layer(m).fwd_time(lk, self.spec, 1.0).as_ns();
+            self.counters.recompute_forwards += 1;
+            self.recomputes[m.0] += 1;
+
+            match strategy {
+                SegmentStrategy::SpeedCentric => {
+                    let free_at = self.meta(mt).bwd_last_use.unwrap_or(step).max(step);
+                    self.recomputed_free_at.entry(free_at).or_default().push(mt);
+                }
+                SegmentStrategy::MemoryCentric => {
+                    if let Some(prev) = prev_link.take() {
+                        self.drop_device_copy(prev);
+                    }
+                    if m == target {
+                        self.recomputed_free_at.entry(step).or_default().push(mt);
+                    } else {
+                        prev_link = Some(mt);
+                    }
+                }
+            }
+        }
+
+        self.utp.states[anchor_t.0].lock -= 1;
+        Ok(())
+    }
+
+    /// Plan the overlapped prefetch of host-resident tensors needed by
+    /// upcoming backward steps, up to and including the next offloadable
+    /// checkpoint's backward. Opportunistic: never evicts on its behalf.
+    fn prefetch_ahead(&mut self, step: usize) {
+        let total = self.route.total_steps();
+        let mut seen_ckpt = false;
+        for s in (step + 1)..total.min(step + 9) {
+            let inputs: Vec<TensorId> = self.liveness.step_inputs[s].clone();
+            for t in inputs {
+                if self.utp.state(t).residence != Residence::Host {
+                    continue;
+                }
+                let bytes = self.meta(t).bytes;
+                let Ok(g) = self.charged_alloc(bytes) else {
+                    return;
+                };
+                self.utp.mark_device(t, g.id, self.policy.tensor_cache);
+                self.h2d_ns += self.transfer_ns(t);
+                self.ops.push(PlanOp::Fetch(t));
+                self.counters.prefetches += 1;
+            }
+            let l = self.route.step(s).layer;
+            if self.route.step(s).phase == StepPhase::Backward
+                && self.net.layer(l).kind.is_offload_candidate()
+            {
+                if seen_ckpt {
+                    break;
+                }
+                seen_ckpt = true;
+            }
+        }
+    }
+
+    fn plan_step(&mut self, s: usize) -> Result<StepPlan, ExecError> {
+        self.cur_step = s;
+        let step = self.route.step(s);
+        let layer_id = step.layer;
+        let kind = self.net.layer(layer_id).kind.clone();
+        let lcost = *self.cost.layer(layer_id);
+
+        debug_assert!(self.ops.is_empty());
+
+        // Reap offloads whose consumers have all run, so this step's
+        // allocations see the same free memory a synchronous engine would.
+        self.drain_reapable(s);
+
+        // 1. Stage inputs (may fetch, may plan a recomputation replay).
+        let inputs: Vec<TensorId> = self.liveness.step_inputs[s].clone();
+        for t in &inputs {
+            self.ensure_present(*t, s)?;
+            // Lock immediately: ensuring a later input may trigger eviction
+            // and must not victimize an input we already staged.
+            self.utp.states[t.0].lock += 1;
+        }
+
+        // 2. Materialize this step's outputs.
+        let created: Vec<TensorId> = self.liveness.created_at[s].clone();
+        for t in &created {
+            if self.utp.state(*t).residence == Residence::None {
+                let bytes = self.meta(*t).bytes;
+                let name = self.net.layer(self.meta(*t).layer).name.clone();
+                let g = self.ladder_alloc(bytes, s, &name)?;
+                self.utp.mark_device(*t, g.id, self.policy.tensor_cache);
+                self.ops.push(PlanOp::Alloc(*t));
+            }
+            self.utp.states[t.0].lock += 1;
+        }
+
+        // 3. Transients: dynamic conv workspace (§3.5) and the backward
+        //    weight-gradient buffer (or forward mask workspace).
+        let mut choice = AlgoChoice::fallback();
+        let mut workspace = None;
+        let mut ws_grant = None;
+        if matches!(kind, sn_graph::LayerKind::Conv { .. }) {
+            let budget = match self.policy.workspace {
+                WorkspacePolicy::None => None,
+                WorkspacePolicy::Dynamic => Some(
+                    self.dev
+                        .alloc
+                        .free_bytes()
+                        .min(self.dev.alloc.largest_free_contiguous()),
+                ),
+                WorkspacePolicy::Capped(cap) => Some(
+                    self.dev
+                        .alloc
+                        .free_bytes()
+                        .min(self.dev.alloc.largest_free_contiguous())
+                        .min(cap),
+                ),
+            };
+            if let Some(free) = budget {
+                choice = convalgo::select_algo(self.net, layer_id, free);
+            }
+            if choice.workspace > 0 {
+                ws_grant = Some(self.ladder_alloc(choice.workspace, s, "conv workspace")?);
+                self.ops.push(PlanOp::AllocWorkspace(choice.workspace));
+            }
+            let max_choice = convalgo::max_speed_algo(self.net, layer_id);
+            workspace = Some(WorkspacePlan {
+                bytes: choice.workspace,
+                max_speed_bytes: max_choice.workspace,
+                algo: choice.algo.name(),
+                speedup: choice.speedup,
+            });
+        }
+        let transient_bytes = if step.phase == StepPhase::Backward {
+            lcost.wgrad_bytes
+        } else {
+            lcost.fwd_workspace
+        };
+        let tr_grant = if transient_bytes > 0 {
+            let g = self.ladder_alloc(transient_bytes, s, "transient buffer")?;
+            self.ops.push(PlanOp::AllocTransient(transient_bytes));
+            Some(g)
+        } else {
+            None
+        };
+
+        // 4. The kernel itself.
+        let duration = match step.phase {
+            StepPhase::Forward => lcost.fwd_time(&kind, self.spec, choice.speedup),
+            StepPhase::Backward => lcost.bwd_time(&kind, self.spec, choice.speedup),
+        };
+        self.compute_ns += duration.as_ns();
+        let pre = std::mem::take(&mut self.ops);
+
+        // 5. Release transients.
+        if ws_grant.is_some() || tr_grant.is_some() {
+            self.ops.push(PlanOp::FreeTransients);
+            if let Some(g) = ws_grant {
+                self.dev.free_charged(g.id);
+            }
+            if let Some(g) = tr_grant {
+                self.dev.free_charged(g.id);
+            }
+        }
+
+        // 6. Unlock.
+        for t in inputs.iter().chain(created.iter()) {
+            let st = &mut self.utp.states[t.0];
+            st.lock = st.lock.saturating_sub(1);
+        }
+
+        // 7. Eager offload of checkpoint outputs (Fig. 10b policy). Never
+        //    for inference: there is no backward to fetch them back for.
+        if !self.inference
+            && step.phase == StepPhase::Forward
+            && self.policy.offload
+            && self.policy.eager_offload
+        {
+            let t = self.liveness.fwd_out[layer_id.0];
+            let meta = self.meta(t);
+            let (offloadable, bytes) = (meta.offloadable, meta.bytes);
+            let st = self.utp.state(t);
+            if offloadable && bytes > 0 && !st.host_valid && !st.offloading {
+                if !self.utp.ensure_host_slot(t, bytes, &mut self.dev) {
+                    return Err(ExecError::HostExhausted { requested: bytes });
+                }
+                self.d2h_ns += self.transfer_ns(t);
+                self.utp.mark_offloading(t, false, None);
+                self.ops.push(PlanOp::Offload { t, evict: false });
+                self.offloaded[t.0] = true;
+                self.counters.offloads += 1;
+            }
+        }
+
+        // 8. Overlapped prefetch for upcoming backward consumers.
+        if step.phase == StepPhase::Backward && self.policy.offload && self.policy.prefetch {
+            self.prefetch_ahead(s);
+        }
+
+        // 9. Liveness frees.
+        let freed: Vec<TensorId> = self.liveness.freed_after[s].clone();
+        for t in freed {
+            let st = self.utp.state(t);
+            if st.residence != Residence::None || st.host_slot.is_some() {
+                self.ops.push(PlanOp::Free(t));
+                self.utp.free_tensor(t, &mut self.dev);
+            }
+        }
+        // Recomputed-tensor frees scheduled for this step.
+        if let Some(list) = self.recomputed_free_at.remove(&s) {
+            for t in list {
+                self.drop_device_copy(t);
+            }
+        }
+        let post = std::mem::take(&mut self.ops);
+
+        Ok(StepPlan {
+            layer: layer_id,
+            phase: step.phase,
+            duration,
+            pre,
+            post,
+            workspace,
+        })
+    }
+
+    fn run(mut self) -> Result<MemoryPlan, ExecError> {
+        // The permanently resident weights are the plan's first allocation.
+        let weight_bytes = self.cost.total_weight_bytes();
+        if weight_bytes > 0 && self.charged_alloc(weight_bytes).is_err() {
+            return Err(ExecError::Oom {
+                step: 0,
+                layer: "WEIGHTS".into(),
+                requested: weight_bytes,
+                capacity: self.dev.alloc.capacity(),
+            });
+        }
+
+        let total = self.route.total_steps();
+        let mut steps = Vec::with_capacity(total);
+        for s in 0..total {
+            steps.push(self.plan_step(s)?);
+        }
+        // End of iteration: every remaining in-flight offload has seen all
+        // its consumers — release the device copies.
+        self.cur_step = total;
+        self.drain_reapable(total);
+        let final_ops = std::mem::take(&mut self.ops);
+
+        let lifetimes = self
+            .liveness
+            .tensors
+            .iter()
+            .map(|m| TensorLifetime {
+                tensor: m.id,
+                layer: m.layer,
+                role: m.role,
+                bytes: m.bytes,
+                created_step: m.created_step,
+                freed_after: m.last_use_step,
+                offloaded: self.offloaded[m.id.0],
+                recomputes: match m.role {
+                    TensorRole::FwdOut => self.recomputes[m.layer.0],
+                    TensorRole::Grad => 0,
+                },
+            })
+            .collect();
+
+        let peak_bytes = self.dev.alloc.high_water();
+        debug_assert_eq!(peak_bytes, self.peak_seen);
+        Ok(MemoryPlan {
+            steps,
+            final_ops,
+            peak_bytes,
+            peak_step: self.peak_step,
+            weight_bytes,
+            predicted: self.counters,
+            lifetimes,
+            inference: self.inference,
+            compute_ns: self.compute_ns,
+            alloc_ns: self.dev.alloc_time.as_ns(),
+            h2d_ns: self.h2d_ns,
+            d2h_ns: self.d2h_ns,
+            serialized: self.policy.sync_transfers,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sn_graph::Shape4;
+
+    fn small_net(batch: usize) -> Net {
+        let mut net = Net::new("plan-test", Shape4::new(batch, 3, 32, 32));
+        let d = net.data();
+        let c1 = net.conv(d, 16, 3, 1, 1);
+        let a1 = net.relu(c1);
+        let p1 = net.max_pool(a1, 2, 2, 0);
+        let c2 = net.conv(p1, 32, 3, 1, 1);
+        let a2 = net.relu(c2);
+        let f = net.fc(a2, 10);
+        net.softmax(f);
+        net
+    }
+
+    #[test]
+    fn plan_compiles_for_every_preset() {
+        let net = small_net(8);
+        let spec = DeviceSpec::k40c();
+        for policy in [
+            Policy::baseline(),
+            Policy::liveness_only(),
+            Policy::liveness_offload(),
+            Policy::full_memory(),
+            Policy::superneurons(),
+        ] {
+            let c = compile(&net, &spec, policy).unwrap();
+            assert_eq!(c.plan.steps.len(), c.route.total_steps());
+            assert!(c.plan.peak_bytes > 0);
+            assert!(!c.plan.inference);
+            // The debug rendering covers every step.
+            let text = c.plan.render(&net);
+            assert!(text.lines().count() >= c.plan.steps.len());
+        }
+    }
+
+    #[test]
+    fn plan_peaks_shrink_along_the_preset_ladder() {
+        let net = small_net(16);
+        let spec = DeviceSpec::k40c();
+        let peaks: Vec<u64> = [
+            Policy::baseline(),
+            Policy::liveness_only(),
+            Policy::liveness_offload(),
+            Policy::full_memory(),
+        ]
+        .iter()
+        .map(|p| compile(&net, &spec, *p).unwrap().plan.peak_bytes)
+        .collect();
+        assert!(
+            peaks.windows(2).all(|w| w[1] <= w[0]),
+            "plan peaks must be non-increasing: {peaks:?}"
+        );
+    }
+
+    #[test]
+    fn inference_plans_are_forward_only_and_smaller() {
+        let net = small_net(16);
+        let spec = DeviceSpec::k40c();
+        let train = compile(&net, &spec, Policy::liveness_only()).unwrap();
+        let inf = compile_inference(&net, &spec, Policy::liveness_only()).unwrap();
+        assert!(inf.plan.inference);
+        assert_eq!(inf.plan.steps.len(), net.len());
+        assert!(inf.plan.steps.iter().all(|s| s.phase == StepPhase::Forward));
+        assert!(
+            inf.plan.peak_bytes < train.plan.peak_bytes,
+            "inference {} must undercut training {}",
+            inf.plan.peak_bytes,
+            train.plan.peak_bytes
+        );
+        // No gradients, no recomputation, no offload traffic planned.
+        assert_eq!(inf.plan.predicted.recompute_forwards, 0);
+        assert_eq!(inf.plan.predicted.offloads, 0);
+        assert!(inf
+            .plan
+            .lifetimes
+            .iter()
+            .all(|l| l.role == TensorRole::FwdOut));
+    }
+
+    #[test]
+    fn plan_ops_balance_allocs_and_frees() {
+        // Every tensor the plan allocates is freed (or released) by the end
+        // of the iteration — replaying the plan leaks nothing but weights.
+        let net = small_net(8);
+        let spec = DeviceSpec::k40c();
+        let c = compile(&net, &spec, Policy::superneurons()).unwrap();
+        let mut live: std::collections::HashSet<TensorId> = std::collections::HashSet::new();
+        let all_ops = c
+            .plan
+            .steps
+            .iter()
+            .flat_map(|s| s.pre.iter().chain(s.post.iter()))
+            .chain(c.plan.final_ops.iter());
+        for op in all_ops {
+            match op {
+                PlanOp::Alloc(t) | PlanOp::Fetch(t) => {
+                    assert!(live.insert(*t), "double materialization of {t:?}");
+                }
+                PlanOp::ReleaseDevice(t) | PlanOp::Free(t) => {
+                    live.remove(t);
+                }
+                _ => {}
+            }
+        }
+        assert!(live.is_empty(), "leaked device tensors: {live:?}");
+    }
+
+    #[test]
+    fn iter_time_estimate_is_positive_and_serialization_aware() {
+        let net = small_net(8);
+        let spec = DeviceSpec::k40c();
+        let plain = compile(&net, &spec, Policy::liveness_offload())
+            .unwrap()
+            .plan;
+        let sync = compile(&net, &spec, Policy::liveness_offload().synchronous())
+            .unwrap()
+            .plan;
+        assert!(plain.iter_time_estimate() > SimTime::ZERO);
+        assert!(sync.serialized && !plain.serialized);
+        assert!(sync.iter_time_estimate() >= plain.iter_time_estimate());
+    }
+}

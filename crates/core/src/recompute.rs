@@ -290,6 +290,115 @@ mod tests {
         assert_eq!(plan.anchor_of[r2.0], Some(e));
     }
 
+    /// Check the structural contract of segments on an arbitrary net:
+    /// joins are checkpoints, every segment is a *tree* anchored at its
+    /// checkpoint (each member's single producer is the anchor or an
+    /// earlier member), members appear in route order, and `memcost`
+    /// matches the Table 1 speed-centric formula
+    /// `l_f(anchor) + Σ l_f(members) + l_b(last)`.
+    fn assert_segment_invariants(net: &sn_graph::Net) {
+        let route = Route::construct(net);
+        let cost = NetCost::of(net);
+        let plan = RecomputePlan::build(net, &route, &cost, RecomputeMode::CostAware);
+
+        for layer in net.layers() {
+            if layer.is_join() {
+                assert!(
+                    layer.kind.is_checkpoint(),
+                    "join {} must be a checkpoint",
+                    layer.name
+                );
+                assert!(plan.segment_of[layer.id.0].is_none());
+            }
+            // Segment membership exactly partitions the non-checkpoints.
+            assert_eq!(
+                plan.segment_of[layer.id.0].is_some(),
+                !layer.kind.is_checkpoint(),
+                "{}",
+                layer.name
+            );
+        }
+
+        assert!(!plan.segments.is_empty(), "nets here have cheap layers");
+        for (si, seg) in plan.segments.iter().enumerate() {
+            assert!(net.layer(seg.anchor).kind.is_checkpoint());
+            assert!(!seg.members.is_empty());
+            // Route order within the segment.
+            let steps: Vec<usize> = seg.members.iter().map(|m| route.fwd_step(*m)).collect();
+            assert!(
+                steps.windows(2).all(|w| w[0] < w[1]),
+                "members of segment {si} out of route order"
+            );
+            // Tree property: every member's (single) producer is the anchor
+            // or an earlier member of the same segment.
+            for (i, m) in seg.members.iter().enumerate() {
+                let prevs = &net.layer(*m).prevs;
+                assert_eq!(prevs.len(), 1, "member {} must be single-input", m.0);
+                let p = prevs[0];
+                assert!(
+                    p == seg.anchor || seg.members[..i].contains(&p),
+                    "member {} of segment {si} hangs off {} which is neither \
+                     the anchor nor an earlier member",
+                    net.layer(*m).name,
+                    net.layer(p).name
+                );
+            }
+            // Table 1 memcost formula.
+            let sum_lf: u64 = seg.members.iter().map(|m| cost.layer(*m).l_f()).sum();
+            let last = *seg.members.last().unwrap();
+            assert_eq!(
+                seg.memcost,
+                cost.layer(seg.anchor).l_f() + sum_lf + cost.layer(last).l_b(),
+                "segment {si} memcost must follow Table 1"
+            );
+        }
+    }
+
+    #[test]
+    fn fanout_below_a_checkpoint_forms_one_tree_segment() {
+        // A non-checkpoint (ACT) fans out into two non-checkpoint pooling
+        // branches joined by a CONCAT: all three hang off the same conv
+        // anchor as ONE tree-shaped segment; the join itself is a
+        // checkpoint and member of none.
+        let mut net = sn_graph::Net::new("fan", Shape4::new(2, 4, 16, 16));
+        let d = net.data();
+        let c = net.conv(d, 8, 3, 1, 1);
+        let r = net.relu(c);
+        let p1 = net.max_pool(r, 2, 2, 0);
+        let p2 = net.avg_pool(r, 2, 2, 0);
+        let j = net.concat(&[p1, p2]);
+        let f = net.fc(j, 10);
+        net.softmax(f);
+        net.validate().unwrap();
+        assert_segment_invariants(&net);
+
+        let route = Route::construct(&net);
+        let cost = NetCost::of(&net);
+        let plan = RecomputePlan::build(&net, &route, &cost, RecomputeMode::CostAware);
+        for m in [r, p1, p2] {
+            assert_eq!(plan.anchor_of[m.0], Some(c));
+        }
+        assert_eq!(plan.anchor_of[j.0], None, "concat join is a checkpoint");
+        let seg = &plan.segments[plan.segment_of[r.0].unwrap()];
+        assert_eq!(seg.members.len(), 3, "one tree segment, not three chains");
+        // Memory-centric chains through the tree stop at the fan point.
+        let chain = plan.chain_to(&net, p2);
+        assert_eq!(chain, vec![r, p2], "chain walks producers, not siblings");
+    }
+
+    #[test]
+    fn resnet50_segments_satisfy_the_nonlinear_invariants() {
+        // Real residual topology: ELTWISE joins everywhere. Until this PR
+        // only linear AlexNet/VGG stubs were exercised here.
+        assert_segment_invariants(&sn_models::resnet50(2));
+    }
+
+    #[test]
+    fn inception_v4_segments_satisfy_the_nonlinear_invariants() {
+        // Real inception topology: CONCAT fan-ins over parallel branches.
+        assert_segment_invariants(&sn_models::inception_v4(2));
+    }
+
     #[test]
     fn recompute_liveness_shortens_non_checkpoint_lifetimes() {
         // Sanity wiring between the plan and the liveness options.

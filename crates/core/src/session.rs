@@ -1,10 +1,19 @@
-//! High-level training-session API: build a network, pick a device and a
-//! policy, measure. Used by the examples and the experiment harness.
+//! High-level session APIs: build a network, pick a device and a policy,
+//! measure — [`Session`] for training iterations, [`InferenceSession`] for
+//! forward-only serving. Used by the examples and the experiment harness.
+//!
+//! Also home of the admission predictors: [`predict_run`] measures a full
+//! simulated iteration (the legacy, validation-grade path), while
+//! [`plan_prediction`] only *compiles* a [`crate::MemoryPlan`] — no timeline,
+//! no DMA events, no trace — and reads the exact peak off the plan. The two
+//! agree on `peak_bytes` by construction; the cluster scheduler uses the
+//! compile-only path on its admission hot path.
 
 use sn_graph::Net;
 use sn_sim::{DeviceSpec, SimTime};
 
-use crate::executor::{ExecError, Executor, IterationReport};
+use crate::executor::{finite_rate, ExecError, Executor, IterationReport};
+use crate::plan;
 use crate::policy::Policy;
 
 /// A measured training session.
@@ -74,12 +83,12 @@ pub struct PeakPrediction {
     pub weight_bytes: u64,
 }
 
-/// Predict what training `net` under `policy` costs on `spec`, without
-/// committing to a full measured session: the executor schedules one cold and
-/// one warm virtual iteration (no numeric compute), and the high-water mark
-/// across both is the peak the paper's `peak_m` progression bounds per
-/// policy. Errors mean the job cannot run within `spec.dram_bytes` at all —
-/// the admission-control "reject" signal.
+/// Predict what training `net` under `policy` costs on `spec` by *running*
+/// the interpreter: one cold and one warm virtual iteration (no numeric
+/// compute). The validation-grade path — [`plan_prediction`] returns the
+/// same `peak_bytes` from a compile alone and is what admission control
+/// should call. Errors mean the job cannot run within `spec.dram_bytes` at
+/// all — the admission-control "reject" signal.
 pub fn predict_run(
     net: &Net,
     spec: &DeviceSpec,
@@ -98,6 +107,42 @@ pub fn predict_run(
 /// Just the predicted peak bytes — see [`predict_run`].
 pub fn predict_peak_bytes(net: &Net, spec: &DeviceSpec, policy: Policy) -> Result<u64, ExecError> {
     predict_run(net, spec, policy).map(|p| p.peak_bytes)
+}
+
+/// The admission-control hot path: compile a training [`crate::MemoryPlan`]
+/// and read the quantities off it — no simulated iteration, no timeline.
+/// `peak_bytes` is **exact** (the interpreter replays the plan's alloc/free
+/// sequence, so the executed high-water equals it to the byte); `iter_time`
+/// is the plan's analytic busiest-engine estimate, a pacing hint rather
+/// than a measurement.
+pub fn plan_prediction(
+    net: &Net,
+    spec: &DeviceSpec,
+    policy: Policy,
+) -> Result<PeakPrediction, ExecError> {
+    let c = plan::compile(net, spec, policy)?;
+    Ok(PeakPrediction {
+        peak_bytes: c.plan.peak_bytes,
+        iter_time: c.plan.iter_time_estimate(),
+        weight_bytes: c.plan.weight_bytes,
+    })
+}
+
+/// [`plan_prediction`] for a forward-only inference plan: the peak a serving
+/// replica reserves and the per-batch latency estimate. `weight_bytes` is
+/// still the resident parameter footprint — inference exchanges no
+/// gradients, so schedulers must not budget an all-reduce from it.
+pub fn plan_prediction_inference(
+    net: &Net,
+    spec: &DeviceSpec,
+    policy: Policy,
+) -> Result<PeakPrediction, ExecError> {
+    let c = plan::compile_inference(net, spec, policy)?;
+    Ok(PeakPrediction {
+        peak_bytes: c.plan.peak_bytes,
+        iter_time: c.plan.iter_time_estimate(),
+        weight_bytes: c.plan.weight_bytes,
+    })
 }
 
 impl Session {
@@ -157,7 +202,7 @@ impl Session {
             net_name: self.net.name.clone(),
             batch,
             iter_time,
-            imgs_per_sec: batch as f64 / iter_time.as_secs_f64(),
+            imgs_per_sec: finite_rate(batch, iter_time),
             peak_bytes: peak,
             h2d_bytes_per_iter: h2d / iters as u64,
             d2h_bytes_per_iter: d2h / iters as u64,
@@ -173,13 +218,12 @@ impl Session {
     }
 }
 
-/// Does `net` train successfully on `spec` under `policy`? (One iteration —
-/// an iteration's peak is the steady-state peak.)
+/// Does `net` train successfully on `spec` under `policy`? Answered by
+/// *compiling* the memory plan alone: the planner performs every allocation
+/// the iteration would, so compile success is execution success — and the
+/// feasibility searches behind Tables 4/5 never touch a timeline.
 pub fn feasible(net: &Net, spec: &DeviceSpec, policy: Policy) -> bool {
-    match Executor::new(net, spec.clone(), policy) {
-        Ok(mut ex) => ex.run_iteration().is_ok(),
-        Err(_) => false,
-    }
+    plan::compile(net, spec, policy).is_ok()
 }
 
 /// Largest `x` in `[lo, hi]` such that `build(x)` trains on `spec` under
@@ -228,6 +272,78 @@ pub fn max_feasible_param(
         }
     }
     good
+}
+
+/// A forward-only serving session: the same network, device, and policy
+/// vocabulary as [`Session`], executed over an inference [`crate::MemoryPlan`]
+/// — no backward half, no gradients, every activation freed at its last
+/// forward reader. One "iteration" serves one batch.
+pub struct InferenceSession {
+    pub net: Net,
+    pub spec: DeviceSpec,
+    pub policy: Policy,
+    /// Warm-up batches before measurement.
+    pub warmup: usize,
+    /// Measured batches (averaged).
+    pub batches: usize,
+}
+
+/// Aggregated results of an inference session.
+#[derive(Debug, Clone)]
+pub struct InferenceReport {
+    pub net_name: String,
+    pub batch: usize,
+    /// Per-batch forward latency.
+    pub batch_time: SimTime,
+    pub imgs_per_sec: f64,
+    pub peak_bytes: u64,
+    pub last: IterationReport,
+}
+
+impl InferenceSession {
+    pub fn new(net: Net, spec: DeviceSpec, policy: Policy) -> InferenceSession {
+        InferenceSession {
+            net,
+            spec,
+            policy,
+            warmup: 1,
+            batches: 3,
+        }
+    }
+
+    /// The exact peak a serving replica of this session reserves —
+    /// compile-only, see [`plan_prediction_inference`].
+    pub fn predicted_peak_bytes(&self) -> Result<u64, ExecError> {
+        plan_prediction_inference(&self.net, &self.spec, self.policy).map(|p| p.peak_bytes)
+    }
+
+    /// Serve `warmup + batches` batches and aggregate.
+    pub fn run(&self) -> Result<InferenceReport, ExecError> {
+        let mut ex = Executor::new_inference(&self.net, self.spec.clone(), self.policy)?;
+        for _ in 0..self.warmup {
+            ex.run_iteration()?;
+        }
+        let mut total = SimTime::ZERO;
+        let mut peak = 0u64;
+        let mut last = None;
+        let batches = self.batches.max(1);
+        for _ in 0..batches {
+            let r = ex.run_iteration()?;
+            total += r.iter_time;
+            peak = peak.max(r.peak_bytes);
+            last = Some(r);
+        }
+        let batch_time = SimTime::from_ns(total.as_ns() / batches as u64);
+        let batch = self.net.batch();
+        Ok(InferenceReport {
+            net_name: self.net.name.clone(),
+            batch,
+            batch_time,
+            imgs_per_sec: finite_rate(batch, batch_time),
+            peak_bytes: peak,
+            last: last.expect("batches >= 1"),
+        })
+    }
 }
 
 #[cfg(test)]
@@ -326,5 +442,49 @@ mod tests {
     fn prediction_errors_signal_rejection() {
         let spec = DeviceSpec::k40c().with_dram(64 << 10);
         assert!(predict_peak_bytes(&netb(32), &spec, Policy::baseline()).is_err());
+        assert!(plan_prediction(&netb(32), &spec, Policy::baseline()).is_err());
+    }
+
+    #[test]
+    fn plan_prediction_peak_matches_the_simulated_one_exactly() {
+        // The tentpole contract at the session level: the compile-only
+        // predictor and the full simulated iteration agree on peak bytes,
+        // byte for byte, across the preset ladder.
+        let net = netb(32);
+        let spec = DeviceSpec::k40c();
+        for policy in [
+            Policy::baseline(),
+            Policy::liveness_only(),
+            Policy::liveness_offload(),
+            Policy::full_memory(),
+            Policy::superneurons(),
+        ] {
+            let simulated = predict_run(&net, &spec, policy).unwrap();
+            let planned = plan_prediction(&net, &spec, policy).unwrap();
+            assert_eq!(planned.peak_bytes, simulated.peak_bytes);
+            assert_eq!(planned.weight_bytes, simulated.weight_bytes);
+            assert!(planned.iter_time > SimTime::ZERO);
+        }
+    }
+
+    #[test]
+    fn inference_session_serves_under_the_training_peak() {
+        let net = netb(32);
+        let spec = DeviceSpec::k40c();
+        let train = Session::new(netb(32), spec.clone(), Policy::superneurons())
+            .run()
+            .unwrap();
+        let inf = InferenceSession::new(net.clone(), spec.clone(), Policy::superneurons())
+            .run()
+            .unwrap();
+        assert!(
+            inf.imgs_per_sec > train.imgs_per_sec,
+            "forward-only is faster"
+        );
+        assert!(inf.peak_bytes < train.peak_bytes, "forward-only is smaller");
+        assert!(inf.imgs_per_sec.is_finite());
+        // The session's predicted peak is the measured one, exactly.
+        let s = InferenceSession::new(net, spec, Policy::superneurons());
+        assert_eq!(s.predicted_peak_bytes().unwrap(), inf.peak_bytes);
     }
 }

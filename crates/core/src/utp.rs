@@ -1,0 +1,397 @@
+//! The Unified Tensor Pool residency manager.
+//!
+//! One place owns *where every tensor currently is* and the machinery that
+//! moves tensors between device DRAM and the external UTP tiers: the
+//! tensor-state map, the Alg. 2 LRU Tensor Cache bookkeeping, the pending
+//! offload list the reclamation ladder drains, host-slot management over the
+//! tiered pools, and the in-flight DMA handles kernels gate on.
+//!
+//! Two drivers share this state machine:
+//!
+//! * the **planner** ([`crate::plan`]) drives it at compile time — with
+//!   *instant* logical transfers — to decide every eviction, offload,
+//!   prefetch and release, recording each mutation as a [`crate::plan::PlanOp`];
+//! * the **executor** ([`crate::executor`]) drives it at run time, replaying
+//!   those ops with real DMA submissions on the multi-stream timeline.
+//!
+//! Because both apply the *same op sequence* through the *same allocator*,
+//! the executed memory trajectory — and therefore the peak — is identical to
+//! the planned one by construction.
+
+use sn_graph::liveness::{LivenessPlan, TensorId};
+use sn_sim::{AllocId, Dma};
+
+use crate::device::Device;
+use crate::policy::CachePolicy;
+use crate::tiers::{Tier, TierSlot};
+
+/// Where a tensor currently lives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Residence {
+    /// Not materialized anywhere (never produced, or dropped for recompute).
+    None,
+    /// On device DRAM (possibly with a transfer in flight).
+    Device,
+    /// Host copy only.
+    Host,
+}
+
+/// Residency state of one tensor.
+#[derive(Debug, Clone, Copy)]
+pub struct TensorState {
+    pub residence: Residence,
+    pub grant: Option<AllocId>,
+    pub host_slot: Option<TierSlot>,
+    /// Host copy is a valid replica of the tensor's contents.
+    pub host_valid: bool,
+    /// Pin count: locked tensors are never victims of eviction or release.
+    pub lock: u32,
+    /// Monotone insertion stamp for the FIFO cache policy.
+    pub inserted_at: u64,
+    /// A device→host copy has been issued and its device copy not yet
+    /// released (the logical "offload in flight" marker both drivers use).
+    pub offloading: bool,
+    /// The pending offload is an eviction: release the device copy as soon
+    /// as the copy-out lands, rather than waiting for forward consumers.
+    pub evicting: bool,
+    /// Runtime only: the in-flight device→host DMA on the D2H stream.
+    pub offload: Option<Dma>,
+    /// Runtime only: the in-flight host→device DMA consumers gate on.
+    pub prefetch: Option<Dma>,
+}
+
+impl TensorState {
+    pub const EMPTY: TensorState = TensorState {
+        residence: Residence::None,
+        grant: None,
+        host_slot: None,
+        host_valid: false,
+        lock: 0,
+        inserted_at: 0,
+        offloading: false,
+        evicting: false,
+        offload: None,
+        prefetch: None,
+    };
+}
+
+/// The residency manager: tensor states + LRU Tensor Cache + pending
+/// offloads, behind a narrow mutation API. It never *decides* anything —
+/// decisions live in the planner — it keeps the books both drivers share.
+#[derive(Debug, Clone)]
+pub struct Utp {
+    pub states: Vec<TensorState>,
+    /// LRU list of device-resident, cache-managed tensors (front = MRU).
+    lru: Vec<TensorId>,
+    insertion_clock: u64,
+    /// Tensors with an in-flight device→host copy, in submission order
+    /// (D2H serializes, so submission order is completion order).
+    pub pending_offloads: Vec<TensorId>,
+}
+
+impl Utp {
+    pub fn new(n_tensors: usize) -> Utp {
+        Utp {
+            states: vec![TensorState::EMPTY; n_tensors],
+            lru: Vec::new(),
+            insertion_clock: 0,
+            pending_offloads: Vec::new(),
+        }
+    }
+
+    #[inline]
+    pub fn state(&self, t: TensorId) -> &TensorState {
+        &self.states[t.0]
+    }
+
+    // ------------------------------------------------------------------
+    // LRU Tensor Cache (Alg. 2) bookkeeping
+    // ------------------------------------------------------------------
+
+    pub fn lru_touch(&mut self, t: TensorId) {
+        if let Some(pos) = self.lru.iter().position(|x| *x == t) {
+            let id = self.lru.remove(pos);
+            self.lru.insert(0, id); // MFU position: the list front
+        }
+    }
+
+    pub fn lru_insert(&mut self, t: TensorId) {
+        debug_assert!(!self.lru.contains(&t));
+        self.insertion_clock += 1;
+        self.states[t.0].inserted_at = self.insertion_clock;
+        self.lru.insert(0, t);
+    }
+
+    pub fn lru_remove(&mut self, t: TensorId) {
+        if let Some(pos) = self.lru.iter().position(|x| *x == t) {
+            self.lru.remove(pos);
+        }
+    }
+
+    /// The cache's victim under `policy`: the least-desirable unlocked,
+    /// not-already-offloading resident tensor, or `None` when nothing is
+    /// evictable. Front of the list is MFU (Alg. 2), so LRU victims come
+    /// from the back, MRU victims from the front, FIFO victims by stamp.
+    pub fn pick_victim(&self, policy: CachePolicy) -> Option<TensorId> {
+        let evictable = |st: &TensorState| st.lock == 0 && !st.offloading;
+        match policy {
+            CachePolicy::Lru => self
+                .lru
+                .iter()
+                .rev()
+                .find(|t| evictable(&self.states[t.0]))
+                .copied(),
+            CachePolicy::Mru => self
+                .lru
+                .iter()
+                .find(|t| evictable(&self.states[t.0]))
+                .copied(),
+            CachePolicy::Fifo => self
+                .lru
+                .iter()
+                .filter(|t| evictable(&self.states[t.0]))
+                .min_by_key(|t| self.states[t.0].inserted_at)
+                .copied(),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Pending offloads (the reclamation ladder's reservoir)
+    // ------------------------------------------------------------------
+
+    /// May tensor `t`'s pending offload release the device copy at `step`?
+    /// True for evictions (the bytes are what the eviction was for) and for
+    /// eager checkpoint offloads whose forward consumers have all run —
+    /// never while the tensor is locked. The single source of truth for the
+    /// planner's drain/ladder, which must agree with the interpreter.
+    pub fn offload_reapable(&self, t: TensorId, liveness: &LivenessPlan, step: usize) -> bool {
+        let st = &self.states[t.0];
+        st.lock == 0 && (st.evicting || step > liveness.tensors[t.0].fwd_last_use)
+    }
+
+    /// The earliest-submitted pending offload that is reapable at `step`
+    /// (D2H serializes, so earliest submitted is earliest to land).
+    pub fn first_reapable(&self, liveness: &LivenessPlan, step: usize) -> Option<TensorId> {
+        self.pending_offloads
+            .iter()
+            .copied()
+            .find(|t| self.offload_reapable(*t, liveness, step))
+    }
+
+    /// All reapable pending offloads at `step`, in submission order.
+    pub fn reapable(&self, liveness: &LivenessPlan, step: usize) -> Vec<TensorId> {
+        self.pending_offloads
+            .iter()
+            .copied()
+            .filter(|t| self.offload_reapable(*t, liveness, step))
+            .collect()
+    }
+
+    /// Record an issued offload (eviction or eager checkpoint copy-out).
+    pub fn mark_offloading(&mut self, t: TensorId, evict: bool, dma: Option<Dma>) {
+        let st = &mut self.states[t.0];
+        debug_assert_eq!(st.residence, Residence::Device);
+        debug_assert!(!st.offloading);
+        st.offloading = true;
+        st.evicting = evict;
+        st.offload = dma;
+        if evict {
+            st.prefetch = None;
+        }
+        self.pending_offloads.push(t);
+    }
+
+    fn unpend(&mut self, t: TensorId) {
+        if let Some(pos) = self.pending_offloads.iter().position(|x| *x == t) {
+            self.pending_offloads.remove(pos);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // State transitions (shared by planner apply and interpreter apply)
+    // ------------------------------------------------------------------
+
+    /// Host tier a tensor's external copy lives in (local host when none is
+    /// reserved yet — the tier `ensure_host_slot` would pick first).
+    pub fn tier_of(&self, t: TensorId) -> Tier {
+        self.states[t.0]
+            .host_slot
+            .map(|s| s.tier)
+            .unwrap_or(Tier::LocalHost)
+    }
+
+    /// Reserve an external slot for `t` in the fastest tier with room.
+    /// Returns `false` when every tier is exhausted.
+    pub fn ensure_host_slot(&mut self, t: TensorId, bytes: u64, dev: &mut Device) -> bool {
+        if self.states[t.0].host_slot.is_some() {
+            return true;
+        }
+        match dev.host.reserve(bytes) {
+            Some(slot) => {
+                self.states[t.0].host_slot = Some(slot);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Record a fresh device materialization of `t` under `grant`.
+    pub fn mark_device(&mut self, t: TensorId, grant: AllocId, cached: bool) {
+        let st = &mut self.states[t.0];
+        st.grant = Some(grant);
+        st.residence = Residence::Device;
+        if cached {
+            self.lru_insert(t);
+        }
+    }
+
+    /// Release the device copy of `t` (offload landed / recompute cleanup /
+    /// host-valid eviction). The host copy, if any, becomes the residence.
+    /// Returns `true` when the tensor's *contents* are now gone entirely
+    /// (caller must notify the numeric backend).
+    pub fn release_device(&mut self, t: TensorId, dev: &mut Device) -> bool {
+        let st = &mut self.states[t.0];
+        if st.offloading {
+            // An offload was in flight: the copy-out has (logically) landed.
+            st.offloading = false;
+            st.evicting = false;
+            st.offload = None;
+            st.host_valid = true;
+        }
+        st.prefetch = None;
+        if let Some(g) = st.grant.take() {
+            dev.free_charged(g);
+        }
+        st.residence = if st.host_valid {
+            Residence::Host
+        } else {
+            Residence::None
+        };
+        self.unpend(t);
+        self.lru_remove(t);
+        self.states[t.0].residence == Residence::None
+    }
+
+    /// Fully release `t`: device grant, host slot, pending transfers.
+    /// In-flight copy-outs are *cancelled*, not awaited (the contents are
+    /// dead). Always notify the backend after calling this.
+    pub fn free_tensor(&mut self, t: TensorId, dev: &mut Device) {
+        let st = &mut self.states[t.0];
+        debug_assert_eq!(st.lock, 0, "freeing a locked tensor");
+        st.offloading = false;
+        st.evicting = false;
+        st.offload = None;
+        st.prefetch = None;
+        if let Some(g) = st.grant.take() {
+            dev.free_charged(g);
+        }
+        if let Some(slot) = self.states[t.0].host_slot.take() {
+            dev.host.release(slot);
+        }
+        self.states[t.0].host_valid = false;
+        self.states[t.0].residence = Residence::None;
+        self.unpend(t);
+        self.lru_remove(t);
+    }
+
+    /// Drop every tensor back to [`TensorState::EMPTY`], releasing grants
+    /// and host slots — the between-iterations reset.
+    pub fn reset(&mut self, dev: &mut Device) {
+        for i in 0..self.states.len() {
+            self.states[i].lock = 0;
+            self.states[i].offloading = false;
+            self.states[i].evicting = false;
+            self.states[i].offload = None;
+            self.states[i].prefetch = None;
+            if let Some(g) = self.states[i].grant.take() {
+                dev.free_charged(g);
+            }
+            if let Some(slot) = self.states[i].host_slot.take() {
+                dev.host.release(slot);
+            }
+            self.states[i].host_valid = false;
+            self.states[i].residence = Residence::None;
+        }
+        self.lru.clear();
+        self.pending_offloads.clear();
+    }
+
+    /// Count of device-resident tensors (the trace's live-tensor series).
+    pub fn device_resident(&self) -> usize {
+        self.states
+            .iter()
+            .filter(|st| st.residence == Residence::Device)
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::AllocatorKind;
+    use crate::tiers::TierConfig;
+    use sn_sim::{DeviceAllocator, DeviceSpec};
+
+    fn dev() -> Device {
+        Device::new(
+            DeviceSpec::k40c().with_dram(1 << 20),
+            AllocatorKind::HeapPool,
+            TierConfig::local_only(1 << 20),
+        )
+    }
+
+    #[test]
+    fn lru_orders_victims_back_to_front() {
+        let mut utp = Utp::new(3);
+        let mut d = dev();
+        for i in 0..3 {
+            let g = d.alloc_charged(1024).unwrap();
+            utp.mark_device(TensorId(i), g.id, true);
+        }
+        // Insert order 0,1,2 → front is 2 (MRU); LRU victim is 0.
+        assert_eq!(utp.pick_victim(CachePolicy::Lru), Some(TensorId(0)));
+        assert_eq!(utp.pick_victim(CachePolicy::Mru), Some(TensorId(2)));
+        assert_eq!(utp.pick_victim(CachePolicy::Fifo), Some(TensorId(0)));
+        // Touch 0 → it becomes MRU; LRU victim moves to 1, FIFO stays 0.
+        utp.lru_touch(TensorId(0));
+        assert_eq!(utp.pick_victim(CachePolicy::Lru), Some(TensorId(1)));
+        assert_eq!(utp.pick_victim(CachePolicy::Fifo), Some(TensorId(0)));
+        // Locked tensors are never victims.
+        utp.states[1].lock = 1;
+        assert_eq!(utp.pick_victim(CachePolicy::Lru), Some(TensorId(2)));
+    }
+
+    #[test]
+    fn release_device_lands_pending_offload_on_host() {
+        let mut utp = Utp::new(1);
+        let mut d = dev();
+        let g = d.alloc_charged(2048).unwrap();
+        let t = TensorId(0);
+        utp.mark_device(t, g.id, true);
+        assert!(utp.ensure_host_slot(t, 2048, &mut d));
+        utp.mark_offloading(t, true, None);
+        assert_eq!(utp.pending_offloads, vec![t]);
+        let gone = utp.release_device(t, &mut d);
+        assert!(!gone, "host copy survives");
+        assert_eq!(utp.state(t).residence, Residence::Host);
+        assert!(utp.state(t).host_valid);
+        assert!(utp.pending_offloads.is_empty());
+        assert_eq!(d.alloc.used(), 0);
+    }
+
+    #[test]
+    fn free_tensor_cancels_and_releases_everything() {
+        let mut utp = Utp::new(1);
+        let mut d = dev();
+        let g = d.alloc_charged(2048).unwrap();
+        let t = TensorId(0);
+        utp.mark_device(t, g.id, true);
+        utp.ensure_host_slot(t, 2048, &mut d);
+        utp.mark_offloading(t, false, None);
+        utp.free_tensor(t, &mut d);
+        assert_eq!(utp.state(t).residence, Residence::None);
+        assert!(utp.pending_offloads.is_empty());
+        assert_eq!(d.alloc.used(), 0);
+        assert_eq!(d.host.total_used(), 0);
+    }
+}

@@ -18,6 +18,14 @@
 //! These are *emulations*: absolute numbers will not match the 2018
 //! binaries, but each policy keeps the property the paper credits/faults it
 //! for, which is what drives who-wins-by-how-much.
+//!
+//! Since the planner/interpreter split, every preset here is expressed
+//! *over memory plans*: [`max_batch`]/[`max_resnet_depth`]/[`trains`]
+//! answer feasibility by **compiling** an [`sn_runtime::MemoryPlan`] for
+//! the emulated policy — the planner performs every allocation the
+//! iteration would, so compile success is execution success — and the
+//! Table 4/5 searches never run a simulated iteration. [`serves`] asks the
+//! same question for a forward-only inference plan.
 
 use sn_graph::Net;
 use sn_runtime::session::{feasible, max_feasible_param};
@@ -143,6 +151,12 @@ pub fn trains(framework: Framework, net: &Net, spec: &DeviceSpec) -> bool {
     feasible(net, spec, framework.policy())
 }
 
+/// Can this framework's memory policy *serve* `net` on `spec` — i.e. does a
+/// forward-only inference plan compile within the device?
+pub fn serves(framework: Framework, net: &Net, spec: &DeviceSpec) -> bool {
+    sn_runtime::plan::compile_inference(net, spec, framework.policy()).is_ok()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -244,6 +258,26 @@ mod tests {
             .unwrap();
         assert_eq!(sn.d2h_bytes, 0);
         assert!(sn.iter_time < tf.iter_time);
+    }
+
+    #[test]
+    fn plan_feasibility_agrees_with_execution() {
+        // The presets are now answered by plan compilation; the compiled
+        // verdict must match what actually executing an iteration says.
+        let spec = spec();
+        let net = smallnet(48);
+        for fw in Framework::ALL {
+            let compiled = trains(fw, &net, &spec);
+            let executed = match Executor::new(&net, spec.clone(), fw.policy()) {
+                Ok(mut ex) => ex.run_iteration().is_ok(),
+                Err(_) => false,
+            };
+            assert_eq!(compiled, executed, "{}", fw.name());
+            // Serving is never harder than training.
+            if compiled {
+                assert!(serves(fw, &net, &spec), "{}", fw.name());
+            }
+        }
     }
 
     #[test]

@@ -26,5 +26,5 @@ pub use cost::{LayerCost, NetCost};
 pub use layer::{Layer, LayerId, LayerKind, PoolKind};
 pub use liveness::{LivenessPlan, TensorId, TensorMeta, TensorRole};
 pub use net::Net;
-pub use route::{Route, Step, StepPhase};
+pub use route::{Route, RouteKind, Step, StepPhase};
 pub use sn_tensor::Shape4;

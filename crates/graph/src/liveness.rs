@@ -152,8 +152,10 @@ impl LivenessPlan {
         let resolve = |l: usize| fwd_out[alias_target[l]];
 
         // --- Gradient tensors ---------------------------------------------
+        // Inference routes carry no gradients at all: the whole section is
+        // skipped and every `grad_of` entry stays `None`.
         for layer in net.layers() {
-            let has_grad = !matches!(layer.kind, LayerKind::Data { .. });
+            let has_grad = route.has_backward() && !matches!(layer.kind, LayerKind::Data { .. });
             if !has_grad {
                 continue;
             }
@@ -192,11 +194,11 @@ impl LivenessPlan {
             let mut bwd_last: Option<usize> = None;
             for k in &layer.nexts {
                 fwd_last = fwd_last.max(route.fwd_step(*k));
-                if net.layer(*k).kind.bwd_needs_input() {
+                if route.has_backward() && net.layer(*k).kind.bwd_needs_input() {
                     bwd_last = Some(bwd_last.unwrap_or(0).max(route.bwd_step(*k)));
                 }
             }
-            if layer.kind.bwd_needs_output() {
+            if route.has_backward() && layer.kind.bwd_needs_output() {
                 bwd_last = Some(bwd_last.unwrap_or(0).max(route.bwd_step(layer.id)));
             }
 
@@ -251,6 +253,9 @@ impl LivenessPlan {
             let fs = route.fwd_step(layer.id);
             for p in &layer.prevs {
                 step_inputs[fs].push(resolve(p.0));
+            }
+            if !route.has_backward() {
+                continue; // inference: forward reads only
             }
             let bs = route.bwd_step(layer.id);
             if let Some(g) = grad_of[layer.id.0] {
@@ -575,6 +580,35 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn inference_liveness_has_no_grads_and_frees_at_last_forward_reader() {
+        let (net, _) = small_net();
+        let route = Route::construct_inference(&net);
+        let plan = LivenessPlan::analyze(&net, &route, LivenessOptions::default());
+        assert_eq!(plan.n_steps, net.len());
+        // No gradient tensors at all.
+        assert!(plan.grad_of.iter().all(|g| g.is_none()));
+        assert!(plan
+            .tensors
+            .iter()
+            .all(|t| t.role == crate::liveness::TensorRole::FwdOut));
+        // Every output dies at its last forward consumer (softmax at its own
+        // step — nothing reads it).
+        let conv_out = plan.fwd_out[1];
+        assert_eq!(plan.tensors[conv_out.0].last_use_step, 2); // ACT fwd
+        let sm_out = plan.fwd_out[5];
+        assert_eq!(plan.tensors[sm_out.0].last_use_step, 5);
+        // The forward-only peak undercuts the training peak.
+        let train =
+            LivenessPlan::analyze(&net, &Route::construct(&net), LivenessOptions::default());
+        let (pi, _) = plan.peak_resident(0, |_| 0);
+        let (pt, _) = train.peak_resident(0, |_| 0);
+        assert!(pi < pt, "inference {pi} must undercut training {pt}");
+        // All steps resolve; the final out-set is empty.
+        let sets = plan.in_out_sets();
+        assert!(sets[plan.n_steps - 1].1.is_empty());
     }
 
     #[test]

@@ -17,6 +17,18 @@ pub enum StepPhase {
     Backward,
 }
 
+/// What kind of pass the route schedules.
+///
+/// A *training* route runs `N` forward steps then `N` backward steps (the
+/// paper's Fig. 6); an *inference* route is forward-only — `N` steps, no
+/// gradients, every output freeable at its last forward reader. The planner
+/// compiles very different [`crate::LivenessPlan`]s from the two kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RouteKind {
+    Training,
+    Inference,
+}
+
 /// One scheduled computation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Step {
@@ -31,10 +43,11 @@ pub struct Step {
 pub struct Route {
     /// Forward order (length `N`).
     pub fwd: Vec<LayerId>,
-    /// Backward order — the reverse of `fwd`.
+    /// Backward order — the reverse of `fwd` (empty for inference routes).
     pub bwd: Vec<LayerId>,
     fwd_step: Vec<usize>,
     bwd_step: Vec<usize>,
+    kind: RouteKind,
 }
 
 impl Route {
@@ -45,6 +58,19 @@ impl Route {
     /// pushed in reverse so exploration order matches the recursive DFS of
     /// the paper's pseudo-code.
     pub fn construct(net: &Net) -> Route {
+        Route::construct_kind(net, RouteKind::Training)
+    }
+
+    /// A forward-only route over the same Algorithm 1 order: `N` steps, no
+    /// backward half. The basis of inference [`MemoryPlan`]s — outputs are
+    /// freed at their last *forward* reader and no gradients ever exist.
+    ///
+    /// [`MemoryPlan`]: ../sn_runtime/plan/struct.MemoryPlan.html
+    pub fn construct_inference(net: &Net) -> Route {
+        Route::construct_kind(net, RouteKind::Inference)
+    }
+
+    fn construct_kind(net: &Net, kind: RouteKind) -> Route {
         let n = net.len();
         let mut counter = vec![0usize; n];
         let mut fwd: Vec<LayerId> = Vec::with_capacity(n);
@@ -83,12 +109,16 @@ impl Route {
             fwd_step[id.0] = s;
             bwd_step[id.0] = 2 * n - 1 - s;
         }
-        let bwd: Vec<LayerId> = fwd.iter().rev().copied().collect();
+        let bwd: Vec<LayerId> = match kind {
+            RouteKind::Training => fwd.iter().rev().copied().collect(),
+            RouteKind::Inference => Vec::new(),
+        };
         Route {
             fwd,
             bwd,
             fwd_step,
             bwd_step,
+            kind,
         }
     }
 
@@ -101,9 +131,23 @@ impl Route {
         self.fwd.is_empty()
     }
 
-    /// Total step count `2N`.
+    /// Training or inference?
+    pub fn kind(&self) -> RouteKind {
+        self.kind
+    }
+
+    /// Does this route schedule a backward half?
+    #[inline]
+    pub fn has_backward(&self) -> bool {
+        self.kind == RouteKind::Training
+    }
+
+    /// Total step count: `2N` for training, `N` for inference.
     pub fn total_steps(&self) -> usize {
-        2 * self.fwd.len()
+        match self.kind {
+            RouteKind::Training => 2 * self.fwd.len(),
+            RouteKind::Inference => self.fwd.len(),
+        }
     }
 
     /// Forward step index of a layer (`0..N`).
@@ -112,9 +156,11 @@ impl Route {
         self.fwd_step[id.0]
     }
 
-    /// Backward step index of a layer (`N..2N`).
+    /// Backward step index of a layer (`N..2N`). Only meaningful on training
+    /// routes — inference routes have no backward half.
     #[inline]
     pub fn bwd_step(&self, id: LayerId) -> usize {
+        debug_assert!(self.has_backward(), "inference routes have no backward");
         self.bwd_step[id.0]
     }
 
@@ -128,6 +174,7 @@ impl Route {
                 phase: StepPhase::Forward,
             }
         } else {
+            debug_assert!(self.has_backward());
             Step {
                 index: i,
                 layer: self.bwd[i - n],
@@ -268,6 +315,21 @@ mod tests {
         let r = Route::construct(&net);
         r.validate(&net).unwrap();
         assert_eq!(r.len(), net.len());
+    }
+
+    #[test]
+    fn inference_route_is_forward_only() {
+        let net = linear_net();
+        let r = Route::construct_inference(&net);
+        r.validate(&net).unwrap();
+        assert_eq!(r.kind(), RouteKind::Inference);
+        assert!(!r.has_backward());
+        assert_eq!(r.total_steps(), net.len());
+        assert!(r.bwd.is_empty());
+        let steps: Vec<Step> = r.steps().collect();
+        assert!(steps.iter().all(|s| s.phase == StepPhase::Forward));
+        // Same Algorithm 1 forward order as the training route.
+        assert_eq!(r.fwd, Route::construct(&net).fwd);
     }
 
     #[test]

@@ -382,6 +382,21 @@ pub fn evaluation_networks() -> Vec<(&'static str, NetBuilder)> {
     ]
 }
 
+/// The serving-scenario builders: the networks a fleet typically hosts as
+/// forward-only inference services alongside training tenants, with the
+/// per-request batch each is usually served at. The same builders feed
+/// training routes; inference sessions compile them through
+/// `Route::construct_inference` — graphs carry no training/serving split,
+/// the *plan* does.
+pub fn serving_networks() -> Vec<(&'static str, NetBuilder, usize)> {
+    vec![
+        ("AlexNet", alexnet as NetBuilder, 64),
+        ("VGG16", vgg16, 16),
+        ("ResNet50", resnet50, 16),
+        ("InceptionV4", inception_v4, 8),
+    ]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

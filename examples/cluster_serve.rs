@@ -27,9 +27,24 @@ fn main() {
         Interconnect::pcie(),
     );
 
-    // A reproducible burst of 100 mixed jobs, plus two hand-written tenants:
-    // a 4-replica gang and a memory-hog that only fits after downgrading.
+    // A reproducible burst of 100 mixed jobs, plus three hand-written
+    // tenants: a 4-replica gang, a memory-hog that only fits after
+    // downgrading, and a forward-only inference service co-located against
+    // the training tenants using its (much smaller) exact plan peak.
     let mut jobs = synthetic_stream(100, 42, PolicyPreset::Superneurons, true);
+    jobs.push((
+        superneurons::sim::SimTime::from_us(50),
+        JobSpec::new(
+            "serve-resnet",
+            Workload::Synthetic {
+                width: 32,
+                depth: 6,
+            },
+            16,
+        )
+        .inference()
+        .with_iterations(64),
+    ));
     jobs.push((
         superneurons::sim::SimTime::from_us(100),
         JobSpec::new(
@@ -71,7 +86,7 @@ fn main() {
     for event in report
         .trace
         .iter()
-        .filter(|e| e.job == "gang4" || e.job == "hog")
+        .filter(|e| e.job == "gang4" || e.job == "hog" || e.job == "serve-resnet")
     {
         println!("  {}", event.render());
     }
@@ -79,6 +94,14 @@ fn main() {
         println!(
             "  hog requested {:?}, granted {:?} (admission walked the preset ladder)",
             hog.requested, hog.granted
+        );
+    }
+    if let Some(srv) = report.jobs.iter().find(|j| j.name == "serve-resnet") {
+        println!(
+            "  serve-resnet ({}): reserved {:?} bytes per replica — a forward-only \
+             plan peak, co-located against training tenants",
+            srv.kind.name(),
+            srv.reservations
         );
     }
 }
