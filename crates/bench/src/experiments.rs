@@ -559,6 +559,7 @@ pub fn run_all(quick: bool) -> String {
         ("overlap", crate::overlap::overlap(quick)),
         ("cluster", crate::cluster::cluster(quick)),
         ("plan", crate::plan::plan(quick)),
+        ("compile", crate::compile::compile(quick)),
     ] {
         out.push_str(&format!(
             "\n==================== {id} ====================\n"

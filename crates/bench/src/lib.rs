@@ -11,6 +11,7 @@
 
 pub mod ablation;
 pub mod cluster;
+pub mod compile;
 pub mod experiments;
 pub mod overlap;
 pub mod plan;
@@ -18,6 +19,7 @@ pub mod table;
 
 pub use ablation::run_ablations;
 pub use cluster::cluster;
+pub use compile::compile;
 pub use experiments::*;
 pub use overlap::overlap;
 pub use plan::plan;

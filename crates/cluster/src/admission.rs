@@ -18,9 +18,9 @@
 //! memory is scarce. The returned peak is the high-water mark of that exact
 //! adaptive plan, so reserving it is sound by construction.
 
-use std::cell::RefCell;
-use std::collections::HashMap;
+use std::sync::Mutex;
 
+use fxhash::FxHashMap;
 use sn_runtime::{plan_prediction, plan_prediction_inference, PeakPrediction};
 use sn_sim::DeviceSpec;
 
@@ -85,9 +85,16 @@ impl ProfileKey {
 /// queued jobs at every event, but distinct (workload, batch, preset, kind,
 /// capped device) tuples are few, so each prediction compiles at most once.
 /// `None` records "does not fit within this budget".
+///
+/// The cache is a `Mutex`-guarded Fx-hashed map (the keys are internal
+/// structs — no untrusted input, no need for SipHash), which makes the
+/// profiler `Sync`: admission sweeps evaluate ladder candidates for many
+/// devices concurrently over the rayon shim, all sharing this memo. A
+/// concurrent miss may compile the same prediction twice; both results are
+/// identical (compilation is deterministic) and the last insert wins.
 #[derive(Default)]
 pub struct Profiler {
-    cache: RefCell<HashMap<ProfileKey, Option<PeakPrediction>>>,
+    cache: Mutex<FxHashMap<ProfileKey, Option<PeakPrediction>>>,
 }
 
 impl Profiler {
@@ -110,7 +117,7 @@ impl Profiler {
     ) -> Option<PeakPrediction> {
         let capped = spec.clone().with_dram(budget);
         let key = ProfileKey::new(workload, batch, preset, kind, &capped);
-        if let Some(hit) = self.cache.borrow().get(&key) {
+        if let Some(hit) = self.cache.lock().unwrap().get(&key) {
             return *hit;
         }
         let net = workload.build(batch);
@@ -118,8 +125,27 @@ impl Profiler {
             JobKind::Training => plan_prediction(&net, &capped, preset.policy()).ok(),
             JobKind::Inference => plan_prediction_inference(&net, &capped, preset.policy()).ok(),
         };
-        self.cache.borrow_mut().insert(key, result);
+        self.cache.lock().unwrap().insert(key, result);
         result
+    }
+
+    /// Is this prediction already memoized? One hash lookup — the cluster
+    /// loop uses it to decide whether a candidate sweep has any cold
+    /// compiles worth fanning out worker threads for (a warm sweep is a
+    /// handful of map hits; spawning threads for it costs more than it
+    /// saves).
+    pub fn is_cached(
+        &self,
+        workload: Workload,
+        batch: usize,
+        preset: PolicyPreset,
+        kind: JobKind,
+        spec: &DeviceSpec,
+        budget: u64,
+    ) -> bool {
+        let capped = spec.clone().with_dram(budget);
+        let key = ProfileKey::new(workload, batch, preset, kind, &capped);
+        self.cache.lock().unwrap().contains_key(&key)
     }
 
     /// [`Profiler::profile_kind`] for training jobs (the historical entry
@@ -137,7 +163,7 @@ impl Profiler {
 
     /// Number of distinct predictions compiled so far.
     pub fn simulated(&self) -> usize {
-        self.cache.borrow().len()
+        self.cache.lock().unwrap().len()
     }
 }
 
@@ -194,17 +220,31 @@ pub fn feasible_on_idle_fleet(
         return false;
     }
     for preset in ladder_for(job) {
-        let fitting = fleet
-            .devices
-            .iter()
-            .filter(|spec| {
+        // One compile per distinct device spec. Cold predictions are swept
+        // concurrently; when everything is already memoized (the common
+        // case — the cluster loop re-asks at every event) the sweep is a
+        // few map hits and runs inline rather than spawning workers.
+        let check = |spec: &DeviceSpec| {
+            let budget = quantized_budget(spec, spec.dram_bytes);
+            budget > 0
+                && profiler
+                    .profile_kind(job.workload, job.batch, preset, job.kind, spec, budget)
+                    .is_some()
+        };
+        let any_cold = rayon::current_num_threads() > 1
+            && fleet.devices.iter().any(|spec| {
                 let budget = quantized_budget(spec, spec.dram_bytes);
                 budget > 0
-                    && profiler
-                        .profile_kind(job.workload, job.batch, preset, job.kind, spec, budget)
-                        .is_some()
-            })
-            .count();
+                    && !profiler.is_cached(job.workload, job.batch, preset, job.kind, spec, budget)
+            });
+        let fitting = if any_cold {
+            rayon::par_map(&fleet.devices, check)
+                .into_iter()
+                .filter(|ok| *ok)
+                .count()
+        } else {
+            fleet.devices.iter().filter(|spec| check(spec)).count()
+        };
         if fitting >= job.replicas {
             return true;
         }

@@ -1,7 +1,7 @@
 //! The simulated device bundle: spec + timeline + allocator + pinned host
 //! pool, with allocation latencies charged to the virtual clock.
 
-use sn_mempool::{HeapPool, PoolConfig};
+use sn_mempool::{HeapPool, LinearPool, PoolConfig};
 use sn_sim::{
     AllocError, AllocGrant, AllocId, CudaAllocator, DeviceAllocator, DeviceSpec, SimTime, Timeline,
 };
@@ -9,10 +9,12 @@ use sn_sim::{
 use crate::policy::AllocatorKind;
 use crate::tiers::{TierConfig, TieredPool};
 
-/// Either allocator behind one enum (avoids `dyn` in the hot path).
+/// Any of the allocators behind one enum (avoids `dyn` in the hot path).
 #[derive(Debug, Clone)]
 pub enum AllocatorImpl {
     Pool(HeapPool),
+    /// Reference linear-scan pool (differential tests, bench baselines).
+    Linear(LinearPool),
     Cuda(CudaAllocator),
 }
 
@@ -20,6 +22,7 @@ impl DeviceAllocator for AllocatorImpl {
     fn alloc(&mut self, bytes: u64) -> Result<AllocGrant, AllocError> {
         match self {
             AllocatorImpl::Pool(p) => p.alloc(bytes),
+            AllocatorImpl::Linear(p) => p.alloc(bytes),
             AllocatorImpl::Cuda(c) => c.alloc(bytes),
         }
     }
@@ -27,6 +30,7 @@ impl DeviceAllocator for AllocatorImpl {
     fn free(&mut self, id: AllocId) -> Result<SimTime, AllocError> {
         match self {
             AllocatorImpl::Pool(p) => p.free(id),
+            AllocatorImpl::Linear(p) => p.free(id),
             AllocatorImpl::Cuda(c) => c.free(id),
         }
     }
@@ -34,6 +38,7 @@ impl DeviceAllocator for AllocatorImpl {
     fn used(&self) -> u64 {
         match self {
             AllocatorImpl::Pool(p) => p.used(),
+            AllocatorImpl::Linear(p) => p.used(),
             AllocatorImpl::Cuda(c) => c.used(),
         }
     }
@@ -41,6 +46,7 @@ impl DeviceAllocator for AllocatorImpl {
     fn capacity(&self) -> u64 {
         match self {
             AllocatorImpl::Pool(p) => p.capacity(),
+            AllocatorImpl::Linear(p) => p.capacity(),
             AllocatorImpl::Cuda(c) => c.capacity(),
         }
     }
@@ -48,6 +54,7 @@ impl DeviceAllocator for AllocatorImpl {
     fn high_water(&self) -> u64 {
         match self {
             AllocatorImpl::Pool(p) => p.high_water(),
+            AllocatorImpl::Linear(p) => p.high_water(),
             AllocatorImpl::Cuda(c) => c.high_water(),
         }
     }
@@ -55,6 +62,7 @@ impl DeviceAllocator for AllocatorImpl {
     fn largest_free_contiguous(&self) -> u64 {
         match self {
             AllocatorImpl::Pool(p) => p.largest_free_contiguous(),
+            AllocatorImpl::Linear(p) => p.largest_free_contiguous(),
             AllocatorImpl::Cuda(c) => c.largest_free_contiguous(),
         }
     }
@@ -62,6 +70,7 @@ impl DeviceAllocator for AllocatorImpl {
     fn reset_high_water(&mut self) {
         match self {
             AllocatorImpl::Pool(p) => p.reset_high_water(),
+            AllocatorImpl::Linear(p) => p.reset_high_water(),
             AllocatorImpl::Cuda(c) => c.reset_high_water(),
         }
     }
@@ -86,6 +95,9 @@ impl Device {
         let alloc = match allocator {
             AllocatorKind::HeapPool => {
                 AllocatorImpl::Pool(HeapPool::new(PoolConfig::new(spec.dram_bytes)))
+            }
+            AllocatorKind::LinearPool => {
+                AllocatorImpl::Linear(LinearPool::new(PoolConfig::new(spec.dram_bytes)))
             }
             AllocatorKind::Cuda => AllocatorImpl::Cuda(CudaAllocator::new(&spec)),
         };

@@ -139,7 +139,7 @@ pub(crate) fn finite_rate(batch: usize, time: SimTime) -> f64 {
 impl IterationReport {
     /// Throughput in images per second for a given batch size. Zero (not
     /// `inf`/NaN) when the iteration took no virtual time — see
-    /// [`finite_rate`].
+    /// `finite_rate`.
     pub fn imgs_per_sec(&self, batch: usize) -> f64 {
         finite_rate(batch, self.iter_time)
     }
@@ -170,12 +170,14 @@ pub struct WorkspaceRecord {
 }
 
 /// The executor. Owns the device and the compiled plan; borrows the network.
+/// The graph analyses are `Arc`-shared with the planner's caches — they are
+/// read-only here.
 pub struct Executor<'n> {
     pub net: &'n Net,
-    pub route: Route,
-    pub cost: NetCost,
-    pub plan: LivenessPlan,
-    pub rplan: RecomputePlan,
+    pub route: std::sync::Arc<Route>,
+    pub cost: std::sync::Arc<NetCost>,
+    pub plan: std::sync::Arc<LivenessPlan>,
+    pub rplan: std::sync::Arc<RecomputePlan>,
     /// The compiled schedule this executor interprets.
     pub mplan: MemoryPlan,
     pub policy: Policy,
@@ -443,8 +445,9 @@ impl<'n> Executor<'n> {
         // Drain DMA engines so trailing offloads are charged to this
         // iteration, then release anything whose consumers have all run.
         self.dev.tl.sync_all();
-        for i in 0..self.mplan.final_ops.len() {
-            let op = self.mplan.final_ops[i];
+        let fr = self.mplan.final_range;
+        for i in fr.start as usize..fr.end as usize {
+            let op = self.mplan.ops[i];
             self.apply(op, total, None)?;
         }
 
@@ -492,15 +495,15 @@ impl<'n> Executor<'n> {
         //    recompute replays, workspace/transient allocation). Indexed
         //    iteration: `PlanOp` is `Copy`, so the interpreter's hottest
         //    loop never clones the plan's op vectors.
-        for i in 0..self.mplan.steps[s].pre.len() {
-            let op = self.mplan.steps[s].pre[i];
+        let pre = self.mplan.steps[s].pre;
+        for i in pre.start as usize..pre.end as usize {
+            let op = self.mplan.ops[i];
             self.apply(op, s, None)?;
         }
 
         // 2. The kernel, gated on *every* input's in-flight prefetch: a
         //    tensor is never read while its H2D copy is still on the wire.
-        let inputs: Vec<TensorId> = self.plan.step_inputs[s].clone();
-        let gates: Vec<Event> = inputs
+        let gates: Vec<Event> = self.plan.step_inputs[s]
             .iter()
             .filter_map(|t| self.utp.states[t.0].prefetch.map(|d| d.event))
             .collect();
@@ -545,8 +548,9 @@ impl<'n> Executor<'n> {
 
         // 3. Post-kernel ops (transient release, eager offload gated on the
         //    kernel, prefetch-ahead, liveness frees, recompute cleanup).
-        for i in 0..self.mplan.steps[s].post.len() {
-            let op = self.mplan.steps[s].post[i];
+        let post = self.mplan.steps[s].post;
+        for i in post.start as usize..post.end as usize {
+            let op = self.mplan.ops[i];
             self.apply(op, s, Some(compute_done))?;
         }
         Ok(())

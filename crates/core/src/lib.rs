@@ -46,6 +46,7 @@ pub mod executor;
 pub mod numeric;
 pub mod parallel;
 pub mod plan;
+mod plan_reference;
 pub mod policy;
 pub mod recompute;
 pub mod session;

@@ -1,5 +1,5 @@
 //! The memory planner: compile `(Net, DeviceSpec, Policy)` into a static
-//! [`MemoryPlan`].
+//! [`MemoryPlan`] — fast enough to sit on every hot path.
 //!
 //! SuperNeurons is architecturally a *planning* system — liveness windows,
 //! cost-aware recomputation segments, offload/prefetch points and workspace
@@ -12,14 +12,41 @@
 //! pools — but no timeline — and records every residency mutation as an
 //! explicit [`PlanOp`].
 //!
-//! The result is a cheap, inspectable, reusable artifact:
+//! Since PR 3, compilation **is** the workhorse of the whole system:
+//! cluster admission ladders, `session::feasible` binary searches and the
+//! framework comparisons are compile-only. The planner is therefore built
+//! for throughput, on three levels:
+//!
+//! * **Hot structures** — allocations go through the indexed
+//!   `sn_mempool::HeapPool` (O(log n) first-fit, O(1) largest-fragment) and
+//!   cache decisions through the O(1) intrusive LRU in [`crate::utp`]; the
+//!   walk itself allocates nothing per step (scratch buffers are reused,
+//!   tensor lists are borrowed from the liveness plan, error-path layer
+//!   names are only materialized on error).
+//! * **Analysis sharing** — `Route`, `NetCost`, `LivenessPlan` and
+//!   `RecomputePlan` depend only on `(net, liveness options, recompute
+//!   mode)`, not on the device; they are cached by [`Net::fingerprint`] and
+//!   shared via `Arc` across the policy ladder and across devices.
+//! * **Plan memo** — [`compile_memo`] caches whole compilations under a
+//!   `(net fingerprint, policy, device)` key and returns a shared
+//!   `Arc<CompiledPlan>`; admission ladders and feasibility searches that
+//!   re-ask the same question get the answer back in hash-lookup time
+//!   (OOM outcomes are memoized too). [`plan_memo_stats`] exposes
+//!   hit/miss counters; [`clear_plan_memo`] resets (bench support).
+//!
+//! None of this changes a single planned byte: the `plan` bench experiment
+//! still asserts plan peaks equal executed peaks across the preset × model
+//! matrix, and the `compile` experiment asserts the optimized planner's
+//! plans are byte-identical to the retained reference implementation
+//! ([`compile_reference`]: linear-scan pool + `Vec` cache list).
+//!
+//! The result of a compile is a cheap, inspectable, reusable artifact:
 //!
 //! * [`MemoryPlan::peak_bytes`] is the **exact** peak the execution will hit
 //!   — the executor replays the identical alloc/free sequence through an
-//!   identical allocator, so the high-water mark is equal *by construction*
-//!   (asserted across the whole preset × model matrix by the `plan` bench
-//!   experiment). Cluster admission reserves this number without ever
-//!   running a simulated iteration.
+//!   identical allocator, so the high-water mark is equal *by construction*.
+//!   Cluster admission reserves this number without ever running a
+//!   simulated iteration.
 //! * [`MemoryPlan::steps`] is a complete instruction stream — the executor
 //!   is an interpreter over it, and [`MemoryPlan::render`] prints the
 //!   on-disk debug format (one line per op) for inspection.
@@ -31,8 +58,10 @@
 //! gradients exist, every output is freed at its last forward reader, and
 //! nothing is eagerly offloaded (there is no backward to fetch it back for).
 
-use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
 
+use fxhash::FxHashMap;
 use sn_graph::liveness::{LivenessOptions, LivenessPlan, TensorId, TensorRole};
 use sn_graph::{LayerId, Net, NetCost, Route, StepPhase};
 use sn_sim::{AllocGrant, DeviceAllocator, DeviceSpec, SimTime};
@@ -82,19 +111,39 @@ pub struct WorkspacePlan {
     pub speedup: f64,
 }
 
+/// Half-open index range into the plan's flat op stream
+/// ([`MemoryPlan::ops`]). Steps reference their ops by range instead of
+/// owning per-step vectors: one plan is one allocation's worth of ops, and
+/// [`StepPlan`] stays `Copy`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct OpRange {
+    pub start: u32,
+    pub end: u32,
+}
+
+impl OpRange {
+    pub fn len(&self) -> usize {
+        (self.end - self.start) as usize
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+}
+
 /// The compiled schedule of one step.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy)]
 pub struct StepPlan {
     pub layer: LayerId,
     pub phase: StepPhase,
     /// Kernel duration (with the chosen conv algorithm's speed factor).
     pub duration: SimTime,
     /// Residency ops before the kernel (input staging, evictions, replays,
-    /// workspace/transient allocation).
-    pub pre: Vec<PlanOp>,
+    /// workspace/transient allocation), as a range of [`MemoryPlan::ops`].
+    pub pre: OpRange,
     /// Residency ops after the kernel (transient release, eager offload,
     /// prefetch-ahead, liveness frees, recompute cleanup).
-    pub post: Vec<PlanOp>,
+    pub post: OpRange,
     /// CONV steps only: the dynamic workspace choice.
     pub workspace: Option<WorkspacePlan>,
 }
@@ -121,9 +170,12 @@ pub struct TensorLifetime {
 #[derive(Debug, Clone)]
 pub struct MemoryPlan {
     pub steps: Vec<StepPlan>,
+    /// The flat op stream, in execution order (`pre(0) post(0) pre(1) …
+    /// final`); steps and `final_range` index into it.
+    pub ops: Vec<PlanOp>,
     /// End-of-iteration ops (trailing offloads whose device copies release
     /// once every consumer has run).
-    pub final_ops: Vec<PlanOp>,
+    pub final_range: OpRange,
     /// Exact peak device bytes the execution will hit (allocator
     /// high-water over the planned alloc/free sequence, weights included).
     pub peak_bytes: u64,
@@ -148,11 +200,27 @@ pub struct MemoryPlan {
 impl MemoryPlan {
     /// Total op count (diagnostic).
     pub fn n_ops(&self) -> usize {
-        self.steps
-            .iter()
-            .map(|s| s.pre.len() + s.post.len())
-            .sum::<usize>()
-            + self.final_ops.len()
+        self.ops.len()
+    }
+
+    /// The ops of a range.
+    pub fn ops_in(&self, r: OpRange) -> &[PlanOp] {
+        &self.ops[r.start as usize..r.end as usize]
+    }
+
+    /// Pre-kernel ops of step `s`.
+    pub fn pre_ops(&self, s: usize) -> &[PlanOp] {
+        self.ops_in(self.steps[s].pre)
+    }
+
+    /// Post-kernel ops of step `s`.
+    pub fn post_ops(&self, s: usize) -> &[PlanOp] {
+        self.ops_in(self.steps[s].post)
+    }
+
+    /// End-of-iteration ops.
+    pub fn final_ops(&self) -> &[PlanOp] {
+        self.ops_in(self.final_range)
     }
 
     /// Analytic iteration-time estimate: the busiest engine bounds the
@@ -201,12 +269,12 @@ impl MemoryPlan {
             self.weight_bytes,
         );
         for (s, sp) in self.steps.iter().enumerate() {
-            let ops: Vec<String> = sp
-                .pre
+            let ops: Vec<String> = self
+                .ops_in(sp.pre)
                 .iter()
                 .map(op_str)
                 .chain(std::iter::once("KERNEL".to_string()))
-                .chain(sp.post.iter().map(op_str))
+                .chain(self.ops_in(sp.post).iter().map(op_str))
                 .collect();
             out.push_str(&format!(
                 "  {s:>5} {} {:<12} {}{}\n",
@@ -221,8 +289,8 @@ impl MemoryPlan {
                 ops.join(" "),
             ));
         }
-        if !self.final_ops.is_empty() {
-            let ops: Vec<String> = self.final_ops.iter().map(op_str).collect();
+        if !self.final_range.is_empty() {
+            let ops: Vec<String> = self.final_ops().iter().map(op_str).collect();
             out.push_str(&format!("  final {}\n", ops.join(" ")));
         }
         out
@@ -231,19 +299,281 @@ impl MemoryPlan {
 
 /// Everything a compilation produces: the graph-derived inputs (route,
 /// costs, liveness, recomputation segments) plus the [`MemoryPlan`] built
-/// from them. The executor owns one of these.
+/// from them. The analyses are `Arc`-shared — they depend only on the net
+/// and a few policy bits, so one copy serves a whole admission ladder.
 #[derive(Debug, Clone)]
 pub struct CompiledPlan {
-    pub route: Route,
-    pub cost: NetCost,
-    pub liveness: LivenessPlan,
-    pub rplan: RecomputePlan,
+    pub route: Arc<Route>,
+    pub cost: Arc<NetCost>,
+    pub liveness: Arc<LivenessPlan>,
+    pub rplan: Arc<RecomputePlan>,
     pub plan: MemoryPlan,
 }
 
-/// Compile a training plan: one `2N`-step iteration.
+// ---------------------------------------------------------------------
+// Analysis cache: (fingerprint, liveness options, recompute mode) →
+// shared route/cost/liveness/recompute-plan bundle.
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+struct Analyses {
+    route: Arc<Route>,
+    cost: Arc<NetCost>,
+    liveness: Arc<LivenessPlan>,
+    rplan: Arc<RecomputePlan>,
+    /// Per-layer max-speed conv algorithm choice (Fig. 12's "MAX Speed WS"
+    /// series) — a pure function of the net, recomputed per CONV step
+    /// before this cache existed.
+    max_algo: Arc<Vec<AlgoChoice>>,
+}
+
+type AnalysisKey = ((u64, u64), bool, LivenessOptions, RecomputeMode);
+
+static ANALYSIS_CACHE: OnceLock<Mutex<FxHashMap<AnalysisKey, Analyses>>> = OnceLock::new();
+
+/// Cap on cached analysis bundles; the set of distinct nets in any one
+/// process is small, this only guards against unbounded growth.
+const ANALYSIS_CACHE_CAP: usize = 512;
+
+/// The planner-facing inputs derived from the graph alone. `effective_*`
+/// mirror [`compile`]'s inference adjustments, so the cache key is exactly
+/// what the analyses depend on.
+fn analyses_for(net: &Net, policy: Policy, inference: bool) -> Analyses {
+    let options = effective_liveness_options(policy, inference);
+    let rmode = effective_recompute_mode(policy, inference);
+    let key = (net.fingerprint(), inference, options, rmode);
+    let cache = ANALYSIS_CACHE.get_or_init(|| Mutex::new(FxHashMap::default()));
+    if let Some(hit) = cache.lock().unwrap().get(&key) {
+        return hit.clone();
+    }
+    let a = build_analyses(net, options, rmode, inference);
+    let mut map = cache.lock().unwrap();
+    if map.len() >= ANALYSIS_CACHE_CAP {
+        map.clear();
+    }
+    map.insert(key, a.clone());
+    a
+}
+
+fn build_analyses(
+    net: &Net,
+    options: LivenessOptions,
+    rmode: RecomputeMode,
+    inference: bool,
+) -> Analyses {
+    let route = if inference {
+        Route::construct_inference(net)
+    } else {
+        Route::construct(net)
+    };
+    let cost = NetCost::of(net);
+    let liveness = LivenessPlan::analyze(net, &route, options);
+    let rplan = RecomputePlan::build(net, &route, &cost, rmode);
+    let max_algo = net
+        .layers()
+        .iter()
+        .map(|l| convalgo::max_speed_algo(net, l.id))
+        .collect();
+    Analyses {
+        route: Arc::new(route),
+        cost: Arc::new(cost),
+        liveness: Arc::new(liveness),
+        rplan: Arc::new(rplan),
+        max_algo: Arc::new(max_algo),
+    }
+}
+
+fn effective_liveness_options(policy: Policy, inference: bool) -> LivenessOptions {
+    if inference {
+        // Forward-only: recompute-aware lifetime shortening is meaningless
+        // (nothing lives past its forward readers to begin with).
+        LivenessOptions {
+            recompute_non_checkpoints: false,
+            ..policy.liveness_options()
+        }
+    } else {
+        policy.liveness_options()
+    }
+}
+
+fn effective_recompute_mode(policy: Policy, inference: bool) -> RecomputeMode {
+    if inference {
+        RecomputeMode::None
+    } else {
+        policy.recompute
+    }
+}
+
+// ---------------------------------------------------------------------
+// The plan memo: (fingerprint, policy, device) → Arc<CompiledPlan>.
+// ---------------------------------------------------------------------
+
+/// Everything a compilation's outcome depends on, folded bit-exactly
+/// (floats via `to_bits`), including the **device cap**: the planner adapts
+/// evictions and workspaces to `dram_bytes`, so a plan compiled for one cap
+/// must never be served for another.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct PlanKey {
+    fp: (u64, u64),
+    inference: bool,
+    policy: Policy,
+    dev_name: String,
+    dram: u64,
+    gflops_bits: u64,
+    mem_bw_bits: u64,
+    h2d_bits: u64,
+    d2h_bits: u64,
+    unpinned_bits: u64,
+    malloc_base_ns: u64,
+    malloc_per_mib_ns: u64,
+    free_base_ns: u64,
+    kernel_launch_ns: u64,
+}
+
+impl PlanKey {
+    fn new(net: &Net, spec: &DeviceSpec, policy: Policy, inference: bool) -> PlanKey {
+        PlanKey {
+            fp: net.fingerprint(),
+            inference,
+            policy,
+            dev_name: spec.name.clone(),
+            dram: spec.dram_bytes,
+            gflops_bits: spec.peak_gflops.to_bits(),
+            mem_bw_bits: spec.mem_bw_gbps.to_bits(),
+            h2d_bits: spec.pcie_h2d_gbps.to_bits(),
+            d2h_bits: spec.pcie_d2h_gbps.to_bits(),
+            unpinned_bits: spec.unpinned_factor.to_bits(),
+            malloc_base_ns: spec.malloc_base.0,
+            malloc_per_mib_ns: spec.malloc_per_mib.0,
+            free_base_ns: spec.free_base.0,
+            kernel_launch_ns: spec.kernel_launch.0,
+        }
+    }
+}
+
+type MemoMap = FxHashMap<PlanKey, Result<Arc<CompiledPlan>, ExecError>>;
+
+static PLAN_MEMO: OnceLock<Mutex<MemoMap>> = OnceLock::new();
+static MEMO_HITS: AtomicU64 = AtomicU64::new(0);
+static MEMO_MISSES: AtomicU64 = AtomicU64::new(0);
+
+/// Entry cap: a runaway sweep over thousands of distinct nets must not pin
+/// every plan it ever compiled. On overflow the whole memo resets (plans
+/// are recomputable by definition).
+const PLAN_MEMO_CAP: usize = 4096;
+
+/// Plan-memo effectiveness counters (process-wide, reset by
+/// [`clear_plan_memo`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemoStats {
+    pub hits: u64,
+    pub misses: u64,
+    pub entries: usize,
+}
+
+/// Current hit/miss/entry counts of the plan memo.
+pub fn plan_memo_stats() -> MemoStats {
+    let entries = PLAN_MEMO
+        .get()
+        .map(|m| m.lock().unwrap().len())
+        .unwrap_or(0);
+    MemoStats {
+        hits: MEMO_HITS.load(Ordering::Relaxed),
+        misses: MEMO_MISSES.load(Ordering::Relaxed),
+        entries,
+    }
+}
+
+/// Drop every memoized plan and zero the hit/miss counters; the shared
+/// analysis bundles stay warm. Benchmark support (measuring a memo-cold,
+/// analyses-warm compile — the steady-state admission regime) — never
+/// needed for correctness.
+pub fn clear_plan_memo() {
+    if let Some(m) = PLAN_MEMO.get() {
+        m.lock().unwrap().clear();
+    }
+    MEMO_HITS.store(0, Ordering::Relaxed);
+    MEMO_MISSES.store(0, Ordering::Relaxed);
+}
+
+/// [`clear_plan_memo`] plus the shared analysis cache: the next compile of
+/// any net pays the full route/cost/liveness/recompute derivation again —
+/// the first-contact cold state.
+pub fn clear_all_caches() {
+    clear_plan_memo();
+    if let Some(m) = ANALYSIS_CACHE.get() {
+        m.lock().unwrap().clear();
+    }
+}
+
+fn compile_memo_inner(
+    net: &Net,
+    spec: &DeviceSpec,
+    policy: Policy,
+    inference: bool,
+) -> Result<Arc<CompiledPlan>, ExecError> {
+    compile_memo_traced(net, spec, policy, inference).0
+}
+
+/// [`compile_memo_inner`] reporting whether the result was a memo hit.
+/// Test support: the global hit/miss counters are shared by every test in
+/// a process, so tests assert on this per-call flag instead.
+fn compile_memo_traced(
+    net: &Net,
+    spec: &DeviceSpec,
+    policy: Policy,
+    inference: bool,
+) -> (Result<Arc<CompiledPlan>, ExecError>, bool) {
+    let key = PlanKey::new(net, spec, policy, inference);
+    let memo = PLAN_MEMO.get_or_init(|| Mutex::new(FxHashMap::default()));
+    if let Some(hit) = memo.lock().unwrap().get(&key) {
+        MEMO_HITS.fetch_add(1, Ordering::Relaxed);
+        return (hit.clone(), true);
+    }
+    MEMO_MISSES.fetch_add(1, Ordering::Relaxed);
+    // Compile outside the lock: concurrent sweeps may duplicate a compile
+    // (both produce identical plans — last insert wins) but never block on
+    // each other's compilation.
+    let result = compile_inner(net, spec, policy, inference).map(Arc::new);
+    let mut map = memo.lock().unwrap();
+    if map.len() >= PLAN_MEMO_CAP {
+        map.clear();
+    }
+    map.insert(key, result.clone());
+    (result, false)
+}
+
+/// [`compile`] through the plan memo: repeated compilations of the same
+/// `(net, policy, device)` triple — the common case in admission ladders
+/// and feasibility binary searches — return a shared `Arc` instead of
+/// recompiling. OOM outcomes are memoized too (a job that does not fit a
+/// budget still does not fit it the next time the ladder asks).
+pub fn compile_memo(
+    net: &Net,
+    spec: &DeviceSpec,
+    policy: Policy,
+) -> Result<Arc<CompiledPlan>, ExecError> {
+    compile_memo_inner(net, spec, policy, false)
+}
+
+/// [`compile_inference`] through the plan memo.
+pub fn compile_inference_memo(
+    net: &Net,
+    spec: &DeviceSpec,
+    policy: Policy,
+) -> Result<Arc<CompiledPlan>, ExecError> {
+    compile_memo_inner(net, spec, policy, true)
+}
+
+// ---------------------------------------------------------------------
+// Compilation entry points
+// ---------------------------------------------------------------------
+
+/// Compile a training plan: one `2N`-step iteration. Always compiles (the
+/// graph analyses may still come from the shared cache); see
+/// [`compile_memo`] for the memoized form hot paths should prefer.
 pub fn compile(net: &Net, spec: &DeviceSpec, policy: Policy) -> Result<CompiledPlan, ExecError> {
-    compile_route(net, spec, policy, Route::construct(net))
+    compile_inner(net, spec, policy, false)
 }
 
 /// Compile a forward-only inference plan: `N` steps, outputs freed at their
@@ -253,66 +583,109 @@ pub fn compile_inference(
     spec: &DeviceSpec,
     policy: Policy,
 ) -> Result<CompiledPlan, ExecError> {
-    compile_route(net, spec, policy, Route::construct_inference(net))
+    compile_inner(net, spec, policy, true)
 }
 
-fn compile_route(
+/// Compile through the **reference implementation**: the pre-optimization
+/// planner walk kept verbatim in `plan_reference` (per-step `Vec`
+/// clones, per-alloc `String` clones), driving the linear-scan
+/// `sn_mempool::LinearPool` and the `Vec`-backed cache list, with nothing
+/// cached or shared — every compile pays the full graph analyses. Produces
+/// byte-identical plans (asserted by tests and the `compile` bench); exists
+/// so the baseline row of `BENCH_compile.json` measures the real pre-change
+/// cost on current hardware.
+pub fn compile_reference(
     net: &Net,
     spec: &DeviceSpec,
     policy: Policy,
-    route: Route,
 ) -> Result<CompiledPlan, ExecError> {
-    let inference = !route.has_backward();
-    let cost = NetCost::of(net);
-    let liveness_options = if inference {
-        // Forward-only: recompute-aware lifetime shortening is meaningless
-        // (nothing lives past its forward readers to begin with).
-        LivenessOptions {
-            recompute_non_checkpoints: false,
-            ..policy.liveness_options()
-        }
-    } else {
-        policy.liveness_options()
-    };
-    let liveness = LivenessPlan::analyze(net, &route, liveness_options);
-    let rmode = if inference {
-        RecomputeMode::None
-    } else {
-        policy.recompute
-    };
-    let rplan = RecomputePlan::build(net, &route, &cost, rmode);
+    let options = effective_liveness_options(policy, false);
+    let rmode = effective_recompute_mode(policy, false);
+    let a = build_analyses(net, options, rmode, false);
+    let plan = crate::plan_reference::plan_reference(
+        net,
+        spec,
+        policy,
+        &a.route,
+        &a.cost,
+        &a.liveness,
+        &a.rplan,
+    )?;
+    Ok(CompiledPlan {
+        route: a.route,
+        cost: a.cost,
+        liveness: a.liveness,
+        rplan: a.rplan,
+        plan,
+    })
+}
 
+fn compile_inner(
+    net: &Net,
+    spec: &DeviceSpec,
+    policy: Policy,
+    inference: bool,
+) -> Result<CompiledPlan, ExecError> {
+    let a = analyses_for(net, policy, inference);
+    let plan = plan_with(net, spec, policy, &a, inference)?;
+    Ok(CompiledPlan {
+        route: a.route,
+        cost: a.cost,
+        liveness: a.liveness,
+        rplan: a.rplan,
+        plan,
+    })
+}
+
+/// Run the planner walk over prepared analyses.
+fn plan_with(
+    net: &Net,
+    spec: &DeviceSpec,
+    policy: Policy,
+    a: &Analyses,
+    inference: bool,
+) -> Result<MemoryPlan, ExecError> {
+    let n_tensors = a.liveness.tensors.len();
+    let total_steps = a.route.total_steps();
     let planner = Planner {
         net,
         spec,
-        route: &route,
-        cost: &cost,
-        liveness: &liveness,
-        rplan: &rplan,
+        route: &a.route,
+        cost: &a.cost,
+        liveness: &a.liveness,
+        rplan: &a.rplan,
+        max_algo: &a.max_algo,
         policy,
         inference,
         dev: Device::new(spec.clone(), policy.allocator, policy.tiers),
-        utp: Utp::new(liveness.tensors.len()),
+        utp: Utp::new(n_tensors),
         counters: Counters::default(),
-        recomputed_free_at: HashMap::new(),
-        ops: Vec::new(),
+        recomputed_free_at: vec![Vec::new(); total_steps + 1],
+        // Typical plans run 3-6 ops/step; reserving up front avoids the
+        // doubling-realloc copies of the single largest Vec a compile builds.
+        ops: Vec::with_capacity(4 * total_steps),
+        sec_start: 0,
+        reap_scratch: Vec::new(),
         peak_step: 0,
         peak_seen: 0,
         cur_step: 0,
         compute_ns: 0,
         h2d_ns: 0,
         d2h_ns: 0,
-        offloaded: vec![false; liveness.tensors.len()],
+        offloaded: vec![false; n_tensors],
         recomputes: vec![0; net.len()],
     };
-    let plan = planner.run()?;
-    Ok(CompiledPlan {
-        route,
-        cost,
-        liveness,
-        rplan,
-        plan,
-    })
+    planner.run()
+}
+
+/// What a ladder allocation is for — only turned into a display string on
+/// the error path (the planner used to clone a layer-name `String` per
+/// allocation; at thousands of allocations per compile that was measurable).
+#[derive(Debug, Clone, Copy)]
+enum AllocFor {
+    Layer(LayerId),
+    Workspace,
+    Transient,
 }
 
 /// The compiler: the executor's old scheduling brain, run against allocator
@@ -324,15 +697,22 @@ struct Planner<'a> {
     cost: &'a NetCost,
     liveness: &'a LivenessPlan,
     rplan: &'a RecomputePlan,
+    /// Per-layer max-speed conv choice (shared, precomputed).
+    max_algo: &'a [AlgoChoice],
     policy: Policy,
     inference: bool,
     dev: Device,
     utp: Utp,
     counters: Counters,
-    /// Recomputed tensors to drop at the end of a given step.
-    recomputed_free_at: HashMap<usize, Vec<TensorId>>,
-    /// Op accumulator for the current pre/post section.
+    /// Recomputed tensors to drop at the end of a given step, indexed by
+    /// step (dense: the planner knows `total_steps` up front).
+    recomputed_free_at: Vec<Vec<TensorId>>,
+    /// The plan's flat op stream; the section since `sec_start` is the one
+    /// currently being accumulated (pre, post, or final).
     ops: Vec<PlanOp>,
+    sec_start: usize,
+    /// Reused buffer for the per-step reapable-offload drain.
+    reap_scratch: Vec<TensorId>,
     peak_step: usize,
     peak_seen: u64,
     cur_step: usize,
@@ -344,8 +724,18 @@ struct Planner<'a> {
 }
 
 impl<'a> Planner<'a> {
-    fn meta(&self, t: TensorId) -> &sn_graph::TensorMeta {
+    fn meta(&self, t: TensorId) -> &'a sn_graph::TensorMeta {
         &self.liveness.tensors[t.0]
+    }
+
+    /// Close the op section accumulated since the last close.
+    fn take_section(&mut self) -> OpRange {
+        let r = OpRange {
+            start: self.sec_start as u32,
+            end: self.ops.len() as u32,
+        };
+        self.sec_start = self.ops.len();
+        r
     }
 
     /// Effective transfer bandwidth for `t`'s external tier (the pageable
@@ -393,9 +783,12 @@ impl<'a> Planner<'a> {
     /// step-boundary drain that pins the memory trajectory at every
     /// allocation point, independent of DMA timing.
     fn drain_reapable(&mut self, step: usize) {
-        for t in self.utp.reapable(self.liveness, step) {
+        let mut scratch = std::mem::take(&mut self.reap_scratch);
+        self.utp.collect_reapable(self.liveness, step, &mut scratch);
+        for &t in &scratch {
             self.release_device(t);
         }
+        self.reap_scratch = scratch;
     }
 
     /// One rung of the reclamation ladder: release the earliest reapable
@@ -452,7 +845,7 @@ impl<'a> Planner<'a> {
         &mut self,
         bytes: u64,
         step: usize,
-        what: &str,
+        what: AllocFor,
     ) -> Result<AllocGrant, ExecError> {
         loop {
             match self.charged_alloc(bytes) {
@@ -463,7 +856,11 @@ impl<'a> Planner<'a> {
                     }
                     return Err(ExecError::Oom {
                         step,
-                        layer: what.into(),
+                        layer: match what {
+                            AllocFor::Layer(l) => self.net.layer(l).name.clone(),
+                            AllocFor::Workspace => "conv workspace".into(),
+                            AllocFor::Transient => "transient buffer".into(),
+                        },
                         requested: bytes,
                         capacity: self.dev.alloc.capacity(),
                     });
@@ -482,9 +879,9 @@ impl<'a> Planner<'a> {
             }
             Residence::Host => {
                 self.counters.cache_misses += 1;
-                let bytes = self.meta(t).bytes;
-                let name = self.net.layer(self.meta(t).layer).name.clone();
-                let g = self.ladder_alloc(bytes, step, &name)?;
+                let meta = self.meta(t);
+                let (bytes, layer) = (meta.bytes, meta.layer);
+                let g = self.ladder_alloc(bytes, step, AllocFor::Layer(layer))?;
                 self.utp.mark_device(t, g.id, self.policy.tensor_cache);
                 self.h2d_ns += self.transfer_ns(t);
                 self.ops.push(PlanOp::Fetch(t));
@@ -514,8 +911,9 @@ impl<'a> Planner<'a> {
     fn recompute_for(&mut self, layer: LayerId, step: usize) -> Result<(), ExecError> {
         let si = self.rplan.segment_of[layer.0]
             .unwrap_or_else(|| panic!("{} is not recomputable", self.net.layer(layer).name));
+        let rplan = self.rplan;
         let (strategy, anchor) = {
-            let seg = &self.rplan.segments[si];
+            let seg = &rplan.segments[si];
             (seg.strategy, seg.anchor)
         };
 
@@ -524,9 +922,16 @@ impl<'a> Planner<'a> {
         self.ensure_present(anchor_t, step)?;
         self.utp.states[anchor_t.0].lock += 1;
 
-        let members: Vec<LayerId> = match strategy {
-            SegmentStrategy::SpeedCentric => self.rplan.segments[si].members.clone(),
-            SegmentStrategy::MemoryCentric => self.rplan.chain_to(self.net, layer),
+        // Speed-centric replays walk the segment's member list in place
+        // (it lives in the shared recompute plan); memory-centric replays
+        // walk the dependency chain computed for this specific layer.
+        let chain;
+        let members: &[LayerId] = match strategy {
+            SegmentStrategy::SpeedCentric => &rplan.segments[si].members,
+            SegmentStrategy::MemoryCentric => {
+                chain = rplan.chain_to(self.net, layer);
+                &chain
+            }
         };
         // Memory-centric replay frees each chain intermediate as soon as the
         // next link has consumed it, keeping the replay working set at two
@@ -534,7 +939,7 @@ impl<'a> Planner<'a> {
         let target = *members.last().unwrap_or(&layer);
         let mut prev_link: Option<TensorId> = None;
 
-        for m in members {
+        for &m in members {
             let mt = self.liveness.fwd_out[m.0];
             match self.utp.state(mt).residence {
                 Residence::Device => continue, // materialized by an earlier replay
@@ -549,8 +954,7 @@ impl<'a> Planner<'a> {
             // Inputs of a segment member are its (single) producer's output,
             // which is either the anchor or an earlier member — resident.
             let bytes = self.meta(mt).bytes;
-            let name = self.net.layer(m).name.clone();
-            let g = self.ladder_alloc(bytes, step, &name)?;
+            let g = self.ladder_alloc(bytes, step, AllocFor::Layer(m))?;
             self.utp.mark_device(mt, g.id, self.policy.tensor_cache);
             self.ops.push(PlanOp::Alloc(mt));
             self.ops.push(PlanOp::Recompute(m));
@@ -562,14 +966,14 @@ impl<'a> Planner<'a> {
             match strategy {
                 SegmentStrategy::SpeedCentric => {
                     let free_at = self.meta(mt).bwd_last_use.unwrap_or(step).max(step);
-                    self.recomputed_free_at.entry(free_at).or_default().push(mt);
+                    self.recomputed_free_at[free_at].push(mt);
                 }
                 SegmentStrategy::MemoryCentric => {
                     if let Some(prev) = prev_link.take() {
                         self.drop_device_copy(prev);
                     }
                     if m == target {
-                        self.recomputed_free_at.entry(step).or_default().push(mt);
+                        self.recomputed_free_at[step].push(mt);
                     } else {
                         prev_link = Some(mt);
                     }
@@ -585,11 +989,12 @@ impl<'a> Planner<'a> {
     /// upcoming backward steps, up to and including the next offloadable
     /// checkpoint's backward. Opportunistic: never evicts on its behalf.
     fn prefetch_ahead(&mut self, step: usize) {
-        let total = self.route.total_steps();
+        let route = self.route;
+        let liveness = self.liveness;
+        let total = route.total_steps();
         let mut seen_ckpt = false;
         for s in (step + 1)..total.min(step + 9) {
-            let inputs: Vec<TensorId> = self.liveness.step_inputs[s].clone();
-            for t in inputs {
+            for &t in &liveness.step_inputs[s] {
                 if self.utp.state(t).residence != Residence::Host {
                     continue;
                 }
@@ -602,8 +1007,8 @@ impl<'a> Planner<'a> {
                 self.ops.push(PlanOp::Fetch(t));
                 self.counters.prefetches += 1;
             }
-            let l = self.route.step(s).layer;
-            if self.route.step(s).phase == StepPhase::Backward
+            let l = route.step(s).layer;
+            if route.step(s).phase == StepPhase::Backward
                 && self.net.layer(l).kind.is_offload_candidate()
             {
                 if seen_ckpt {
@@ -616,35 +1021,34 @@ impl<'a> Planner<'a> {
 
     fn plan_step(&mut self, s: usize) -> Result<StepPlan, ExecError> {
         self.cur_step = s;
+        let liveness = self.liveness;
         let step = self.route.step(s);
         let layer_id = step.layer;
-        let kind = self.net.layer(layer_id).kind.clone();
-        let lcost = *self.cost.layer(layer_id);
+        let kind = &self.net.layer(layer_id).kind;
+        let lcost = self.cost.layer(layer_id);
 
-        debug_assert!(self.ops.is_empty());
+        debug_assert_eq!(self.sec_start, self.ops.len());
 
         // Reap offloads whose consumers have all run, so this step's
         // allocations see the same free memory a synchronous engine would.
         self.drain_reapable(s);
 
         // 1. Stage inputs (may fetch, may plan a recomputation replay).
-        let inputs: Vec<TensorId> = self.liveness.step_inputs[s].clone();
-        for t in &inputs {
-            self.ensure_present(*t, s)?;
+        for &t in &liveness.step_inputs[s] {
+            self.ensure_present(t, s)?;
             // Lock immediately: ensuring a later input may trigger eviction
             // and must not victimize an input we already staged.
             self.utp.states[t.0].lock += 1;
         }
 
         // 2. Materialize this step's outputs.
-        let created: Vec<TensorId> = self.liveness.created_at[s].clone();
-        for t in &created {
-            if self.utp.state(*t).residence == Residence::None {
-                let bytes = self.meta(*t).bytes;
-                let name = self.net.layer(self.meta(*t).layer).name.clone();
-                let g = self.ladder_alloc(bytes, s, &name)?;
-                self.utp.mark_device(*t, g.id, self.policy.tensor_cache);
-                self.ops.push(PlanOp::Alloc(*t));
+        for &t in &liveness.created_at[s] {
+            if self.utp.state(t).residence == Residence::None {
+                let meta = self.meta(t);
+                let (bytes, layer) = (meta.bytes, meta.layer);
+                let g = self.ladder_alloc(bytes, s, AllocFor::Layer(layer))?;
+                self.utp.mark_device(t, g.id, self.policy.tensor_cache);
+                self.ops.push(PlanOp::Alloc(t));
             }
             self.utp.states[t.0].lock += 1;
         }
@@ -675,10 +1079,10 @@ impl<'a> Planner<'a> {
                 choice = convalgo::select_algo(self.net, layer_id, free);
             }
             if choice.workspace > 0 {
-                ws_grant = Some(self.ladder_alloc(choice.workspace, s, "conv workspace")?);
+                ws_grant = Some(self.ladder_alloc(choice.workspace, s, AllocFor::Workspace)?);
                 self.ops.push(PlanOp::AllocWorkspace(choice.workspace));
             }
-            let max_choice = convalgo::max_speed_algo(self.net, layer_id);
+            let max_choice = self.max_algo[layer_id.0];
             workspace = Some(WorkspacePlan {
                 bytes: choice.workspace,
                 max_speed_bytes: max_choice.workspace,
@@ -692,7 +1096,7 @@ impl<'a> Planner<'a> {
             lcost.fwd_workspace
         };
         let tr_grant = if transient_bytes > 0 {
-            let g = self.ladder_alloc(transient_bytes, s, "transient buffer")?;
+            let g = self.ladder_alloc(transient_bytes, s, AllocFor::Transient)?;
             self.ops.push(PlanOp::AllocTransient(transient_bytes));
             Some(g)
         } else {
@@ -701,11 +1105,11 @@ impl<'a> Planner<'a> {
 
         // 4. The kernel itself.
         let duration = match step.phase {
-            StepPhase::Forward => lcost.fwd_time(&kind, self.spec, choice.speedup),
-            StepPhase::Backward => lcost.bwd_time(&kind, self.spec, choice.speedup),
+            StepPhase::Forward => lcost.fwd_time(kind, self.spec, choice.speedup),
+            StepPhase::Backward => lcost.bwd_time(kind, self.spec, choice.speedup),
         };
         self.compute_ns += duration.as_ns();
-        let pre = std::mem::take(&mut self.ops);
+        let pre = self.take_section();
 
         // 5. Release transients.
         if ws_grant.is_some() || tr_grant.is_some() {
@@ -719,7 +1123,10 @@ impl<'a> Planner<'a> {
         }
 
         // 6. Unlock.
-        for t in inputs.iter().chain(created.iter()) {
+        for &t in liveness.step_inputs[s]
+            .iter()
+            .chain(liveness.created_at[s].iter())
+        {
             let st = &mut self.utp.states[t.0];
             st.lock = st.lock.saturating_sub(1);
         }
@@ -731,7 +1138,7 @@ impl<'a> Planner<'a> {
             && self.policy.offload
             && self.policy.eager_offload
         {
-            let t = self.liveness.fwd_out[layer_id.0];
+            let t = liveness.fwd_out[layer_id.0];
             let meta = self.meta(t);
             let (offloadable, bytes) = (meta.offloadable, meta.bytes);
             let st = self.utp.state(t);
@@ -753,8 +1160,7 @@ impl<'a> Planner<'a> {
         }
 
         // 9. Liveness frees.
-        let freed: Vec<TensorId> = self.liveness.freed_after[s].clone();
-        for t in freed {
+        for &t in &liveness.freed_after[s] {
             let st = self.utp.state(t);
             if st.residence != Residence::None || st.host_slot.is_some() {
                 self.ops.push(PlanOp::Free(t));
@@ -762,12 +1168,11 @@ impl<'a> Planner<'a> {
             }
         }
         // Recomputed-tensor frees scheduled for this step.
-        if let Some(list) = self.recomputed_free_at.remove(&s) {
-            for t in list {
-                self.drop_device_copy(t);
-            }
+        let list = std::mem::take(&mut self.recomputed_free_at[s]);
+        for t in list {
+            self.drop_device_copy(t);
         }
-        let post = std::mem::take(&mut self.ops);
+        let post = self.take_section();
 
         Ok(StepPlan {
             layer: layer_id,
@@ -800,7 +1205,7 @@ impl<'a> Planner<'a> {
         // its consumers — release the device copies.
         self.cur_step = total;
         self.drain_reapable(total);
-        let final_ops = std::mem::take(&mut self.ops);
+        let final_range = self.take_section();
 
         let lifetimes = self
             .liveness
@@ -825,7 +1230,8 @@ impl<'a> Planner<'a> {
         debug_assert_eq!(peak_bytes, self.peak_seen);
         Ok(MemoryPlan {
             steps,
-            final_ops,
+            ops: self.ops,
+            final_range,
             peak_bytes,
             peak_step: self.peak_step,
             weight_bytes,
@@ -845,6 +1251,14 @@ impl<'a> Planner<'a> {
 mod tests {
     use super::*;
     use sn_graph::Shape4;
+
+    /// Serializes the tests that clear the process-global plan memo, so
+    /// they cannot evict each other's entries when the harness runs tests
+    /// on multiple threads.
+    fn memo_test_lock() -> &'static Mutex<()> {
+        static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+        LOCK.get_or_init(|| Mutex::new(()))
+    }
 
     fn small_net(batch: usize) -> Net {
         let mut net = Net::new("plan-test", Shape4::new(batch, 3, 32, 32));
@@ -932,13 +1346,8 @@ mod tests {
         let spec = DeviceSpec::k40c();
         let c = compile(&net, &spec, Policy::superneurons()).unwrap();
         let mut live: std::collections::HashSet<TensorId> = std::collections::HashSet::new();
-        let all_ops = c
-            .plan
-            .steps
-            .iter()
-            .flat_map(|s| s.pre.iter().chain(s.post.iter()))
-            .chain(c.plan.final_ops.iter());
-        for op in all_ops {
+        // The flat stream is already in execution order (pre, post, final).
+        for op in &c.plan.ops {
             match op {
                 PlanOp::Alloc(t) | PlanOp::Fetch(t) => {
                     assert!(live.insert(*t), "double materialization of {t:?}");
@@ -965,5 +1374,101 @@ mod tests {
         assert!(plain.iter_time_estimate() > SimTime::ZERO);
         assert!(sync.serialized && !plain.serialized);
         assert!(sync.iter_time_estimate() >= plain.iter_time_estimate());
+    }
+
+    #[test]
+    fn reference_compile_is_byte_identical() {
+        // The whole point of the optimization pass: indexed structures buy
+        // time, never bytes. Peaks, op streams and counters must agree with
+        // the reference (linear pool + Vec cache list) compile on every
+        // preset — compared via the rendered debug format, which covers
+        // every op of every step.
+        let net = small_net(16);
+        let spec = DeviceSpec::k40c();
+        for policy in [
+            Policy::baseline(),
+            Policy::liveness_only(),
+            Policy::liveness_offload(),
+            Policy::full_memory(),
+            Policy::superneurons(),
+        ] {
+            let fast = compile(&net, &spec, policy).unwrap();
+            let slow = compile_reference(&net, &spec, policy).unwrap();
+            assert_eq!(fast.plan.peak_bytes, slow.plan.peak_bytes);
+            assert_eq!(fast.plan.peak_step, slow.plan.peak_step);
+            assert_eq!(fast.plan.render(&net), slow.plan.render(&net));
+            assert_eq!(fast.plan.predicted.evictions, slow.plan.predicted.evictions);
+            assert_eq!(fast.plan.alloc_ns, slow.plan.alloc_ns);
+        }
+    }
+
+    #[test]
+    fn memo_returns_shared_plans_and_counts_hits() {
+        // Serialized against the other memo tests: they call
+        // clear_plan_memo(), which would evict entries between this test's
+        // paired lookups. (Other tests in the binary only *add* entries for
+        // their own keys, which cannot perturb the per-call hit flags
+        // asserted here.)
+        let _guard = memo_test_lock().lock().unwrap();
+        let net = small_net(10);
+        let spec = DeviceSpec::k40c();
+        let policy = Policy::superneurons();
+        clear_plan_memo();
+        let (a, a_hit) = compile_memo_traced(&net, &spec, policy, false);
+        let (b, b_hit) = compile_memo_traced(&net, &spec, policy, false);
+        let (a, b) = (a.unwrap(), b.unwrap());
+        assert!(!a_hit, "first compile must be a miss");
+        assert!(b_hit, "repeat compile must be a hit");
+        assert!(Arc::ptr_eq(&a, &b), "memo must return the shared Arc");
+        // A different device cap is a different plan — no aliasing.
+        let capped = spec.clone().with_dram(spec.dram_bytes / 2);
+        let (c, c_hit) = compile_memo_traced(&net, &capped, policy, false);
+        assert!(!c_hit, "distinct caps must not share an entry");
+        assert!(!Arc::ptr_eq(&a, &c.unwrap()));
+        // Inference and training never alias.
+        let (i, i_hit) = compile_memo_traced(&net, &spec, policy, true);
+        assert!(!i_hit);
+        let i = i.unwrap();
+        assert!(i.plan.inference && !a.plan.inference);
+    }
+
+    #[test]
+    fn memo_caches_oom_outcomes() {
+        let _guard = memo_test_lock().lock().unwrap();
+        let net = small_net(32);
+        let tiny = DeviceSpec::k40c().with_dram(64 << 10);
+        clear_plan_memo();
+        let (r1, h1) = compile_memo_traced(&net, &tiny, Policy::baseline(), false);
+        assert!(r1.is_err() && !h1);
+        let (r2, h2) = compile_memo_traced(&net, &tiny, Policy::baseline(), false);
+        assert!(r2.is_err());
+        assert!(h2, "second failure must be served from the memo");
+    }
+
+    #[test]
+    fn distinct_nets_never_alias_in_the_memo() {
+        // Same shape of call, different structure: the fingerprint must
+        // separate them even when name and batch agree.
+        let _guard = memo_test_lock().lock().unwrap();
+        let spec = DeviceSpec::k40c();
+        clear_plan_memo();
+        let a = compile_memo(&small_net(8), &spec, Policy::baseline()).unwrap();
+        let other = {
+            // Same name, same batch, one extra ACT before the FC.
+            let mut net = Net::new("plan-test", Shape4::new(8, 3, 32, 32));
+            let d = net.data();
+            let c1 = net.conv(d, 16, 3, 1, 1);
+            let a1 = net.relu(c1);
+            let p1 = net.max_pool(a1, 2, 2, 0);
+            let c2 = net.conv(p1, 32, 3, 1, 1);
+            let a2 = net.relu(c2);
+            let a3 = net.relu(a2);
+            let f = net.fc(a3, 10);
+            net.softmax(f);
+            net
+        };
+        let (b, b_hit) = compile_memo_traced(&other, &spec, Policy::baseline(), false);
+        assert!(!b_hit, "structurally distinct nets must not alias");
+        assert_ne!(a.plan.steps.len(), b.unwrap().plan.steps.len());
     }
 }

@@ -5,16 +5,19 @@
 //! framework emulations of `sn-frameworks` are just preset bundles.
 
 /// Which device allocator backs tensor memory.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AllocatorKind {
-    /// The SuperNeurons heap pool (§3.2.1).
+    /// The SuperNeurons heap pool (§3.2.1), with the indexed free structure.
     HeapPool,
+    /// The pre-index linear-scan heap pool — byte-identical placement,
+    /// O(n) per call. Differential-testing / baseline-benchmarking only.
+    LinearPool,
     /// Raw `cudaMalloc`/`cudaFree` with modelled latencies (Table 2 baseline).
     Cuda,
 }
 
 /// Recomputation strategy (§3.4, Fig. 9).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum RecomputeMode {
     /// Keep everything needed by backward (no recomputation).
     None,
@@ -32,7 +35,7 @@ pub enum RecomputeMode {
 /// Tensor Cache replacement policy. The paper uses LRU (§3.3.2) and notes
 /// other policies "might better fit the scenario" — FIFO and MRU are
 /// provided for the ablation study.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum CachePolicy {
     /// Least-recently-used (the paper's choice — backward's head-to-tail
     /// pattern reuses the most recent tensors earliest).
@@ -44,7 +47,7 @@ pub enum CachePolicy {
 }
 
 /// Convolution-workspace policy (§3.5).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum WorkspacePolicy {
     /// Always the zero-workspace algorithm (implicit GEMM).
     None,
@@ -58,7 +61,10 @@ pub enum WorkspacePolicy {
 }
 
 /// Full policy bundle.
-#[derive(Debug, Clone, Copy)]
+///
+/// `Eq + Hash` (every field is a switch, an integer cap, or a tier-size
+/// table) so a policy can key the planner's memo table directly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Policy {
     /// Liveness analysis (off = the naive baseline allocator).
     pub liveness: bool,

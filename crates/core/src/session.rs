@@ -115,12 +115,16 @@ pub fn predict_peak_bytes(net: &Net, spec: &DeviceSpec, policy: Policy) -> Resul
 /// sequence, so the executed high-water equals it to the byte); `iter_time`
 /// is the plan's analytic busiest-engine estimate, a pacing hint rather
 /// than a measurement.
+///
+/// Goes through the plan memo ([`plan::compile_memo`]): a repeated
+/// prediction for the same `(net, policy, device)` triple is a hash lookup,
+/// not a compile.
 pub fn plan_prediction(
     net: &Net,
     spec: &DeviceSpec,
     policy: Policy,
 ) -> Result<PeakPrediction, ExecError> {
-    let c = plan::compile(net, spec, policy)?;
+    let c = plan::compile_memo(net, spec, policy)?;
     Ok(PeakPrediction {
         peak_bytes: c.plan.peak_bytes,
         iter_time: c.plan.iter_time_estimate(),
@@ -137,7 +141,7 @@ pub fn plan_prediction_inference(
     spec: &DeviceSpec,
     policy: Policy,
 ) -> Result<PeakPrediction, ExecError> {
-    let c = plan::compile_inference(net, spec, policy)?;
+    let c = plan::compile_inference_memo(net, spec, policy)?;
     Ok(PeakPrediction {
         peak_bytes: c.plan.peak_bytes,
         iter_time: c.plan.iter_time_estimate(),
@@ -221,16 +225,24 @@ impl Session {
 /// Does `net` train successfully on `spec` under `policy`? Answered by
 /// *compiling* the memory plan alone: the planner performs every allocation
 /// the iteration would, so compile success is execution success — and the
-/// feasibility searches behind Tables 4/5 never touch a timeline.
+/// feasibility searches behind Tables 4/5 never touch a timeline. Memoized
+/// ([`plan::compile_memo`]): re-asking about a triple is a hash lookup.
 pub fn feasible(net: &Net, spec: &DeviceSpec, policy: Policy) -> bool {
-    plan::compile(net, spec, policy).is_ok()
+    plan::compile_memo(net, spec, policy).is_ok()
 }
 
 /// Largest `x` in `[lo, hi]` such that `build(x)` trains on `spec` under
-/// `policy`, by exponential probing + binary search. Returns `lo - 1`-ish 0
-/// when even `lo` fails.
+/// `policy`, by exponential probing + a parallel multi-section search.
+/// Returns 0 when even `lo` fails.
+///
+/// With `k` worker threads each search round compiles `k` interior probe
+/// points concurrently over the rayon shim and narrows the bracket to the
+/// feasible/infeasible boundary they straddle; with one thread it is the
+/// classic bisection. For the monotone feasibility curves these searches
+/// walk (bigger batch ⇒ more memory) every variant converges to the same
+/// knee — the parallelism buys wall-clock, not different answers.
 pub fn max_feasible_param(
-    build: &dyn Fn(usize) -> Net,
+    build: &(dyn Fn(usize) -> Net + Sync),
     spec: &DeviceSpec,
     policy: Policy,
     lo: usize,
@@ -262,13 +274,41 @@ pub fn max_feasible_param(
             })
         }
     };
-    // Binary search in (good, high).
+    // Multi-section search in (good, high): k evenly spaced interior cuts
+    // per round, compiled concurrently. Every cut either raises `good` or
+    // lowers `high`, so each round strictly narrows the bracket.
+    let k = rayon::current_num_threads().clamp(1, 8);
     while high - good > 1 {
-        let mid = good + (high - good) / 2;
-        if feasible(&build(mid), spec, policy) {
-            good = mid;
-        } else {
-            high = mid;
+        let span = high - good;
+        if k == 1 || span <= 2 {
+            let mid = good + span / 2;
+            if feasible(&build(mid), spec, policy) {
+                good = mid;
+            } else {
+                high = mid;
+            }
+            continue;
+        }
+        let mut cuts: Vec<usize> = (1..=k)
+            .map(|i| good + span * i / (k + 1))
+            .filter(|&x| x > good && x < high)
+            .collect();
+        cuts.dedup();
+        if cuts.is_empty() {
+            cuts.push(good + span / 2);
+        }
+        let oks = rayon::par_map(&cuts, |x| feasible(&build(*x), spec, policy));
+        for (x, ok) in cuts.iter().zip(oks) {
+            if ok {
+                good = good.max(*x);
+            } else {
+                high = high.min(*x);
+            }
+        }
+        if high <= good {
+            // Only reachable if feasibility is non-monotone inside the
+            // bracket; `good` is a verified-feasible point, return it.
+            break;
         }
     }
     good

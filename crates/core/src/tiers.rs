@@ -47,7 +47,7 @@ impl Tier {
 }
 
 /// Capacity configuration of the external pools.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct TierConfig {
     /// Peer-GPU pool bytes (0 disables the tier — the common single-GPU
     /// case).

@@ -17,6 +17,14 @@
 //! Because both apply the *same op sequence* through the *same allocator*,
 //! the executed memory trajectory — and therefore the peak — is identical to
 //! the planned one by construction.
+//!
+//! Plan compilation is the system's hot path (admission ladders and
+//! feasibility searches compile thousands of plans), so the Tensor Cache is
+//! an **intrusive doubly-linked list over dense `TensorId`-indexed arrays**:
+//! touch, insert, remove and pin are all O(1), no allocation, no hashing.
+//! The pre-optimization `Vec`-backed list survives as
+//! [`reference::VecCache`] and a differential test asserts both produce
+//! identical victim sequences.
 
 use sn_graph::liveness::{LivenessPlan, TensorId};
 use sn_sim::{AllocId, Dma};
@@ -75,14 +83,157 @@ impl TensorState {
     };
 }
 
+const NONE: u32 = u32::MAX;
+
+/// One tensor's links in the intrusive recency list.
+#[derive(Debug, Clone, Copy)]
+struct CacheLink {
+    newer: u32,
+    older: u32,
+    linked: bool,
+}
+
+const UNLINKED: CacheLink = CacheLink {
+    newer: NONE,
+    older: NONE,
+    linked: false,
+};
+
+/// The intrusive recency list: per-tensor `newer`/`older` links in one
+/// dense array, `head` = MRU, `tail` = LRU. Every mutation is O(1); victim
+/// scans walk only as far as the first evictable entry.
+#[derive(Debug, Clone)]
+struct CacheList {
+    links: Vec<CacheLink>,
+    head: u32,
+    tail: u32,
+    len: usize,
+}
+
+impl CacheList {
+    fn new(n: usize) -> CacheList {
+        CacheList {
+            links: vec![UNLINKED; n],
+            head: NONE,
+            tail: NONE,
+            len: 0,
+        }
+    }
+
+    /// Link `t` at the MRU end. `t` must not be linked.
+    fn push_front(&mut self, t: TensorId) {
+        debug_assert!(!self.links[t.0].linked);
+        let i = t.0 as u32;
+        self.links[t.0] = CacheLink {
+            newer: NONE,
+            older: self.head,
+            linked: true,
+        };
+        if self.head != NONE {
+            self.links[self.head as usize].newer = i;
+        }
+        self.head = i;
+        if self.tail == NONE {
+            self.tail = i;
+        }
+        self.len += 1;
+    }
+
+    /// Unlink `t` wherever it sits. No-op when not linked.
+    fn unlink(&mut self, t: TensorId) {
+        let CacheLink {
+            newer: n,
+            older: o,
+            linked,
+        } = self.links[t.0];
+        if !linked {
+            return;
+        }
+        if n != NONE {
+            self.links[n as usize].older = o;
+        } else {
+            self.head = o;
+        }
+        if o != NONE {
+            self.links[o as usize].newer = n;
+        } else {
+            self.tail = n;
+        }
+        self.links[t.0].linked = false;
+        self.len -= 1;
+    }
+
+    /// Move `t` to the MRU end if present.
+    fn touch(&mut self, t: TensorId) {
+        if self.links[t.0].linked {
+            self.unlink(t);
+            self.push_front(t);
+        }
+    }
+
+    fn clear(&mut self) {
+        let mut t = self.head;
+        while t != NONE {
+            let next = self.links[t as usize].older;
+            self.links[t as usize].linked = false;
+            t = next;
+        }
+        self.head = NONE;
+        self.tail = NONE;
+        self.len = 0;
+    }
+}
+
+/// Reference Tensor Cache implementations, kept for differential tests and
+/// the `compile` bench experiment's pre-optimization baseline row.
+pub mod reference {
+    use super::*;
+
+    /// The pre-optimization cache list: a `Vec` with front = MRU, O(n)
+    /// touch/remove (a `position` scan plus a memmove per operation).
+    #[derive(Debug, Clone, Default)]
+    pub struct VecCache {
+        pub(super) list: Vec<TensorId>,
+    }
+
+    impl VecCache {
+        pub(super) fn touch(&mut self, t: TensorId) {
+            if let Some(pos) = self.list.iter().position(|x| *x == t) {
+                let id = self.list.remove(pos);
+                self.list.insert(0, id); // MFU position: the list front
+            }
+        }
+
+        pub(super) fn push_front(&mut self, t: TensorId) {
+            debug_assert!(!self.list.contains(&t));
+            self.list.insert(0, t);
+        }
+
+        pub(super) fn remove(&mut self, t: TensorId) {
+            if let Some(pos) = self.list.iter().position(|x| *x == t) {
+                self.list.remove(pos);
+            }
+        }
+    }
+}
+
+/// Either cache representation behind one dispatch point. The linked form
+/// is the production one; the `Vec` form exists so benches and tests can
+/// drive the exact pre-optimization data structure through the same API.
+#[derive(Debug, Clone)]
+enum Cache {
+    Linked(CacheList),
+    Reference(reference::VecCache),
+}
+
 /// The residency manager: tensor states + LRU Tensor Cache + pending
 /// offloads, behind a narrow mutation API. It never *decides* anything —
 /// decisions live in the planner — it keeps the books both drivers share.
 #[derive(Debug, Clone)]
 pub struct Utp {
     pub states: Vec<TensorState>,
-    /// LRU list of device-resident, cache-managed tensors (front = MRU).
-    lru: Vec<TensorId>,
+    /// The device-resident, cache-managed tensors in recency order.
+    cache: Cache,
     insertion_clock: u64,
     /// Tensors with an in-flight device→host copy, in submission order
     /// (D2H serializes, so submission order is completion order).
@@ -93,9 +244,18 @@ impl Utp {
     pub fn new(n_tensors: usize) -> Utp {
         Utp {
             states: vec![TensorState::EMPTY; n_tensors],
-            lru: Vec::new(),
+            cache: Cache::Linked(CacheList::new(n_tensors)),
             insertion_clock: 0,
             pending_offloads: Vec::new(),
+        }
+    }
+
+    /// A UTP whose Tensor Cache uses the reference `Vec` list — identical
+    /// semantics, pre-optimization costs. Benchmark/test support only.
+    pub fn new_reference(n_tensors: usize) -> Utp {
+        Utp {
+            cache: Cache::Reference(reference::VecCache::default()),
+            ..Utp::new(n_tensors)
         }
     }
 
@@ -109,49 +269,89 @@ impl Utp {
     // ------------------------------------------------------------------
 
     pub fn lru_touch(&mut self, t: TensorId) {
-        if let Some(pos) = self.lru.iter().position(|x| *x == t) {
-            let id = self.lru.remove(pos);
-            self.lru.insert(0, id); // MFU position: the list front
+        match &mut self.cache {
+            Cache::Linked(l) => l.touch(t),
+            Cache::Reference(v) => v.touch(t),
         }
     }
 
     pub fn lru_insert(&mut self, t: TensorId) {
-        debug_assert!(!self.lru.contains(&t));
         self.insertion_clock += 1;
         self.states[t.0].inserted_at = self.insertion_clock;
-        self.lru.insert(0, t);
+        match &mut self.cache {
+            Cache::Linked(l) => l.push_front(t),
+            Cache::Reference(v) => v.push_front(t),
+        }
     }
 
     pub fn lru_remove(&mut self, t: TensorId) {
-        if let Some(pos) = self.lru.iter().position(|x| *x == t) {
-            self.lru.remove(pos);
+        match &mut self.cache {
+            Cache::Linked(l) => l.unlink(t),
+            Cache::Reference(v) => v.remove(t),
         }
     }
 
     /// The cache's victim under `policy`: the least-desirable unlocked,
     /// not-already-offloading resident tensor, or `None` when nothing is
-    /// evictable. Front of the list is MFU (Alg. 2), so LRU victims come
-    /// from the back, MRU victims from the front, FIFO victims by stamp.
+    /// evictable. LRU victims come from the cold end, MRU victims from the
+    /// hot end, FIFO victims by insertion stamp — and the scans stop at the
+    /// first evictable entry (FIFO necessarily visits all).
     pub fn pick_victim(&self, policy: CachePolicy) -> Option<TensorId> {
-        let evictable = |st: &TensorState| st.lock == 0 && !st.offloading;
-        match policy {
-            CachePolicy::Lru => self
-                .lru
-                .iter()
-                .rev()
-                .find(|t| evictable(&self.states[t.0]))
-                .copied(),
-            CachePolicy::Mru => self
-                .lru
-                .iter()
-                .find(|t| evictable(&self.states[t.0]))
-                .copied(),
-            CachePolicy::Fifo => self
-                .lru
-                .iter()
-                .filter(|t| evictable(&self.states[t.0]))
-                .min_by_key(|t| self.states[t.0].inserted_at)
-                .copied(),
+        let evictable = |t: TensorId| {
+            let st = &self.states[t.0];
+            st.lock == 0 && !st.offloading
+        };
+        match &self.cache {
+            Cache::Linked(l) => match policy {
+                CachePolicy::Lru => {
+                    let mut t = l.tail;
+                    while t != NONE {
+                        let id = TensorId(t as usize);
+                        if evictable(id) {
+                            return Some(id);
+                        }
+                        t = l.links[t as usize].newer;
+                    }
+                    None
+                }
+                CachePolicy::Mru => {
+                    let mut t = l.head;
+                    while t != NONE {
+                        let id = TensorId(t as usize);
+                        if evictable(id) {
+                            return Some(id);
+                        }
+                        t = l.links[t as usize].older;
+                    }
+                    None
+                }
+                CachePolicy::Fifo => {
+                    let mut best: Option<TensorId> = None;
+                    let mut t = l.head;
+                    while t != NONE {
+                        let id = TensorId(t as usize);
+                        if evictable(id)
+                            && best.is_none_or(|b| {
+                                self.states[id.0].inserted_at < self.states[b.0].inserted_at
+                            })
+                        {
+                            best = Some(id);
+                        }
+                        t = l.links[t as usize].older;
+                    }
+                    best
+                }
+            },
+            Cache::Reference(v) => match policy {
+                CachePolicy::Lru => v.list.iter().rev().copied().find(|t| evictable(*t)),
+                CachePolicy::Mru => v.list.iter().copied().find(|t| evictable(*t)),
+                CachePolicy::Fifo => v
+                    .list
+                    .iter()
+                    .copied()
+                    .filter(|t| evictable(*t))
+                    .min_by_key(|t| self.states[t.0].inserted_at),
+            },
         }
     }
 
@@ -180,11 +380,22 @@ impl Utp {
 
     /// All reapable pending offloads at `step`, in submission order.
     pub fn reapable(&self, liveness: &LivenessPlan, step: usize) -> Vec<TensorId> {
-        self.pending_offloads
-            .iter()
-            .copied()
-            .filter(|t| self.offload_reapable(*t, liveness, step))
-            .collect()
+        let mut out = Vec::new();
+        self.collect_reapable(liveness, step, &mut out);
+        out
+    }
+
+    /// [`Utp::reapable`] into a caller-owned scratch buffer (cleared first)
+    /// — the planner calls this every step, so the allocation is hoisted
+    /// out of the loop.
+    pub fn collect_reapable(&self, liveness: &LivenessPlan, step: usize, out: &mut Vec<TensorId>) {
+        out.clear();
+        out.extend(
+            self.pending_offloads
+                .iter()
+                .copied()
+                .filter(|t| self.offload_reapable(*t, liveness, step)),
+        );
     }
 
     /// Record an issued offload (eviction or eager checkpoint copy-out).
@@ -312,7 +523,10 @@ impl Utp {
             self.states[i].host_valid = false;
             self.states[i].residence = Residence::None;
         }
-        self.lru.clear();
+        match &mut self.cache {
+            Cache::Linked(l) => l.clear(),
+            Cache::Reference(v) => v.list.clear(),
+        }
         self.pending_offloads.clear();
     }
 
@@ -393,5 +607,66 @@ mod tests {
         assert!(utp.pending_offloads.is_empty());
         assert_eq!(d.alloc.used(), 0);
         assert_eq!(d.host.total_used(), 0);
+    }
+
+    #[test]
+    fn linked_cache_matches_reference_over_random_ops() {
+        // Differential: drive the intrusive list and the reference Vec list
+        // through an identical mixed op sequence (insert / touch / remove /
+        // lock) and demand the same victim under every policy at every step.
+        let n = 24;
+        let mut fast = Utp::new(n);
+        let mut slow = Utp::new_reference(n);
+        let mut x = 0x2545_f491_4f6c_dd1du64; // deterministic xorshift
+        let step = |s: &mut u64| {
+            *s ^= *s << 13;
+            *s ^= *s >> 7;
+            *s ^= *s << 17;
+            *s
+        };
+        let mut resident = vec![false; n];
+        for _ in 0..2000 {
+            let r = step(&mut x);
+            let t = TensorId((r >> 8) as usize % n);
+            match r % 5 {
+                0 | 1 => {
+                    if !resident[t.0] {
+                        resident[t.0] = true;
+                        // mark_device without a real grant: states only.
+                        fast.states[t.0].residence = Residence::Device;
+                        slow.states[t.0].residence = Residence::Device;
+                        fast.lru_insert(t);
+                        slow.lru_insert(t);
+                    } else {
+                        fast.lru_touch(t);
+                        slow.lru_touch(t);
+                    }
+                }
+                2 => {
+                    resident[t.0] = false;
+                    fast.states[t.0].residence = Residence::None;
+                    slow.states[t.0].residence = Residence::None;
+                    fast.lru_remove(t);
+                    slow.lru_remove(t);
+                }
+                3 => {
+                    let l = (r >> 16) as u32 % 2;
+                    fast.states[t.0].lock = l;
+                    slow.states[t.0].lock = l;
+                }
+                _ => {
+                    let b = r & 1 == 0;
+                    fast.states[t.0].offloading = b;
+                    slow.states[t.0].offloading = b;
+                }
+            }
+            for policy in [CachePolicy::Lru, CachePolicy::Mru, CachePolicy::Fifo] {
+                assert_eq!(
+                    fast.pick_victim(policy),
+                    slow.pick_victim(policy),
+                    "victim diverged under {policy:?}"
+                );
+            }
+        }
     }
 }

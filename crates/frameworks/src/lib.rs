@@ -125,7 +125,7 @@ impl Framework {
 /// Table 5: the largest batch a framework trains on `spec`.
 pub fn max_batch(
     framework: Framework,
-    build: &dyn Fn(usize) -> Net,
+    build: &(dyn Fn(usize) -> Net + Sync),
     spec: &DeviceSpec,
     hi: usize,
 ) -> usize {

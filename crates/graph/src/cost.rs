@@ -215,6 +215,7 @@ impl LayerCost {
     /// Forward execution time on `spec`, with the selected convolution
     /// algorithm's speed factor (1.0 = the zero-workspace baseline; the
     /// runtime divides by a larger factor when a faster algorithm fits).
+    #[inline]
     pub fn fwd_time(&self, kind: &LayerKind, spec: &DeviceSpec, algo_speedup: f64) -> SimTime {
         debug_assert!(algo_speedup >= 1.0);
         let flops = (self.fwd_flops as f64 / algo_speedup) as u64;
@@ -222,6 +223,7 @@ impl LayerCost {
     }
 
     /// Backward execution time on `spec`.
+    #[inline]
     pub fn bwd_time(&self, kind: &LayerKind, spec: &DeviceSpec, algo_speedup: f64) -> SimTime {
         debug_assert!(algo_speedup >= 1.0);
         let flops = (self.bwd_flops as f64 / algo_speedup) as u64;
@@ -242,6 +244,7 @@ impl NetCost {
         }
     }
 
+    #[inline]
     pub fn layer(&self, id: LayerId) -> &LayerCost {
         &self.per_layer[id.0]
     }

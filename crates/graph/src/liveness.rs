@@ -63,8 +63,9 @@ pub struct TensorMeta {
     pub offloadable: bool,
 }
 
-/// Policy switches for the analysis.
-#[derive(Debug, Clone, Copy)]
+/// Policy switches for the analysis. `Eq + Hash` so the options can key
+/// the planner's shared-analysis cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct LivenessOptions {
     /// Master switch: off = the naive baseline (nothing freed mid-iteration).
     pub enabled: bool,
@@ -89,6 +90,82 @@ impl Default for LivenessOptions {
     }
 }
 
+/// Step-indexed tensor lists in one flat allocation (CSR layout: an offset
+/// table over a shared item vector). The planner reads these lists on every
+/// step of every compile; packing them flat replaces `n_steps` little heap
+/// vectors with two, which is a measurable share of analysis time on deep
+/// nets. `lists[s]` indexes to the step's slice.
+#[derive(Debug, Clone)]
+pub struct StepLists {
+    offsets: Vec<u32>,
+    items: Vec<TensorId>,
+}
+
+impl StepLists {
+    /// Build from a per-step visitor: `visit` must call its callback once
+    /// per `(step, tensor)` pair, in the desired within-step order, and
+    /// behave identically on both invocations (count, then fill).
+    fn build(n_steps: usize, mut visit: impl FnMut(&mut dyn FnMut(usize, TensorId))) -> StepLists {
+        let mut counts = vec![0u32; n_steps + 1];
+        visit(&mut |s, _| counts[s + 1] += 1);
+        for i in 0..n_steps {
+            counts[i + 1] += counts[i];
+        }
+        let offsets = counts;
+        let mut cursor = offsets.clone();
+        let mut items = vec![TensorId(0); *offsets.last().unwrap() as usize];
+        visit(&mut |s, t| {
+            items[cursor[s] as usize] = t;
+            cursor[s] += 1;
+        });
+        StepLists { offsets, items }
+    }
+
+    /// Sort each step's list by tensor id and drop duplicates, compacting
+    /// the shared item vector in place.
+    fn sort_dedup(&mut self) {
+        let n_steps = self.offsets.len() - 1;
+        let mut write = 0usize;
+        let old_offsets = std::mem::take(&mut self.offsets);
+        let mut offsets = Vec::with_capacity(n_steps + 1);
+        offsets.push(0u32);
+        for s in 0..n_steps {
+            let (a, b) = (old_offsets[s] as usize, old_offsets[s + 1] as usize);
+            self.items[a..b].sort_unstable_by_key(|t| t.0);
+            let mut prev: Option<TensorId> = None;
+            for i in a..b {
+                let t = self.items[i];
+                if prev != Some(t) {
+                    self.items[write] = t;
+                    write += 1;
+                    prev = Some(t);
+                }
+            }
+            offsets.push(write as u32);
+        }
+        self.items.truncate(write);
+        self.offsets = offsets;
+    }
+
+    pub fn n_steps(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Iterate the per-step slices in step order.
+    pub fn iter(&self) -> impl Iterator<Item = &[TensorId]> {
+        (0..self.n_steps()).map(move |s| &self[s])
+    }
+}
+
+impl std::ops::Index<usize> for StepLists {
+    type Output = [TensorId];
+
+    #[inline]
+    fn index(&self, s: usize) -> &[TensorId] {
+        &self.items[self.offsets[s] as usize..self.offsets[s + 1] as usize]
+    }
+}
+
 /// The computed liveness schedule.
 #[derive(Debug, Clone)]
 pub struct LivenessPlan {
@@ -98,11 +175,11 @@ pub struct LivenessPlan {
     /// Layer → gradient tensor of its output (None for DATA).
     pub grad_of: Vec<Option<TensorId>>,
     /// Step → tensors materialized at that step.
-    pub created_at: Vec<Vec<TensorId>>,
+    pub created_at: StepLists,
     /// Step → tensors whose last use is that step (freeable afterwards).
-    pub freed_after: Vec<Vec<TensorId>>,
+    pub freed_after: StepLists,
     /// Step → tensors the step's computation *reads* (its output excluded).
-    pub step_inputs: Vec<Vec<TensorId>>,
+    pub step_inputs: StepLists,
     pub n_steps: usize,
     pub options: LivenessOptions,
 }
@@ -237,56 +314,63 @@ impl LivenessPlan {
         }
 
         // --- Per-step schedules -------------------------------------------
-        let mut created_at: Vec<Vec<TensorId>> = vec![Vec::new(); n_steps];
-        let mut freed_after: Vec<Vec<TensorId>> = vec![Vec::new(); n_steps];
-        for t in &tensors {
-            if t.bytes == 0 {
-                continue; // aliases occupy no storage of their own
+        let created_at = StepLists::build(n_steps, |put| {
+            for t in &tensors {
+                if t.bytes == 0 {
+                    continue; // aliases occupy no storage of their own
+                }
+                put(t.created_step, t.id);
             }
-            created_at[t.created_step].push(t.id);
-            freed_after[t.last_use_step].push(t.id);
-        }
+        });
+        let freed_after = StepLists::build(n_steps, |put| {
+            for t in &tensors {
+                if t.bytes == 0 {
+                    continue;
+                }
+                put(t.last_use_step, t.id);
+            }
+        });
 
         // --- Step input lists (what each computation reads) ----------------
-        let mut step_inputs: Vec<Vec<TensorId>> = vec![Vec::new(); n_steps];
-        for layer in net.layers() {
-            let fs = route.fwd_step(layer.id);
-            for p in &layer.prevs {
-                step_inputs[fs].push(resolve(p.0));
-            }
-            if !route.has_backward() {
-                continue; // inference: forward reads only
-            }
-            let bs = route.bwd_step(layer.id);
-            if let Some(g) = grad_of[layer.id.0] {
-                // Not an input for its creating step (SOFTMAX seeds it), but
-                // every other layer reads its accumulated output gradient.
-                if tensors[g.0].created_step < bs {
-                    step_inputs[bs].push(g);
-                }
-            }
-            if layer.kind.bwd_needs_output() {
-                step_inputs[bs].push(resolve(layer.id.0));
-            }
-            if layer.kind.bwd_needs_input() {
+        let mut step_inputs = StepLists::build(n_steps, |put| {
+            for layer in net.layers() {
+                let fs = route.fwd_step(layer.id);
                 for p in &layer.prevs {
-                    step_inputs[bs].push(resolve(p.0));
+                    put(fs, resolve(p.0));
                 }
-            }
-            // Backward also reads the grads of prevs it accumulates into,
-            // when they already exist (created by an earlier backward step).
-            for p in &layer.prevs {
-                if let Some(g) = grad_of[p.0] {
+                if !route.has_backward() {
+                    continue; // inference: forward reads only
+                }
+                let bs = route.bwd_step(layer.id);
+                if let Some(g) = grad_of[layer.id.0] {
+                    // Not an input for its creating step (SOFTMAX seeds it),
+                    // but every other layer reads its accumulated output
+                    // gradient.
                     if tensors[g.0].created_step < bs {
-                        step_inputs[bs].push(g);
+                        put(bs, g);
+                    }
+                }
+                if layer.kind.bwd_needs_output() {
+                    put(bs, resolve(layer.id.0));
+                }
+                if layer.kind.bwd_needs_input() {
+                    for p in &layer.prevs {
+                        put(bs, resolve(p.0));
+                    }
+                }
+                // Backward also reads the grads of prevs it accumulates
+                // into, when they already exist (created by an earlier
+                // backward step).
+                for p in &layer.prevs {
+                    if let Some(g) = grad_of[p.0] {
+                        if tensors[g.0].created_step < bs {
+                            put(bs, g);
+                        }
                     }
                 }
             }
-        }
-        for list in step_inputs.iter_mut() {
-            list.sort_unstable_by_key(|t| t.0);
-            list.dedup();
-        }
+        });
+        step_inputs.sort_dedup();
 
         LivenessPlan {
             tensors,

@@ -156,6 +156,67 @@ impl Net {
         self.layers[l.prevs[0].0].out_shape
     }
 
+    /// Structural digest of the network: 128 bits over every layer's kind,
+    /// parameters, wiring and inferred shape (two independently seeded Fx
+    /// passes, so a collision needs both 64-bit digests to collide).
+    ///
+    /// Two nets with equal fingerprints produce identical routes, liveness
+    /// plans and memory plans — this is the `net` component of the planner's
+    /// memo key (`sn_runtime::plan`'s `(fingerprint, policy, device)`
+    /// cache). The name is deliberately excluded: renaming a network does
+    /// not change what the planner would do with it.
+    pub fn fingerprint(&self) -> (u64, u64) {
+        (
+            self.digest(0x5275_7374_5f46_7830),
+            self.digest(0x736e_5f67_7261_7068),
+        )
+    }
+
+    fn digest(&self, seed: u64) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = fxhash::FxHasher::default();
+        seed.hash(&mut h);
+        self.layers.len().hash(&mut h);
+        for l in &self.layers {
+            // Discriminant + every parameter; floats by bit pattern.
+            match &l.kind {
+                LayerKind::Data { shape } => (0u8, shape.n, shape.c, shape.h, shape.w).hash(&mut h),
+                LayerKind::Conv {
+                    out_channels,
+                    kernel,
+                    stride,
+                    pad,
+                } => (1u8, out_channels, kernel, stride, pad).hash(&mut h),
+                LayerKind::Pool {
+                    kind,
+                    kernel,
+                    stride,
+                    pad,
+                } => (
+                    2u8,
+                    matches!(kind, crate::layer::PoolKind::Max),
+                    kernel,
+                    stride,
+                    pad,
+                )
+                    .hash(&mut h),
+                LayerKind::Act => 3u8.hash(&mut h),
+                LayerKind::Lrn { local_size } => (4u8, local_size).hash(&mut h),
+                LayerKind::Bn => 5u8.hash(&mut h),
+                LayerKind::Dropout { p } => (6u8, p.to_bits()).hash(&mut h),
+                LayerKind::Fc { out } => (7u8, out).hash(&mut h),
+                LayerKind::Softmax => 8u8.hash(&mut h),
+                LayerKind::Concat => 9u8.hash(&mut h),
+                LayerKind::Eltwise => 10u8.hash(&mut h),
+            }
+            // `out_shape` is omitted deliberately: shape inference is a
+            // pure function of the kinds and wiring hashed above, so it
+            // adds cost without adding discrimination.
+            l.prevs.hash(&mut h);
+        }
+        h.finish()
+    }
+
     /// Sanity checks: connectivity, single source, acyclicity by
     /// construction (edges only point to later ids).
     pub fn validate(&self) -> Result<(), String> {

@@ -165,6 +165,7 @@ impl Route {
     }
 
     /// The step at global index `i`.
+    #[inline]
     pub fn step(&self, i: usize) -> Step {
         let n = self.fwd.len();
         if i < n {

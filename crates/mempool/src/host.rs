@@ -7,21 +7,28 @@
 //! tensor keeps a stable host slot for its lifetime so repeated offloads of
 //! the same tensor do not re-register memory.
 
-use std::collections::HashMap;
-
-/// Handle for a host-side slot.
+/// Handle for a host-side slot. The low 32 bits carry the slab slot, the
+/// high bits a per-reservation sequence number, so stale handles are
+/// detectable after the slot is recycled.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct HostSlot(pub u64);
 
 /// Preallocated pinned CPU buffer used as the offload target of the Unified
 /// Tensor Pool.
+///
+/// Reservations live in a slot slab indexed straight from the handle (the
+/// planner reserves/releases a slot per offloaded tensor on its hot path —
+/// a hashed map here was measurable in compile profiles).
 #[derive(Debug, Clone)]
 pub struct PinnedHostPool {
     capacity: u64,
     used: u64,
     high_water: u64,
-    next: u64,
-    slots: HashMap<u64, u64>,
+    /// `(handle, bytes)` per occupied slot.
+    slots: Vec<Option<(u64, u64)>>,
+    spare: Vec<u32>,
+    next_seq: u64,
+    live: usize,
 }
 
 impl PinnedHostPool {
@@ -30,30 +37,47 @@ impl PinnedHostPool {
             capacity,
             used: 0,
             high_water: 0,
-            next: 0,
-            slots: HashMap::new(),
+            slots: Vec::new(),
+            spare: Vec::new(),
+            next_seq: 0,
+            live: 0,
         }
     }
 
     /// Reserve a pinned slot of `bytes`. Returns `None` when the host pool is
     /// exhausted (the runtime then falls back to failing the training run —
     /// matching a machine that cannot pin more RAM).
+    #[inline]
     pub fn reserve(&mut self, bytes: u64) -> Option<HostSlot> {
         if self.used + bytes > self.capacity {
             return None;
         }
-        let id = self.next;
-        self.next += 1;
+        let slot = self.spare.pop().unwrap_or_else(|| {
+            self.slots.push(None);
+            (self.slots.len() - 1) as u32
+        });
+        let id = (self.next_seq << 32) | slot as u64;
+        self.next_seq += 1;
         self.used += bytes;
         self.high_water = self.high_water.max(self.used);
-        self.slots.insert(id, bytes);
+        self.slots[slot as usize] = Some((id, bytes));
+        self.live += 1;
         Some(HostSlot(id))
     }
 
-    /// Release a slot.
+    /// Release a slot. Stale or double-released handles are ignored (their
+    /// slot either holds nothing or a newer reservation's id).
+    #[inline]
     pub fn release(&mut self, slot: HostSlot) {
-        if let Some(bytes) = self.slots.remove(&slot.0) {
-            self.used -= bytes;
+        let idx = (slot.0 & u32::MAX as u64) as usize;
+        match self.slots.get(idx) {
+            Some(Some((stored, bytes))) if *stored == slot.0 => {
+                self.used -= *bytes;
+                self.slots[idx] = None;
+                self.spare.push(idx as u32);
+                self.live -= 1;
+            }
+            _ => {}
         }
     }
 
@@ -70,7 +94,7 @@ impl PinnedHostPool {
     }
 
     pub fn live_slots(&self) -> usize {
-        self.slots.len()
+        self.live
     }
 }
 

@@ -13,14 +13,23 @@
 //! list with the ID-to-node hash-table, then the pool places the node back to
 //! the empty list."*
 //!
-//! [`HeapPool`] implements exactly that structure (first-fit over an
-//! address-ordered empty list, 1 KB blocks, ID→node map) with the one
-//! addition any production pool needs: adjacent empty nodes are coalesced on
-//! free, so the pool does not fragment monotonically. [`PinnedHostPool`]
-//! models the preallocated pinned CPU buffer that offloaded tensors land in.
+//! [`HeapPool`] keeps exactly those semantics (lowest-address first-fit,
+//! 1 KB blocks, ID→node map) with two additions: adjacent empty nodes are
+//! coalesced on free so the pool does not fragment monotonically, and the
+//! empty list is stored as a max-augmented address-ordered treap so
+//! first-fit, coalescing and the largest-fragment query are O(log n)/O(1)
+//! instead of full scans — the planner compiles thousands of plans per
+//! second through this pool, so its inner loop matters. The pre-index
+//! linear-scan implementation survives as [`LinearPool`] for differential
+//! testing and baseline benchmarking; `tests/proptest_differential.rs`
+//! asserts the two are byte-identical over random traces.
+//! [`PinnedHostPool`] models the preallocated pinned CPU buffer that
+//! offloaded tensors land in.
 
 pub mod host;
+pub mod linear;
 pub mod pool;
 
 pub use host::PinnedHostPool;
+pub use linear::LinearPool;
 pub use pool::{HeapPool, PoolConfig, PoolStats};

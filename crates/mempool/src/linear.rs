@@ -1,0 +1,216 @@
+//! The reference first-fit pool: a literal transcription of §3.2.1's
+//! structure with an address-ordered `Vec` empty list and an O(n) scan per
+//! allocation.
+//!
+//! This was the workspace's production pool before the indexed
+//! [`crate::HeapPool`] replaced it on the planner hot path. It is kept —
+//! unchanged — for two jobs:
+//!
+//! * **differential testing**: the indexed pool must return byte-identical
+//!   grant addresses, sizes, high-water marks and
+//!   [`AllocError::OutOfMemory`] diagnostics over arbitrary alloc/free
+//!   traces (see `tests/proptest_differential.rs`);
+//! * **baseline benchmarking**: the `compile` bench experiment compiles
+//!   plans against this pool to produce its pre-optimization baseline row.
+//!
+//! Semantics (shared with the indexed pool, bit for bit): 1 KB blocks,
+//! first-fit = the **lowest-address** empty node with enough blocks, frees
+//! coalesce with both neighbours, IDs are a monotone counter.
+
+use fxhash::FxHashMap;
+
+use sn_sim::{AllocError, AllocGrant, AllocId, DeviceAllocator, SimTime};
+
+use crate::pool::PoolConfig;
+
+/// An empty-list node: `blocks` free blocks starting at block index `start`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct EmptyNode {
+    start: u64,
+    blocks: u64,
+}
+
+/// An allocated-list node.
+#[derive(Debug, Clone, Copy)]
+struct AllocNode {
+    start: u64,
+    blocks: u64,
+}
+
+/// The linear-scan first-fit pool (reference implementation).
+#[derive(Debug, Clone)]
+pub struct LinearPool {
+    cfg: PoolConfig,
+    total_blocks: u64,
+    /// Address-ordered empty nodes.
+    empty: Vec<EmptyNode>,
+    /// ID→node hash table for the allocated list.
+    allocated: FxHashMap<u64, AllocNode>,
+    next_id: u64,
+    used_blocks: u64,
+    high_water_blocks: u64,
+}
+
+impl LinearPool {
+    pub fn new(cfg: PoolConfig) -> Self {
+        assert!(cfg.block_bytes > 0, "block size must be positive");
+        let total_blocks = cfg.capacity_bytes / cfg.block_bytes;
+        assert!(total_blocks > 0, "pool must hold at least one block");
+        LinearPool {
+            cfg,
+            total_blocks,
+            empty: vec![EmptyNode {
+                start: 0,
+                blocks: total_blocks,
+            }],
+            allocated: FxHashMap::default(),
+            next_id: 0,
+            used_blocks: 0,
+            high_water_blocks: 0,
+        }
+    }
+
+    /// Convenience constructor with the paper's 1 KB blocks.
+    pub fn with_capacity(capacity_bytes: u64) -> Self {
+        Self::new(PoolConfig::new(capacity_bytes))
+    }
+
+    fn blocks_for(&self, bytes: u64) -> u64 {
+        bytes.max(1).div_ceil(self.cfg.block_bytes)
+    }
+
+    /// Number of fragments in the empty list (diagnostic).
+    pub fn empty_nodes(&self) -> usize {
+        self.empty.len()
+    }
+
+    /// Largest free fragment, in bytes — a full scan, the cost the indexed
+    /// pool's incremental maximum removes.
+    pub fn largest_fragment(&self) -> u64 {
+        self.empty.iter().map(|n| n.blocks).max().unwrap_or(0) * self.cfg.block_bytes
+    }
+
+    pub fn block_bytes(&self) -> u64 {
+        self.cfg.block_bytes
+    }
+}
+
+impl DeviceAllocator for LinearPool {
+    fn alloc(&mut self, bytes: u64) -> Result<AllocGrant, AllocError> {
+        let need = self.blocks_for(bytes);
+        // First-fit: scan the address-ordered empty list for the first node
+        // with enough free blocks.
+        let Some(pos) = self.empty.iter().position(|n| n.blocks >= need) else {
+            return Err(AllocError::OutOfMemory {
+                requested: bytes,
+                free: (self.total_blocks - self.used_blocks) * self.cfg.block_bytes,
+                largest: self.largest_fragment(),
+            });
+        };
+        let node = self.empty[pos];
+        let start = node.start;
+        if node.blocks == need {
+            self.empty.remove(pos);
+        } else {
+            self.empty[pos] = EmptyNode {
+                start: node.start + need,
+                blocks: node.blocks - need,
+            };
+        }
+        let id = self.next_id;
+        self.next_id += 1;
+        self.allocated.insert(
+            id,
+            AllocNode {
+                start,
+                blocks: need,
+            },
+        );
+        self.used_blocks += need;
+        self.high_water_blocks = self.high_water_blocks.max(self.used_blocks);
+        Ok(AllocGrant {
+            id: AllocId(id),
+            addr: start * self.cfg.block_bytes,
+            bytes: need * self.cfg.block_bytes,
+            cost: self.cfg.alloc_latency,
+        })
+    }
+
+    fn free(&mut self, id: AllocId) -> Result<SimTime, AllocError> {
+        let node = self
+            .allocated
+            .remove(&id.0)
+            .ok_or(AllocError::UnknownAllocation)?;
+        self.used_blocks -= node.blocks;
+
+        // Insert into the address-ordered empty list, coalescing with the
+        // predecessor/successor when adjacent.
+        let idx = self.empty.partition_point(|n| n.start < node.start);
+        let mut start = node.start;
+        let mut blocks = node.blocks;
+        if idx < self.empty.len() && self.empty[idx].start == start + blocks {
+            blocks += self.empty[idx].blocks;
+            self.empty.remove(idx);
+        }
+        if idx > 0 {
+            let p = self.empty[idx - 1];
+            if p.start + p.blocks == start {
+                start = p.start;
+                blocks += p.blocks;
+                self.empty.remove(idx - 1);
+                self.empty.insert(idx - 1, EmptyNode { start, blocks });
+                return Ok(self.cfg.free_latency);
+            }
+        }
+        self.empty.insert(idx, EmptyNode { start, blocks });
+        Ok(self.cfg.free_latency)
+    }
+
+    fn used(&self) -> u64 {
+        self.used_blocks * self.cfg.block_bytes
+    }
+
+    fn capacity(&self) -> u64 {
+        self.total_blocks * self.cfg.block_bytes
+    }
+
+    fn high_water(&self) -> u64 {
+        self.high_water_blocks * self.cfg.block_bytes
+    }
+
+    fn largest_free_contiguous(&self) -> u64 {
+        self.largest_fragment()
+    }
+
+    fn reset_high_water(&mut self) {
+        self.high_water_blocks = self.used_blocks;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_fit_prefers_lowest_address() {
+        let mut p = LinearPool::with_capacity(8 * 1024);
+        let a = p.alloc(2048).unwrap();
+        let b = p.alloc(2048).unwrap();
+        let _c = p.alloc(2048).unwrap();
+        p.free(a.id).unwrap();
+        p.free(b.id).unwrap();
+        let d = p.alloc(1024).unwrap();
+        assert_eq!(d.addr, 0, "first-fit must reuse the lowest hole");
+    }
+
+    #[test]
+    fn coalesces_back_to_one_node() {
+        let mut p = LinearPool::with_capacity(8 * 1024);
+        let grants: Vec<_> = (0..4).map(|_| p.alloc(2048).unwrap()).collect();
+        for g in grants {
+            p.free(g.id).unwrap();
+        }
+        assert_eq!(p.empty_nodes(), 1);
+        assert_eq!(p.used(), 0);
+    }
+}

@@ -117,7 +117,10 @@ pub struct CudaAllocator {
     malloc_base: SimTime,
     malloc_per_mib: SimTime,
     free_base: SimTime,
-    live: std::collections::HashMap<u64, u64>,
+    /// ID→bytes for live grants. Keys are a sequential counter, so the
+    /// deterministic single-multiply Fx hasher beats SipHash with nothing
+    /// lost (no untrusted keys here).
+    live: fxhash::FxHashMap<u64, u64>,
     /// Monotone bump pointer for fake addresses (never reused; real CUDA
     /// addresses are also opaque).
     next_addr: u64,
@@ -136,7 +139,7 @@ impl CudaAllocator {
             malloc_base: spec.malloc_base,
             malloc_per_mib: spec.malloc_per_mib,
             free_base: spec.free_base,
-            live: std::collections::HashMap::new(),
+            live: fxhash::FxHashMap::default(),
             next_addr: 0,
             malloc_calls: 0,
             free_calls: 0,

@@ -365,6 +365,7 @@ impl Timeline {
 
     /// Advance the host thread by `d` (host-side work such as allocator
     /// bookkeeping or `cudaMalloc` latency, which serializes the host).
+    #[inline]
     pub fn advance(&mut self, d: SimTime) {
         self.now += d;
     }

@@ -127,7 +127,11 @@ pub fn transfer_time(bytes: u64, gbps: f64) -> SimTime {
     }
     debug_assert!(gbps > 0.0);
     let ns = (bytes as f64) / (gbps * 1e9) * 1e9;
-    SimTime((ns.round() as u64).max(1))
+    // `(ns + 0.5) as u64` == `ns.round() as u64` for every non-negative ns
+    // this can produce (the one sub-ulp edge below 1.0 is absorbed by the
+    // `.max(1)`), without the libc `round` call this hot path showed up for
+    // in profiles.
+    SimTime(((ns + 0.5) as u64).max(1))
 }
 
 /// Time to execute `flops` floating-point operations at `gflops` *effective*
@@ -138,7 +142,8 @@ pub fn compute_time(flops: u64, gflops: f64) -> SimTime {
     }
     debug_assert!(gflops > 0.0);
     let ns = flops as f64 / gflops;
-    SimTime((ns.round() as u64).max(1))
+    // See `transfer_time` for why this equals `round()` here.
+    SimTime(((ns + 0.5) as u64).max(1))
 }
 
 #[cfg(test)]

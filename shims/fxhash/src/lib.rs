@@ -1,0 +1,137 @@
+//! Offline stand-in for the `rustc-hash`/`fxhash` crates: the Firefox/rustc
+//! "Fx" multiply-and-rotate hash.
+//!
+//! `std`'s default `HashMap` hasher is SipHash-1-3 — a keyed, DoS-resistant
+//! function that costs tens of cycles even for a `u64` key. The maps this
+//! workspace keeps on hot paths (allocation-id tables, admission memo keys,
+//! plan-memo keys) are keyed by small integers or short structs produced
+//! internally, so HashDoS resistance buys nothing and the SipHash setup cost
+//! dominates. Fx hashing is a single multiply + rotate per word, fully
+//! deterministic (no per-process random state), which also keeps anything
+//! iteration-order-dependent reproducible across runs.
+//!
+//! The constant is the golden-ratio multiplier rustc uses
+//! (`0x51_7c_c1_b7_27_22_0a_95` for 64-bit words).
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Seed multiplier (64-bit golden ratio, as in rustc's `FxHasher`).
+const K: u64 = 0x517c_c1b7_2722_0a95;
+
+/// The Fx hasher: one wrapping multiply and a rotate per ingested word.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(K);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(c.try_into().unwrap()));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rem.len()].copy_from_slice(rem);
+            self.add_to_hash(u64::from_le_bytes(tail) ^ rem.len() as u64);
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_u128(&mut self, i: u128) {
+        self.add_to_hash(i as u64);
+        self.add_to_hash((i >> 64) as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+}
+
+/// Deterministic `BuildHasher` for [`FxHasher`] (no per-map random seed).
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// `HashMap` keyed through [`FxHasher`].
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+/// `HashSet` keyed through [`FxHasher`].
+pub type FxHashSet<T> = std::collections::HashSet<T, FxBuildHasher>;
+
+/// Hash one value with a seeded [`FxHasher`] — the workspace's fingerprint
+/// primitive (two different seeds give two near-independent digests).
+pub fn hash_with_seed<T: std::hash::Hash>(value: &T, seed: u64) -> u64 {
+    let mut h = FxHasher { hash: seed };
+    value.hash(&mut h);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_and_set_work() {
+        let mut m: FxHashMap<u64, u64> = FxHashMap::default();
+        for i in 0..1000u64 {
+            m.insert(i, i * 2);
+        }
+        assert_eq!(m.len(), 1000);
+        assert_eq!(m.get(&999), Some(&1998));
+        let s: FxHashSet<u64> = (0..100).collect();
+        assert!(s.contains(&42));
+    }
+
+    #[test]
+    fn hashing_is_deterministic_across_instances() {
+        let a = hash_with_seed(&(17u64, "abc"), 0);
+        let b = hash_with_seed(&(17u64, "abc"), 0);
+        assert_eq!(a, b);
+        // Distinct seeds must decorrelate the digests.
+        assert_ne!(a, hash_with_seed(&(17u64, "abc"), 1));
+        // Distinct values must (overwhelmingly) differ.
+        assert_ne!(a, hash_with_seed(&(18u64, "abc"), 0));
+    }
+
+    #[test]
+    fn sequential_integer_keys_spread() {
+        // The SipHash-replacement claim: sequential u64 keys land in
+        // distinct buckets (no catastrophic clustering of low bits).
+        let hashes: FxHashSet<u64> = (0..4096u64).map(|i| hash_with_seed(&i, 0)).collect();
+        assert_eq!(hashes.len(), 4096);
+    }
+}
