@@ -39,12 +39,13 @@ fn main() {
             "cluster" => sn_bench::cluster(quick),
             "plan" => sn_bench::plan(quick),
             "compile" => sn_bench::compile(quick),
+            "dataparallel" => sn_bench::dataparallel(quick),
             "all" => sn_bench::run_all(quick),
             other => {
                 eprintln!(
                     "unknown experiment '{other}'; known: fig2 fig8 fig10 table1 table2 table3 \
                      fig11 fig12 table4 table5 fig13 fig14 ablation overlap cluster plan compile \
-                     all  (flag: --quick)"
+                     dataparallel all  (flag: --quick)"
                 );
                 std::process::exit(2);
             }

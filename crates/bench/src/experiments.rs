@@ -560,6 +560,7 @@ pub fn run_all(quick: bool) -> String {
         ("cluster", crate::cluster::cluster(quick)),
         ("plan", crate::plan::plan(quick)),
         ("compile", crate::compile::compile(quick)),
+        ("dataparallel", crate::dataparallel::dataparallel(quick)),
     ] {
         out.push_str(&format!(
             "\n==================== {id} ====================\n"

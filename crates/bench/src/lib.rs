@@ -12,6 +12,7 @@
 pub mod ablation;
 pub mod cluster;
 pub mod compile;
+pub mod dataparallel;
 pub mod experiments;
 pub mod overlap;
 pub mod plan;
@@ -20,6 +21,7 @@ pub mod table;
 pub use ablation::run_ablations;
 pub use cluster::cluster;
 pub use compile::compile;
+pub use dataparallel::dataparallel;
 pub use experiments::*;
 pub use overlap::overlap;
 pub use plan::plan;

@@ -17,12 +17,22 @@
 //! dynamic workspace policy and the Tensor Cache shrink their footprint when
 //! memory is scarce. The returned peak is the high-water mark of that exact
 //! adaptive plan, so reserving it is sound by construction.
+//!
+//! Gang replicas reserve the same per-replica plan peak: the group runtime's
+//! collectives stage through `GroupPlan::comm_workspace_bytes`, which is
+//! modeled *outside* the heap pool (that separation is what keeps the peak
+//! byte-identical to the single-device plan). The comm staging is reported,
+//! not reserved — a deployment sizing real NCCL-style ring buffers would
+//! add that fixed figure to each gang replica's reservation.
 
 use std::sync::Mutex;
 
 use fxhash::FxHashMap;
-use sn_runtime::{plan_prediction, plan_prediction_inference, PeakPrediction};
-use sn_sim::DeviceSpec;
+use sn_runtime::{
+    plan_prediction, plan_prediction_inference, GroupConfig, GroupExecutor, Interconnect,
+    PeakPrediction,
+};
+use sn_sim::{DeviceSpec, SimTime};
 
 use crate::job::{JobKind, JobSpec, PolicyPreset, Workload};
 
@@ -81,12 +91,22 @@ impl ProfileKey {
     }
 }
 
+/// Gang measurement key: the replica's profile key extended with the gang
+/// size and the fabric — replica counts can never alias.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct GangKey {
+    profile: ProfileKey,
+    replicas: usize,
+    ic_gbps_bits: u64,
+    ic_latency_ns: u64,
+}
+
 /// Memoizing wrapper around the plan compiler: the cluster loop re-evaluates
 /// queued jobs at every event, but distinct (workload, batch, preset, kind,
 /// capped device) tuples are few, so each prediction compiles at most once.
 /// `None` records "does not fit within this budget".
 ///
-/// The cache is a `Mutex`-guarded Fx-hashed map (the keys are internal
+/// The caches are `Mutex`-guarded Fx-hashed maps (the keys are internal
 /// structs — no untrusted input, no need for SipHash), which makes the
 /// profiler `Sync`: admission sweeps evaluate ladder candidates for many
 /// devices concurrently over the rayon shim, all sharing this memo. A
@@ -95,6 +115,9 @@ impl ProfileKey {
 #[derive(Default)]
 pub struct Profiler {
     cache: Mutex<FxHashMap<ProfileKey, Option<PeakPrediction>>>,
+    /// Measured gang step times: one group execution per distinct
+    /// (workload, batch, preset, capped device, replicas, fabric) tuple.
+    gang: Mutex<FxHashMap<GangKey, Option<SimTime>>>,
 }
 
 impl Profiler {
@@ -161,21 +184,76 @@ impl Profiler {
         self.profile_kind(workload, batch, preset, JobKind::Training, spec, budget)
     }
 
+    /// Measured step time of a `replicas`-wide gang of (`workload`,
+    /// `batch`) under `preset` on `spec` (the *capped* device the replica
+    /// profile was compiled against): compiles the
+    /// [`sn_runtime::GroupPlan`] — whose per-replica bytes are the exact
+    /// plan the reservation came from — and drives the group interpreter
+    /// for a cold and a warm iteration, returning the warm gang step
+    /// (slowest replica + overlapped bucketed all-reduce). Memoized; the
+    /// gang key carries the replica count, so gang sizes never alias.
+    /// `None` means the gang cannot run within the budget.
+    pub fn gang_step_time(
+        &self,
+        workload: Workload,
+        batch: usize,
+        preset: PolicyPreset,
+        replicas: usize,
+        spec: &DeviceSpec,
+        interconnect: Interconnect,
+    ) -> Option<SimTime> {
+        let key = GangKey {
+            profile: ProfileKey::new(workload, batch, preset, JobKind::Training, spec),
+            replicas,
+            ic_gbps_bits: interconnect.gbps.to_bits(),
+            ic_latency_ns: interconnect.latency.0,
+        };
+        if let Some(hit) = self.gang.lock().unwrap().get(&key) {
+            return *hit;
+        }
+        let net = workload.build(batch);
+        let cfg = GroupConfig::new(replicas, interconnect);
+        let result = GroupExecutor::new(&net, spec.clone(), preset.policy(), cfg)
+            .ok()
+            .and_then(|mut gx| {
+                gx.run_iteration().ok()?; // cold (allocator warm-up)
+                let warm = gx.run_iteration().ok()?;
+                debug_assert!(warm.peaks_match, "gang replica diverged from its plan");
+                Some(warm.step_time)
+            });
+        self.gang.lock().unwrap().insert(key, result);
+        result
+    }
+
     /// Number of distinct predictions compiled so far.
     pub fn simulated(&self) -> usize {
         self.cache.lock().unwrap().len()
     }
+
+    /// Number of distinct gang step measurements executed so far.
+    pub fn gangs_measured(&self) -> usize {
+        self.gang.lock().unwrap().len()
+    }
+}
+
+/// One replica's placement: the concrete device, the quantized budget its
+/// plan was compiled against, and the prediction read off that plan. The
+/// budget rides along so gang execution can be measured against the *exact*
+/// capped device the reservation was predicted on.
+#[derive(Debug, Clone)]
+pub struct Placement {
+    pub device: usize,
+    pub budget: u64,
+    pub prediction: PeakPrediction,
 }
 
 /// A successful admission: the preset the job will actually run under (may
-/// be memory-stronger than requested), the chosen devices, and the per-device
-/// reservation + timing profile of each replica.
+/// be memory-stronger than requested) and one [`Placement`] per replica on
+/// distinct devices (gang scheduling).
 #[derive(Debug, Clone)]
 pub struct Grant {
     pub preset: PolicyPreset,
-    /// `(device index, replica profile)` — one entry per replica, distinct
-    /// devices (gang scheduling).
-    pub placements: Vec<(usize, PeakPrediction)>,
+    pub placements: Vec<Placement>,
 }
 
 impl Grant {
@@ -183,7 +261,7 @@ impl Grant {
     pub fn replica_iter_time(&self) -> sn_sim::SimTime {
         self.placements
             .iter()
-            .map(|(_, p)| p.iter_time)
+            .map(|p| p.prediction.iter_time)
             .max()
             .unwrap_or(sn_sim::SimTime::ZERO)
     }
@@ -192,8 +270,16 @@ impl Grant {
     pub fn weight_bytes(&self) -> u64 {
         self.placements
             .first()
-            .map(|(_, p)| p.weight_bytes)
+            .map(|p| p.prediction.weight_bytes)
             .unwrap_or(0)
+    }
+
+    /// The placement that paces the gang (largest predicted iteration
+    /// time; ties break toward the lowest device index for determinism).
+    pub fn slowest(&self) -> Option<&Placement> {
+        self.placements
+            .iter()
+            .min_by_key(|p| (std::cmp::Reverse(p.prediction.iter_time), p.device))
     }
 }
 

@@ -47,10 +47,10 @@ pub mod report;
 pub mod sim;
 pub mod stream;
 
-pub use admission::{feasible_on_idle_fleet, Grant, Profiler};
+pub use admission::{feasible_on_idle_fleet, Grant, Placement, Profiler};
 pub use fleet::Fleet;
 pub use job::{JobKind, JobSpec, PolicyPreset, Workload};
-pub use placement::PlacementPolicy;
+pub use placement::{Candidate, PlacementPolicy};
 pub use report::{ClusterReport, JobOutcome, TraceEvent, TraceKind};
 pub use sim::ClusterSim;
 pub use stream::{mixed_serving_stream, synthetic_stream};

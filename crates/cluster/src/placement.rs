@@ -7,6 +7,20 @@
 
 use sn_runtime::PeakPrediction;
 
+use crate::admission::Placement;
+
+/// A feasible device for one replica: its index, unreserved and reserved
+/// bytes (the sorting keys), the quantized prediction budget, and the
+/// replica profile predicted under that budget.
+#[derive(Debug, Clone)]
+pub struct Candidate {
+    pub device: usize,
+    pub free: u64,
+    pub reserved: u64,
+    pub budget: u64,
+    pub prediction: PeakPrediction,
+}
+
 /// Device-selection strategy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PlacementPolicy {
@@ -36,33 +50,31 @@ impl PlacementPolicy {
         }
     }
 
-    /// Choose `replicas` distinct devices from `candidates` — the feasible
-    /// `(device index, unreserved bytes, reserved bytes, replica profile)`
-    /// tuples. Returns the chosen `(device, profile)` pairs, or `None` if
-    /// fewer than `replicas` devices are feasible (gangs are atomic: all or
-    /// nothing).
-    pub fn choose(
-        self,
-        mut candidates: Vec<(usize, u64, u64, PeakPrediction)>,
-        replicas: usize,
-    ) -> Option<Vec<(usize, PeakPrediction)>> {
+    /// Choose `replicas` distinct devices from the feasible [`Candidate`]s.
+    /// Returns the chosen [`Placement`]s, or `None` if fewer than
+    /// `replicas` devices are feasible (gangs are atomic: all or nothing).
+    pub fn choose(self, mut candidates: Vec<Candidate>, replicas: usize) -> Option<Vec<Placement>> {
         if candidates.len() < replicas {
             return None;
         }
         match self {
-            PlacementPolicy::FirstFit => candidates.sort_by_key(|(idx, ..)| *idx),
+            PlacementPolicy::FirstFit => candidates.sort_by_key(|c| c.device),
             PlacementPolicy::BestFit => {
-                candidates.sort_by_key(|(idx, free, _, p)| (free - p.peak_bytes, *idx))
+                candidates.sort_by_key(|c| (c.free - c.prediction.peak_bytes, c.device))
             }
             PlacementPolicy::BinPack => {
-                candidates.sort_by_key(|(idx, _, reserved, _)| (std::cmp::Reverse(*reserved), *idx))
+                candidates.sort_by_key(|c| (std::cmp::Reverse(c.reserved), c.device))
             }
         }
         Some(
             candidates
                 .into_iter()
                 .take(replicas)
-                .map(|(idx, _, _, p)| (idx, p))
+                .map(|c| Placement {
+                    device: c.device,
+                    budget: c.budget,
+                    prediction: c.prediction,
+                })
                 .collect(),
         )
     }
@@ -81,39 +93,60 @@ mod tests {
         }
     }
 
-    // (device, free, reserved, profile)
-    fn candidates() -> Vec<(usize, u64, u64, PeakPrediction)> {
-        vec![
-            (0, 1000, 0, profile(100)),
-            (1, 300, 700, profile(100)),
-            (2, 500, 500, profile(100)),
-        ]
+    fn candidates() -> Vec<Candidate> {
+        [(0usize, 1000u64, 0u64), (1, 300, 700), (2, 500, 500)]
+            .into_iter()
+            .map(|(device, free, reserved)| Candidate {
+                device,
+                free,
+                reserved,
+                budget: free,
+                prediction: profile(100),
+            })
+            .collect()
     }
 
     #[test]
     fn first_fit_takes_lowest_indices() {
         let got = PlacementPolicy::FirstFit.choose(candidates(), 2).unwrap();
-        assert_eq!(got.iter().map(|(d, _)| *d).collect::<Vec<_>>(), vec![0, 1]);
+        assert_eq!(got.iter().map(|p| p.device).collect::<Vec<_>>(), vec![0, 1]);
     }
 
     #[test]
     fn best_fit_minimizes_leftover() {
         let got = PlacementPolicy::BestFit.choose(candidates(), 1).unwrap();
-        assert_eq!(got[0].0, 1, "300-100 leaves the smallest hole");
+        assert_eq!(got[0].device, 1, "300-100 leaves the smallest hole");
     }
 
     #[test]
     fn bin_pack_prefers_fullest_device() {
         let got = PlacementPolicy::BinPack.choose(candidates(), 1).unwrap();
-        assert_eq!(got[0].0, 1, "device 1 already holds 700 reserved bytes");
+        assert_eq!(
+            got[0].device, 1,
+            "device 1 already holds 700 reserved bytes"
+        );
     }
 
     #[test]
     fn gangs_are_all_or_nothing() {
         assert!(PlacementPolicy::FirstFit.choose(candidates(), 4).is_none());
         let got = PlacementPolicy::BinPack.choose(candidates(), 3).unwrap();
-        let mut devs: Vec<_> = got.iter().map(|(d, _)| *d).collect();
+        let mut devs: Vec<_> = got.iter().map(|p| p.device).collect();
         devs.sort_unstable();
         assert_eq!(devs, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn placements_carry_the_prediction_budget() {
+        // The budget the profile was compiled under must survive placement:
+        // gang step measurement re-caps the device with it.
+        let got = PlacementPolicy::FirstFit.choose(candidates(), 3).unwrap();
+        for p in &got {
+            let want = candidates()
+                .into_iter()
+                .find(|c| c.device == p.device)
+                .unwrap();
+            assert_eq!(p.budget, want.budget);
+        }
     }
 }

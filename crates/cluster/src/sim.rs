@@ -64,6 +64,12 @@ impl ClusterSim {
         }
     }
 
+    /// Distinct gang shapes whose step time was measured by driving the
+    /// group engine (diagnostic; zero for solo-only streams).
+    pub fn gangs_measured(&self) -> usize {
+        self.profiler.gangs_measured()
+    }
+
     /// The admission decision for `job` against the current reservations:
     /// walk the job's preset ladder; under each preset, collect the devices
     /// whose unreserved bytes admit the replica's predicted peak and let the
@@ -80,6 +86,7 @@ impl ClusterSim {
         let indexed: Vec<(usize, &sn_sim::DeviceSpec)> =
             self.fleet.devices.iter().enumerate().collect();
         for preset in ladder_for(job) {
+            use crate::placement::Candidate;
             // Candidate predictions are independent per device; cold ones
             // are swept concurrently over the rayon shim (deterministic:
             // results come back in device order, and the shared profiler
@@ -99,7 +106,13 @@ impl ClusterSim {
                 }
                 self.profiler
                     .profile_kind(job.workload, job.batch, preset, job.kind, spec, budget)
-                    .map(|p| (idx, free, devices[idx].reserved, p))
+                    .map(|p| Candidate {
+                        device: idx,
+                        free,
+                        reserved: devices[idx].reserved,
+                        budget,
+                        prediction: p,
+                    })
             };
             let any_cold = rayon::current_num_threads() > 1
                 && indexed.iter().any(|(idx, spec)| {
@@ -133,17 +146,43 @@ impl ClusterSim {
         None
     }
 
-    /// One gang iteration's solo duration: slowest replica + ring all-reduce
-    /// across the fleet interconnect. Inference replicas serve independent
-    /// batches — no gradients, no all-reduce.
+    /// One gang iteration's solo duration. Gangs (`replicas > 1`) no longer
+    /// multiply an analytic all-reduce term: the profiler compiles the
+    /// job's [`sn_runtime::GroupPlan`] and *runs* the group interpreter on
+    /// the pacing replica's capped device — the measured step already
+    /// overlaps bucketed all-reduce with backward compute, and its
+    /// per-replica peak is byte-identical to the reservation this grant
+    /// holds. Solo training and inference replicas keep the plan's
+    /// analytic estimate (no gradient exchange to measure). The closed
+    /// form survives only as a belt-and-braces fallback for a gang whose
+    /// group execution cannot run (which admission feasibility rules out).
     fn step_time(&self, job: &JobSpec, grant: &Grant) -> SimTime {
-        let sync = match job.kind {
-            crate::job::JobKind::Training => {
-                ring_allreduce_time(grant.weight_bytes(), job.replicas, self.fleet.interconnect)
+        match job.kind {
+            crate::job::JobKind::Training if job.replicas > 1 => {
+                let measured = grant.slowest().and_then(|pace| {
+                    let spec = self.fleet.devices[pace.device]
+                        .clone()
+                        .with_dram(pace.budget);
+                    self.profiler.gang_step_time(
+                        job.workload,
+                        job.batch,
+                        grant.preset,
+                        job.replicas,
+                        &spec,
+                        self.fleet.interconnect,
+                    )
+                });
+                measured.unwrap_or_else(|| {
+                    grant.replica_iter_time()
+                        + ring_allreduce_time(
+                            grant.weight_bytes(),
+                            job.replicas,
+                            self.fleet.interconnect,
+                        )
+                })
             }
-            crate::job::JobKind::Inference => SimTime::ZERO,
-        };
-        grant.replica_iter_time() + sync
+            _ => grant.replica_iter_time(),
+        }
     }
 
     /// Gang slowdown under processor sharing: the most-loaded of its devices
@@ -152,7 +191,7 @@ impl ClusterSim {
         r.grant
             .placements
             .iter()
-            .map(|(d, _)| devices[*d].tenants)
+            .map(|p| devices[p.device].tenants)
             .max()
             .unwrap_or(1)
             .max(1) as f64
@@ -234,9 +273,9 @@ impl ClusterSim {
             running = still_running;
             debug_assert!(done.windows(2).all(|w| w[0].job < w[1].job));
             for r in done {
-                for (d, p) in &r.grant.placements {
-                    devices[*d].reserved -= p.peak_bytes;
-                    devices[*d].tenants -= 1;
+                for p in &r.grant.placements {
+                    devices[p.device].reserved -= p.prediction.peak_bytes;
+                    devices[p.device].tenants -= 1;
                 }
                 outcomes[r.job].completion = Some(SimTime(now_ns.round() as u64));
                 trace.push(TraceEvent {
@@ -274,24 +313,28 @@ impl ClusterSim {
                     Some(grant) => {
                         let step = self.step_time(job, &grant);
                         let work_ns = step.0 as f64 * job.iterations as f64;
-                        for (d, p) in &grant.placements {
-                            devices[*d].reserved += p.peak_bytes;
-                            devices[*d].tenants += 1;
-                            devices[*d].peak_reserved =
-                                devices[*d].peak_reserved.max(devices[*d].reserved);
-                            devices[*d].peak_tenants =
-                                devices[*d].peak_tenants.max(devices[*d].tenants);
+                        for p in &grant.placements {
+                            let d = p.device;
+                            devices[d].reserved += p.prediction.peak_bytes;
+                            devices[d].tenants += 1;
+                            devices[d].peak_reserved =
+                                devices[d].peak_reserved.max(devices[d].reserved);
+                            devices[d].peak_tenants =
+                                devices[d].peak_tenants.max(devices[d].tenants);
                             debug_assert!(
-                                devices[*d].reserved <= self.fleet.devices[*d].dram_bytes,
+                                devices[d].reserved <= self.fleet.devices[d].dram_bytes,
                                 "reservation exceeds device {d} DRAM"
                             );
                         }
                         let out = &mut outcomes[job_idx];
                         out.started = Some(SimTime(now_ns.round() as u64));
                         out.granted = Some(grant.preset);
-                        out.devices = grant.placements.iter().map(|(d, _)| *d).collect();
-                        out.reservations =
-                            grant.placements.iter().map(|(_, p)| p.peak_bytes).collect();
+                        out.devices = grant.placements.iter().map(|p| p.device).collect();
+                        out.reservations = grant
+                            .placements
+                            .iter()
+                            .map(|p| p.prediction.peak_bytes)
+                            .collect();
                         trace.push(TraceEvent {
                             t_ns: now_ns.round() as u64,
                             job: job.name.clone(),

@@ -132,6 +132,77 @@ fn gang_replicas_start_atomically_on_distinct_devices() {
 }
 
 #[test]
+fn gang_jobs_run_through_the_group_engine() {
+    // Since the device-group lift, gang step times are *measured* by
+    // compiling a GroupPlan and driving the group interpreter — not by
+    // multiplying an analytic all-reduce term. The profiler records one
+    // group measurement per distinct gang shape; solo-only streams record
+    // none.
+    let gang_stream = vec![
+        (
+            sn_sim::SimTime::ZERO,
+            JobSpec::new(
+                "gang2",
+                Workload::Synthetic {
+                    width: 16,
+                    depth: 3,
+                },
+                16,
+            )
+            .with_replicas(2),
+        ),
+        (
+            sn_sim::SimTime::ZERO,
+            JobSpec::new(
+                "gang4",
+                Workload::Synthetic {
+                    width: 16,
+                    depth: 3,
+                },
+                16,
+            )
+            .with_replicas(4),
+        ),
+        (
+            sn_sim::SimTime::ZERO,
+            JobSpec::new("solo", Workload::LeNet, 8),
+        ),
+    ];
+    let mut sim = ClusterSim::new(fleet8(256 * MB), PlacementPolicy::FirstFit);
+    let report = sim.run(gang_stream);
+    assert_eq!(report.completed, 3);
+    assert_eq!(
+        sim.gangs_measured(),
+        2,
+        "each gang shape must be measured through the group engine exactly once"
+    );
+
+    // A gang's runtime must exceed a solo twin's: the collective is real
+    // work the measured step includes.
+    let solo = JobSpec::new(
+        "one",
+        Workload::Synthetic {
+            width: 16,
+            depth: 3,
+        },
+        16,
+    );
+    let gang = solo.clone().with_replicas(4);
+    let runtime = |job: JobSpec| {
+        let mut sim = ClusterSim::new(fleet8(256 * MB), PlacementPolicy::FirstFit);
+        let report = sim.run(vec![(sn_sim::SimTime::ZERO, job)]);
+        let j = report.jobs.iter().find(|j| j.name == "one").unwrap();
+        j.completion.unwrap() - j.started.unwrap()
+    };
+    let t_solo = runtime(solo);
+    let t_gang = runtime(gang);
+    assert!(
+        t_gang > t_solo,
+        "gang {t_gang} must pay for its gradient exchange vs solo {t_solo}"
+    );
+}
+
+#[test]
 fn superneurons_preset_admits_more_tenants_than_baseline() {
     // Same fleet, same job stream; the only difference is the requested
     // memory policy (downgrade disabled so the request is binding).

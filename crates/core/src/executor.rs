@@ -178,8 +178,9 @@ pub struct Executor<'n> {
     pub cost: std::sync::Arc<NetCost>,
     pub plan: std::sync::Arc<LivenessPlan>,
     pub rplan: std::sync::Arc<RecomputePlan>,
-    /// The compiled schedule this executor interprets.
-    pub mplan: MemoryPlan,
+    /// The compiled schedule this executor interprets — `Arc`-shared with
+    /// the plan memo and with the sibling replicas of a device group.
+    pub mplan: std::sync::Arc<MemoryPlan>,
     pub policy: Policy,
     pub dev: Device,
     utp: Utp,
@@ -193,6 +194,11 @@ pub struct Executor<'n> {
     pub counters: Counters,
     backend: Option<Box<dyn ComputeBackend>>,
     iter: u64,
+    /// Virtual time / allocator counters at [`Executor::begin_iteration`],
+    /// differenced by [`Executor::finish_iteration`].
+    iter_t_start: SimTime,
+    iter_alloc_time0: SimTime,
+    iter_alloc_calls0: u64,
 }
 
 impl<'n> Executor<'n> {
@@ -213,7 +219,7 @@ impl<'n> Executor<'n> {
         Executor::from_compiled(net, spec, policy, compiled)
     }
 
-    fn from_compiled(
+    pub(crate) fn from_compiled(
         net: &'n Net,
         spec: DeviceSpec,
         policy: Policy,
@@ -264,6 +270,9 @@ impl<'n> Executor<'n> {
             counters: Counters::default(),
             backend: None,
             iter: 0,
+            iter_t_start: SimTime::ZERO,
+            iter_alloc_time0: SimTime::ZERO,
+            iter_alloc_calls0: 0,
         })
     }
 
@@ -413,6 +422,11 @@ impl<'n> Executor<'n> {
                     self.dev.free_charged(g);
                 }
             }
+            PlanOp::Collective { .. } => {
+                // Single-device plans never contain collectives; the group
+                // interpreter schedules them around the replica stream.
+                unreachable!("collective op in a single-device plan")
+            }
         }
         Ok(())
     }
@@ -423,11 +437,25 @@ impl<'n> Executor<'n> {
 
     /// Replay the plan for one iteration; returns the measured report.
     pub fn run_iteration(&mut self) -> Result<IterationReport, ExecError> {
+        self.begin_iteration();
+        let total = self.route.total_steps();
+        for s in 0..total {
+            self.run_step(s)?;
+        }
+        self.finish_iteration()
+    }
+
+    /// Open a new iteration: reset residency and statistics, snapshot the
+    /// counters [`Executor::finish_iteration`] will difference. The group
+    /// interpreter uses this begin/step/finish decomposition to interleave
+    /// replicas at step granularity; [`Executor::run_iteration`] is the
+    /// single-device composition of the three.
+    pub(crate) fn begin_iteration(&mut self) {
         self.iter += 1;
         self.reset_iteration_state();
-        let t_start = self.dev.tl.now();
-        let alloc_time0 = self.dev.alloc_time;
-        let alloc_calls0 = self.dev.alloc_calls;
+        self.iter_t_start = self.dev.tl.now();
+        self.iter_alloc_time0 = self.dev.alloc_time;
+        self.iter_alloc_calls0 = self.dev.alloc_calls;
         self.dev.tl.reset_stats();
         self.dev.alloc.reset_high_water();
         self.counters = self.mplan.predicted;
@@ -436,12 +464,12 @@ impl<'n> Executor<'n> {
         if let Some(b) = self.backend.as_mut() {
             b.begin_iteration(self.iter);
         }
+    }
 
+    /// Close the iteration opened by [`Executor::begin_iteration`]: drain
+    /// every stream, apply the end-of-iteration ops, and cut the report.
+    pub(crate) fn finish_iteration(&mut self) -> Result<IterationReport, ExecError> {
         let total = self.route.total_steps();
-        for s in 0..total {
-            self.run_step(s)?;
-        }
-
         // Drain DMA engines so trailing offloads are charged to this
         // iteration, then release anything whose consumers have all run.
         self.dev.tl.sync_all();
@@ -454,13 +482,13 @@ impl<'n> Executor<'n> {
         let stats = self.dev.tl.stats();
         let overlap = self.dev.tl.overlap();
         let report = IterationReport {
-            iter_time: self.dev.tl.now() - t_start,
+            iter_time: self.dev.tl.now() - self.iter_t_start,
             peak_bytes: self.dev.alloc.high_water(),
             h2d_bytes: stats.h2d_bytes,
             d2h_bytes: stats.d2h_bytes,
             counters: self.counters,
-            alloc_time: self.dev.alloc_time - alloc_time0,
-            alloc_calls: self.dev.alloc_calls - alloc_calls0,
+            alloc_time: self.dev.alloc_time - self.iter_alloc_time0,
+            alloc_calls: self.dev.alloc_calls - self.iter_alloc_calls0,
             stall: stats.stall,
             compute_busy: overlap.compute_busy,
             transfer_busy: overlap.transfer_busy,
@@ -486,7 +514,7 @@ impl<'n> Executor<'n> {
         }
     }
 
-    fn run_step(&mut self, s: usize) -> Result<(), ExecError> {
+    pub(crate) fn run_step(&mut self, s: usize) -> Result<(), ExecError> {
         let layer_id = self.mplan.steps[s].layer;
         let phase = self.mplan.steps[s].phase;
         let duration = self.mplan.steps[s].duration;

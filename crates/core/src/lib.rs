@@ -43,6 +43,7 @@
 pub mod convalgo;
 pub mod device;
 pub mod executor;
+pub mod group;
 pub mod numeric;
 pub mod parallel;
 pub mod plan;
@@ -56,8 +57,13 @@ pub mod utp;
 pub use convalgo::{select_algo, AlgoChoice, ConvAlgo};
 pub use device::{AllocatorImpl, Device};
 pub use executor::{ComputeBackend, Counters, ExecError, Executor, IterationReport};
+pub use group::{
+    compile_group, compile_group_memo, GradBucket, GroupConfig, GroupExecutor,
+    GroupIterationReport, GroupPlan,
+};
 pub use parallel::{
-    ring_allreduce_time, ring_allreduce_wire_bytes, DataParallel, Interconnect, ParallelReport,
+    bucket_wire_bytes, ring_allreduce_time, ring_allreduce_wire_bytes, ring_wire_time,
+    DataParallel, Interconnect, ParallelReport,
 };
 pub use plan::{CompiledPlan, MemoryPlan, PlanOp, StepPlan, TensorLifetime, WorkspacePlan};
 pub use policy::{AllocatorKind, CachePolicy, Policy, RecomputeMode, WorkspacePolicy};

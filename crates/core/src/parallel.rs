@@ -72,8 +72,40 @@ pub fn ring_allreduce_time(grad_bytes: u64, gpus: usize, interconnect: Interconn
         return SimTime::ZERO;
     }
     let wire_bytes = ring_allreduce_wire_bytes(grad_bytes, gpus);
+    ring_wire_time(wire_bytes, gpus, interconnect)
+}
+
+/// Wire time for `wire_bytes` already expressed in on-the-wire terms (e.g. a
+/// [`bucket_wire_bytes`] entry): bandwidth term plus the ring's `2·(k−1)`
+/// message latencies. Zero for a single replica.
+pub fn ring_wire_time(wire_bytes: u64, gpus: usize, interconnect: Interconnect) -> SimTime {
+    if gpus <= 1 {
+        return SimTime::ZERO;
+    }
     sn_sim::time::transfer_time(wire_bytes, interconnect.gbps)
         + SimTime(interconnect.latency.0 * 2 * (gpus as u64 - 1))
+}
+
+/// Per-bucket wire bytes for a bucketed ring all-reduce, pinned to the
+/// closed form: bucket `i` is charged
+/// `W(b_0+…+b_i) − W(b_0+…+b_{i−1})` where `W` is
+/// [`ring_allreduce_wire_bytes`]. The telescoping sum makes
+/// `Σ bucket wire bytes == W(Σ bucket bytes)` **exactly**, for every `k` and
+/// every bucket split — rounding each bucket independently would drift by up
+/// to half a byte per bucket (the same truncation class PR 2 fixed in `W`
+/// itself). Each entry still differs from its own closed form by at most
+/// one byte.
+pub fn bucket_wire_bytes(bucket_bytes: &[u64], gpus: usize) -> Vec<u64> {
+    let mut out = Vec::with_capacity(bucket_bytes.len());
+    let mut prefix = 0u64;
+    let mut prev_wire = 0u64;
+    for &b in bucket_bytes {
+        prefix += b;
+        let wire = ring_allreduce_wire_bytes(prefix, gpus);
+        out.push(wire - prev_wire);
+        prev_wire = wire;
+    }
+    out
 }
 
 /// A data-parallel training configuration.
@@ -269,6 +301,68 @@ mod tests {
             assert!(w < 2 * (1 << 20));
             assert!(w >= (1 << 20), "k={k} moved only {w} bytes");
         }
+    }
+
+    #[test]
+    fn bucket_wire_bytes_sum_to_the_closed_form() {
+        // The bucketed schedule must charge exactly the closed-form volume,
+        // for every replica count the dataparallel bench sweeps and then
+        // some — including splits that would drift under independent
+        // per-bucket rounding.
+        let splits: [&[u64]; 5] = [
+            &[1_000],
+            &[1_000, 1_000],
+            &[1_001, 999, 7],
+            &[1, 1, 1, 1, 1],
+            &[12_345, 678, 90_123, 4],
+        ];
+        for k in 2..=8usize {
+            for split in splits {
+                let buckets = bucket_wire_bytes(split, k);
+                assert_eq!(buckets.len(), split.len());
+                let total: u64 = split.iter().sum();
+                assert_eq!(
+                    buckets.iter().sum::<u64>(),
+                    ring_allreduce_wire_bytes(total, k),
+                    "k={k} split={split:?}"
+                );
+                // Each bucket stays within one byte of its own closed form.
+                for (b, w) in split.iter().zip(&buckets) {
+                    let exact = ring_allreduce_wire_bytes(*b, k);
+                    assert!(
+                        w.abs_diff(exact) <= 1,
+                        "k={k} bucket {b}: charged {w} vs exact {exact}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bucket_wire_bytes_pin_the_small_k_rounding_cases() {
+        // The PR 2 rounding pins, rechecked through the bucketed path: a
+        // single bucket is charged exactly the rounded closed form.
+        assert_eq!(bucket_wire_bytes(&[1_000], 2), vec![1_000]);
+        assert_eq!(bucket_wire_bytes(&[1_000], 4), vec![1_500]);
+        assert_eq!(bucket_wire_bytes(&[1_001], 3), vec![1_335]); // not 1334
+        assert_eq!(bucket_wire_bytes(&[1], 5), vec![2]); // not 1
+                                                         // Split the 1001-byte case: the telescoping charge keeps the total
+                                                         // pinned even though neither half rounds to its own closed form sum.
+        let halves = bucket_wire_bytes(&[500, 501], 3);
+        assert_eq!(halves.iter().sum::<u64>(), 1_335);
+        // A single replica moves nothing, bucketed or not.
+        assert_eq!(bucket_wire_bytes(&[1_000, 2_000], 1), vec![0, 0]);
+    }
+
+    #[test]
+    fn ring_wire_time_agrees_with_the_closed_form_total() {
+        let ic = Interconnect::pcie();
+        for k in 2..=8usize {
+            let total = ring_allreduce_time(1 << 20, k, ic);
+            let wire = ring_allreduce_wire_bytes(1 << 20, k);
+            assert_eq!(ring_wire_time(wire, k, ic), total);
+        }
+        assert_eq!(ring_wire_time(1 << 20, 1, ic), SimTime::ZERO);
     }
 
     #[test]

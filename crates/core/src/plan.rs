@@ -100,6 +100,15 @@ pub enum PlanOp {
     AllocTransient(u64),
     /// Release the step's workspace + transient buffer.
     FreeTransients,
+    /// Launch gradient bucket `bucket` (`bytes` of weight gradients) on the
+    /// device group's ring — a [`crate::group::GroupPlan`] schedule entry.
+    /// Never present in a single-device plan's op stream: per-replica plans
+    /// stay byte-identical to their single-device compilation, and the
+    /// group interpreter schedules collectives *around* the replica stream
+    /// (they draw on the separately-accounted comm workspace, not the heap
+    /// pool). The op exists so the rendered plan format covers collectives
+    /// — `GroupPlan::render` interleaves these lines at their gating steps.
+    Collective { bucket: u32, bytes: u64 },
 }
 
 /// The workspace decision for one CONV step (Fig. 12's record).
@@ -238,23 +247,30 @@ impl MemoryPlan {
         SimTime::from_ns(ns)
     }
 
+    /// One op in the on-disk debug format (shared with `GroupPlan::render`,
+    /// which interleaves `Collective` lines at their gating steps). This
+    /// vocabulary is round-trip-stable: tests diff rendered plans across
+    /// implementations and PRs.
+    pub(crate) fn op_str(op: &PlanOp) -> String {
+        match op {
+            PlanOp::Alloc(t) => format!("alloc t{}", t.0),
+            PlanOp::Fetch(t) => format!("fetch t{}", t.0),
+            PlanOp::Offload { t, evict: true } => format!("evict-offload t{}", t.0),
+            PlanOp::Offload { t, evict: false } => format!("offload t{}", t.0),
+            PlanOp::ReleaseDevice(t) => format!("release t{}", t.0),
+            PlanOp::Free(t) => format!("free t{}", t.0),
+            PlanOp::Recompute(l) => format!("recompute L{}", l.0),
+            PlanOp::AllocWorkspace(b) => format!("ws+{b}"),
+            PlanOp::AllocTransient(b) => format!("tr+{b}"),
+            PlanOp::FreeTransients => "tr-".into(),
+            PlanOp::Collective { bucket, bytes } => format!("allreduce b{bucket}:{bytes}"),
+        }
+    }
+
     /// The on-disk debug format: a line per step with its ops, then the
     /// peak/lifetime summary. Stable enough to diff across PRs.
     pub fn render(&self, net: &Net) -> String {
-        fn op_str(op: &PlanOp) -> String {
-            match op {
-                PlanOp::Alloc(t) => format!("alloc t{}", t.0),
-                PlanOp::Fetch(t) => format!("fetch t{}", t.0),
-                PlanOp::Offload { t, evict: true } => format!("evict-offload t{}", t.0),
-                PlanOp::Offload { t, evict: false } => format!("offload t{}", t.0),
-                PlanOp::ReleaseDevice(t) => format!("release t{}", t.0),
-                PlanOp::Free(t) => format!("free t{}", t.0),
-                PlanOp::Recompute(l) => format!("recompute L{}", l.0),
-                PlanOp::AllocWorkspace(b) => format!("ws+{b}"),
-                PlanOp::AllocTransient(b) => format!("tr+{b}"),
-                PlanOp::FreeTransients => "tr-".into(),
-            }
-        }
+        let op_str = Self::op_str;
         let mut out = format!(
             "MemoryPlan[{}] {} steps, {} ops, peak {} bytes @step {}, weights {}\n",
             if self.inference {
@@ -299,15 +315,17 @@ impl MemoryPlan {
 
 /// Everything a compilation produces: the graph-derived inputs (route,
 /// costs, liveness, recomputation segments) plus the [`MemoryPlan`] built
-/// from them. The analyses are `Arc`-shared — they depend only on the net
-/// and a few policy bits, so one copy serves a whole admission ladder.
+/// from them. Every field is `Arc`-shared — the analyses because they
+/// depend only on the net and a few policy bits (one copy serves a whole
+/// admission ladder), the plan so that cloning a `CompiledPlan` (e.g. one
+/// interpreter per device-group replica) never copies the op stream.
 #[derive(Debug, Clone)]
 pub struct CompiledPlan {
     pub route: Arc<Route>,
     pub cost: Arc<NetCost>,
     pub liveness: Arc<LivenessPlan>,
     pub rplan: Arc<RecomputePlan>,
-    pub plan: MemoryPlan,
+    pub plan: Arc<MemoryPlan>,
 }
 
 // ---------------------------------------------------------------------
@@ -413,7 +431,7 @@ fn effective_recompute_mode(policy: Policy, inference: bool) -> RecomputeMode {
 /// evictions and workspaces to `dram_bytes`, so a plan compiled for one cap
 /// must never be served for another.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
-struct PlanKey {
+pub(crate) struct PlanKey {
     fp: (u64, u64),
     inference: bool,
     policy: Policy,
@@ -431,7 +449,7 @@ struct PlanKey {
 }
 
 impl PlanKey {
-    fn new(net: &Net, spec: &DeviceSpec, policy: Policy, inference: bool) -> PlanKey {
+    pub(crate) fn new(net: &Net, spec: &DeviceSpec, policy: Policy, inference: bool) -> PlanKey {
         PlanKey {
             fp: net.fingerprint(),
             inference,
@@ -616,7 +634,7 @@ pub fn compile_reference(
         cost: a.cost,
         liveness: a.liveness,
         rplan: a.rplan,
-        plan,
+        plan: Arc::new(plan),
     })
 }
 
@@ -633,7 +651,7 @@ fn compile_inner(
         cost: a.cost,
         liveness: a.liveness,
         rplan: a.rplan,
-        plan,
+        plan: Arc::new(plan),
     })
 }
 

@@ -392,6 +392,52 @@ mod tests {
         assert_eq!(net.layer(f).out_shape, Shape4::flat(3, 7));
     }
 
+    /// A small builder parameterized so each test case perturbs exactly one
+    /// structural property.
+    fn tower(batch: usize, ch: usize, kernel: usize, acts: usize, name: &str) -> Net {
+        let mut net = Net::new(name, Shape4::new(batch, 3, 16, 16));
+        let mut prev = net.data();
+        let c = net.conv(prev, ch, kernel, 1, kernel / 2);
+        prev = c;
+        for _ in 0..acts {
+            prev = net.relu(prev);
+        }
+        let f = net.fc(prev, 10);
+        net.softmax(f);
+        net
+    }
+
+    #[test]
+    fn fingerprint_is_stable_for_equal_nets() {
+        // Two independent constructions of the same structure digest equal —
+        // the group memo key (fingerprint, policy, device, replicas) relies
+        // on this to share gang compilations across identical jobs.
+        let a = tower(8, 16, 3, 1, "a");
+        let b = tower(8, 16, 3, 1, "a");
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        // Repeated calls are stable (no interior mutation).
+        assert_eq!(a.fingerprint(), a.fingerprint());
+        // The name is deliberately excluded: renaming changes nothing the
+        // planner would do.
+        let renamed = tower(8, 16, 3, 1, "something-else");
+        assert_eq!(a.fingerprint(), renamed.fingerprint());
+    }
+
+    #[test]
+    fn single_layer_perturbations_change_the_fingerprint() {
+        let base = tower(8, 16, 3, 1, "t").fingerprint();
+        // One changed parameter anywhere — batch, a layer's channel count,
+        // a kernel size, or one extra layer — must produce a different
+        // 128-bit digest.
+        assert_ne!(base, tower(16, 16, 3, 1, "t").fingerprint(), "batch");
+        assert_ne!(base, tower(8, 32, 3, 1, "t").fingerprint(), "channels");
+        assert_ne!(base, tower(8, 16, 5, 1, "t").fingerprint(), "kernel");
+        assert_ne!(base, tower(8, 16, 3, 2, "t").fingerprint(), "extra layer");
+        // Rewiring with identical layer multiset: fan vs chain.
+        let fan = fan_net().fingerprint();
+        assert_ne!(base, fan, "wiring");
+    }
+
     #[test]
     fn fan_out_is_observable() {
         let net = fan_net();

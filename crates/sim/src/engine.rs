@@ -29,6 +29,12 @@ pub enum EngineKind {
     H2D,
     /// Device→host DMA engine (offload).
     D2H,
+    /// Inter-GPU link port (NVLink/PCIe peer): the queue a device's
+    /// collective operations serialize on. Not a canonical stream — group
+    /// runtimes add one per device — and accounted separately from PCIe
+    /// traffic (`link_bytes`/`link_busy`), so data-parallel gradient
+    /// exchange never perturbs the paper's Table 3 transfer numbers.
+    Link,
 }
 
 /// Direction of a DMA transfer, for accounting.
@@ -115,12 +121,18 @@ pub struct TimelineStats {
     pub h2d_bytes: u64,
     /// Bytes moved device→host.
     pub d2h_bytes: u64,
+    /// Bytes this device moved over its inter-GPU link (collectives) —
+    /// deliberately *not* part of [`TimelineStats::total_traffic`], which
+    /// reports PCIe traffic only.
+    pub link_bytes: u64,
     /// Total busy time of compute streams.
     pub compute_busy: SimTime,
     /// Total busy time of H2D streams.
     pub h2d_busy: SimTime,
     /// Total busy time of D2H streams.
     pub d2h_busy: SimTime,
+    /// Total busy time of inter-GPU link streams.
+    pub link_busy: SimTime,
     /// Time the *caller* spent blocked waiting on events (stalls that the
     /// overlap machinery failed to hide).
     pub stall: SimTime,
@@ -208,6 +220,7 @@ pub struct Timeline {
     streams: Vec<Stream>,
     h2d_bytes: u64,
     d2h_bytes: u64,
+    link_bytes: u64,
     stall: SimTime,
 }
 
@@ -229,6 +242,7 @@ impl Timeline {
             ],
             h2d_bytes: 0,
             d2h_bytes: 0,
+            link_bytes: 0,
             stall: SimTime::ZERO,
         }
     }
@@ -244,12 +258,15 @@ impl Timeline {
         self.streams.len()
     }
 
-    /// The canonical stream for a kind.
+    /// The canonical stream for a kind. Link streams have no canonical
+    /// slot — a device may have zero or several link ports, added via
+    /// [`Timeline::add_stream`].
     pub fn canonical(kind: EngineKind) -> StreamId {
         match kind {
             EngineKind::Compute => StreamId::COMPUTE,
             EngineKind::H2D => StreamId::H2D,
             EngineKind::D2H => StreamId::D2H,
+            EngineKind::Link => panic!("link streams have no canonical id; use add_stream"),
         }
     }
 
@@ -308,12 +325,26 @@ impl Timeline {
     /// Submit a DMA transfer of `bytes` at `gbps` on `stream` (which must be
     /// a transfer stream; its kind determines the accounting direction).
     pub fn transfer_on(&mut self, stream: StreamId, bytes: u64, gbps: f64, gates: &[Event]) -> Dma {
+        let duration = crate::time::transfer_time(bytes, gbps);
+        self.submit_timed_transfer(stream, bytes, duration, gates)
+    }
+
+    /// Submit a transfer of `bytes` with an explicit `duration` (used for
+    /// collectives, whose wire time includes per-hop latencies the bandwidth
+    /// formula cannot express). Accounting follows the stream's kind.
+    pub fn submit_timed_transfer(
+        &mut self,
+        stream: StreamId,
+        bytes: u64,
+        duration: SimTime,
+        gates: &[Event],
+    ) -> Dma {
         match self.streams[stream.0].kind {
             EngineKind::H2D => self.h2d_bytes += bytes,
             EngineKind::D2H => self.d2h_bytes += bytes,
+            EngineKind::Link => self.link_bytes += bytes,
             EngineKind::Compute => panic!("transfer submitted to a compute stream"),
         }
-        let duration = crate::time::transfer_time(bytes, gbps);
         let event = self.submit_on(stream, duration, gates);
         Dma { event, bytes }
     }
@@ -411,6 +442,7 @@ impl Timeline {
         let mut s = TimelineStats {
             h2d_bytes: self.h2d_bytes,
             d2h_bytes: self.d2h_bytes,
+            link_bytes: self.link_bytes,
             stall: self.stall,
             ..TimelineStats::default()
         };
@@ -422,28 +454,69 @@ impl Timeline {
                 }
                 EngineKind::H2D => s.h2d_busy += st.busy_total,
                 EngineKind::D2H => s.d2h_busy += st.busy_total,
+                EngineKind::Link => s.link_busy += st.busy_total,
             }
         }
         s
     }
 
-    /// Compute/transfer overlap since the last stats reset, from the
-    /// per-stream busy timelines.
+    fn overlap_of(&self, a: impl Fn(&Stream) -> bool, b: impl Fn(&Stream) -> bool) -> OverlapStats {
+        let left: Vec<&[(u64, u64)]> = self
+            .streams
+            .iter()
+            .filter(|s| a(s))
+            .map(|s| s.intervals.as_slice())
+            .collect();
+        let right: Vec<&[(u64, u64)]> = self
+            .streams
+            .iter()
+            .filter(|s| b(s))
+            .map(|s| s.intervals.as_slice())
+            .collect();
+        let cu = union_spans(&left);
+        let tu = union_spans(&right);
+        OverlapStats {
+            compute_busy: SimTime::from_ns(span_len(&cu)),
+            transfer_busy: SimTime::from_ns(span_len(&tu)),
+            overlapped: SimTime::from_ns(intersect_len(&cu, &tu)),
+        }
+    }
+
+    /// Compute/PCIe-transfer overlap since the last stats reset, from the
+    /// per-stream busy timelines. Link (collective) streams are excluded —
+    /// they have their own query, [`Timeline::link_overlap`] — so the
+    /// single-device offload/prefetch numbers are unchanged by the presence
+    /// of a link port.
     pub fn overlap(&self) -> OverlapStats {
-        let compute: Vec<&[(u64, u64)]> = self
-            .streams
+        self.overlap_of(
+            |s| s.kind == EngineKind::Compute,
+            |s| matches!(s.kind, EngineKind::H2D | EngineKind::D2H),
+        )
+    }
+
+    /// Compute/collective overlap: how much inter-GPU link time was hidden
+    /// under kernels (`transfer_busy`/`overlapped` refer to link spans).
+    pub fn link_overlap(&self) -> OverlapStats {
+        self.overlap_of(
+            |s| s.kind == EngineKind::Compute,
+            |s| s.kind == EngineKind::Link,
+        )
+    }
+
+    /// Overlap between two explicit stream sets: union of `a`'s busy spans
+    /// (reported as `compute_busy`) against the union of `b`'s (reported as
+    /// `transfer_busy`).
+    pub fn overlap_between(&self, a: &[StreamId], b: &[StreamId]) -> OverlapStats {
+        let left: Vec<&[(u64, u64)]> = a
             .iter()
-            .filter(|s| s.kind == EngineKind::Compute)
-            .map(|s| s.intervals.as_slice())
+            .map(|id| self.streams[id.0].intervals.as_slice())
             .collect();
-        let transfer: Vec<&[(u64, u64)]> = self
-            .streams
+        let right: Vec<&[(u64, u64)]> = b
             .iter()
-            .filter(|s| s.kind != EngineKind::Compute)
-            .map(|s| s.intervals.as_slice())
+            .map(|id| self.streams[id.0].intervals.as_slice())
             .collect();
-        let cu = union_spans(&compute);
-        let tu = union_spans(&transfer);
+        let cu = union_spans(&left);
+        let tu = union_spans(&right);
         OverlapStats {
             compute_busy: SimTime::from_ns(span_len(&cu)),
             transfer_busy: SimTime::from_ns(span_len(&tu)),
@@ -457,6 +530,7 @@ impl Timeline {
     pub fn reset_stats(&mut self) {
         self.h2d_bytes = 0;
         self.d2h_bytes = 0;
+        self.link_bytes = 0;
         self.stall = SimTime::ZERO;
         for s in &mut self.streams {
             s.busy_total = SimTime::ZERO;

@@ -1,0 +1,317 @@
+//! The device group: N per-device timelines plus the inter-GPU fabric.
+//!
+//! Data-parallel training runs one replica per device and synchronizes
+//! gradients with collectives (ring all-reduce). Two properties of real
+//! multi-GPU hardware matter to the runtime and are modeled here:
+//!
+//! * **Lockstep collectives** — a ring all-reduce cannot begin until *every*
+//!   participant's payload is ready and every link port is free, and it
+//!   completes on all participants at the same instant. [`group_collective`]
+//!   computes that common start from cross-device [`Event`]s (an `Event` is
+//!   just a completion time, so events from one device's timeline gate
+//!   submissions on another's) and submits the wire time to each device's
+//!   link stream, returning the shared completion event.
+//! * **Per-device serialization** — each device owns one link port (an
+//!   [`EngineKind::Link`] stream): successive collectives queue behind each
+//!   other per device, exactly like kernels on a compute stream, which is
+//!   what makes bucketed all-reduce overlap backward compute without ever
+//!   reordering buckets.
+//!
+//! [`GroupEngine`] is the canonical owner of a group's timelines (used by
+//! tests and by standalone group simulations); the runtime's group
+//! interpreter implements [`DeviceGroup`] over the timelines its per-replica
+//! executors already own, so both drive the identical fabric code.
+
+use crate::engine::{EngineKind, Event, OverlapStats, StreamId, Timeline, TimelineStats};
+use crate::time::SimTime;
+
+/// Access to a group of device timelines and their link ports. The fabric
+/// functions ([`group_collective`], [`group_sync`], [`group_now`]) are
+/// generic over this, so a group can be the owning [`GroupEngine`] or any
+/// structure (e.g. a vector of executors) that embeds one timeline per
+/// device.
+pub trait DeviceGroup {
+    /// Number of devices in the group.
+    fn group_len(&self) -> usize;
+    /// Device `i`'s timeline.
+    fn timeline(&self, i: usize) -> &Timeline;
+    /// Device `i`'s timeline, mutably.
+    fn timeline_mut(&mut self, i: usize) -> &mut Timeline;
+    /// Device `i`'s link-port stream (an [`EngineKind::Link`] stream on its
+    /// timeline).
+    fn link_stream(&self, i: usize) -> StreamId;
+}
+
+/// Submit one collective of `duration` moving `wire_bytes` per participant,
+/// gated on `ready` (typically one gradient-ready event per device — events
+/// may come from *any* device's streams). The collective starts when the
+/// last ready event has completed AND every device's link port is free AND
+/// every host clock has reached the start; it completes simultaneously on
+/// every device. Returns the common completion event.
+pub fn group_collective<G: DeviceGroup + ?Sized>(
+    g: &mut G,
+    duration: SimTime,
+    wire_bytes: u64,
+    ready: &[Event],
+) -> Event {
+    let n = g.group_len();
+    assert!(n > 0, "collective on an empty device group");
+    // The lockstep start: last gradient, busiest link port, furthest clock.
+    let mut start = ready
+        .iter()
+        .map(|e| e.done_at)
+        .fold(SimTime::ZERO, SimTime::max);
+    for i in 0..n {
+        let tl = g.timeline(i);
+        start = start
+            .max(tl.now())
+            .max(tl.stream_frontier(g.link_stream(i)));
+    }
+    let mut done = Event {
+        done_at: start + duration,
+        stream: g.link_stream(0),
+    };
+    for i in 0..n {
+        let link = g.link_stream(i);
+        let gate = Event {
+            done_at: start,
+            stream: link,
+        };
+        let dma = g
+            .timeline_mut(i)
+            .submit_timed_transfer(link, wire_bytes, duration, &[gate]);
+        debug_assert_eq!(
+            dma.event.done_at, done.done_at,
+            "collective must complete in lockstep on every device"
+        );
+        done = Event {
+            done_at: dma.event.done_at,
+            stream: link,
+        };
+    }
+    done
+}
+
+/// Drain every device's streams (cf. a group-wide `cudaDeviceSynchronize`).
+pub fn group_sync<G: DeviceGroup + ?Sized>(g: &mut G) {
+    for i in 0..g.group_len() {
+        g.timeline_mut(i).sync_all();
+    }
+}
+
+/// The group's clock: the furthest of the member host clocks.
+pub fn group_now<G: DeviceGroup + ?Sized>(g: &G) -> SimTime {
+    (0..g.group_len())
+        .map(|i| g.timeline(i).now())
+        .fold(SimTime::ZERO, SimTime::max)
+}
+
+/// The canonical device group: owns `n` multi-stream [`Timeline`]s, each
+/// with one added link-port stream.
+#[derive(Debug, Clone)]
+pub struct GroupEngine {
+    devices: Vec<Timeline>,
+    links: Vec<StreamId>,
+}
+
+impl GroupEngine {
+    /// A group of `n` devices, each with the three canonical streams plus a
+    /// link port.
+    pub fn new(n: usize) -> GroupEngine {
+        assert!(n > 0, "a device group needs at least one device");
+        let mut devices = Vec::with_capacity(n);
+        let mut links = Vec::with_capacity(n);
+        for _ in 0..n {
+            let mut tl = Timeline::new();
+            links.push(tl.add_stream(EngineKind::Link));
+            devices.push(tl);
+        }
+        GroupEngine { devices, links }
+    }
+
+    pub fn len(&self) -> usize {
+        self.devices.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.devices.is_empty()
+    }
+
+    pub fn device(&self, i: usize) -> &Timeline {
+        &self.devices[i]
+    }
+
+    pub fn device_mut(&mut self, i: usize) -> &mut Timeline {
+        &mut self.devices[i]
+    }
+
+    pub fn link(&self, i: usize) -> StreamId {
+        self.links[i]
+    }
+
+    /// See [`group_collective`].
+    pub fn collective(&mut self, duration: SimTime, wire_bytes: u64, ready: &[Event]) -> Event {
+        group_collective(self, duration, wire_bytes, ready)
+    }
+
+    /// Drain all streams of every device.
+    pub fn sync_all(&mut self) {
+        group_sync(self)
+    }
+
+    /// The furthest member host clock.
+    pub fn now(&self) -> SimTime {
+        group_now(self)
+    }
+
+    /// Device `i`'s accumulated statistics.
+    pub fn stats(&self, i: usize) -> TimelineStats {
+        self.devices[i].stats()
+    }
+
+    /// Device `i`'s compute/collective overlap.
+    pub fn link_overlap(&self, i: usize) -> OverlapStats {
+        self.devices[i].link_overlap()
+    }
+
+    /// Reset every device's traffic/busy counters, keeping clocks running.
+    pub fn reset_stats(&mut self) {
+        for d in &mut self.devices {
+            d.reset_stats();
+        }
+    }
+}
+
+impl DeviceGroup for GroupEngine {
+    fn group_len(&self) -> usize {
+        self.devices.len()
+    }
+
+    fn timeline(&self, i: usize) -> &Timeline {
+        &self.devices[i]
+    }
+
+    fn timeline_mut(&mut self, i: usize) -> &mut Timeline {
+        &mut self.devices[i]
+    }
+
+    fn link_stream(&self, i: usize) -> StreamId {
+        self.links[i]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collective_waits_for_the_slowest_replica() {
+        let mut g = GroupEngine::new(3);
+        // Replica 1's backward runs longest.
+        let ready: Vec<Event> = [5u64, 40, 10]
+            .iter()
+            .enumerate()
+            .map(|(i, us)| {
+                g.device_mut(i)
+                    .submit(EngineKind::Compute, SimTime::from_us(*us))
+            })
+            .collect();
+        let done = g.collective(SimTime::from_us(7), 1_000, &ready);
+        assert_eq!(done.done_at, SimTime::from_us(47));
+    }
+
+    #[test]
+    fn collective_completes_in_lockstep_on_every_link() {
+        let mut g = GroupEngine::new(4);
+        let done = g.collective(SimTime::from_us(3), 64, &[]);
+        for i in 0..4 {
+            assert_eq!(g.device(i).stream_frontier(g.link(i)), done.done_at);
+            assert_eq!(g.stats(i).link_bytes, 64);
+        }
+    }
+
+    #[test]
+    fn successive_collectives_serialize_on_the_link_port() {
+        let mut g = GroupEngine::new(2);
+        let a = g.collective(SimTime::from_us(5), 10, &[]);
+        // Second bucket is ready immediately but must queue behind the first.
+        let b = g.collective(SimTime::from_us(5), 10, &[]);
+        assert_eq!(a.done_at, SimTime::from_us(5));
+        assert_eq!(b.done_at, SimTime::from_us(10));
+    }
+
+    #[test]
+    fn a_late_link_port_delays_everyone() {
+        let mut g = GroupEngine::new(2);
+        // Device 0's port is busy until t=20us with an earlier collective…
+        let link0 = g.link(0);
+        g.device_mut(0)
+            .submit_timed_transfer(link0, 1, SimTime::from_us(20), &[]);
+        // …so a group collective whose payloads are ready at t=0 still
+        // cannot start before 20us, on either device.
+        let done = g.collective(SimTime::from_us(4), 8, &[]);
+        assert_eq!(done.done_at, SimTime::from_us(24));
+        assert_eq!(g.device(1).stream_frontier(g.link(1)), done.done_at);
+    }
+
+    #[test]
+    fn link_traffic_is_not_pcie_traffic() {
+        let mut g = GroupEngine::new(2);
+        g.collective(SimTime::from_us(2), 4_096, &[]);
+        for i in 0..2 {
+            let s = g.stats(i);
+            assert_eq!(s.link_bytes, 4_096);
+            assert_eq!(s.total_traffic(), 0, "collectives must not count as PCIe");
+            assert_eq!(s.link_busy, SimTime::from_us(2));
+        }
+    }
+
+    #[test]
+    fn link_overlap_measures_collectives_hidden_under_compute() {
+        let mut g = GroupEngine::new(2);
+        for i in 0..2 {
+            g.device_mut(i)
+                .submit(EngineKind::Compute, SimTime::from_us(10));
+        }
+        // A 4us collective launched at t=0 hides fully under compute.
+        g.collective(SimTime::from_us(4), 100, &[]);
+        // A second one, ready only at compute end, is fully exposed.
+        let ready: Vec<Event> = (0..2)
+            .map(|i| g.device(i).frontier_event(StreamId::COMPUTE))
+            .collect();
+        g.collective(SimTime::from_us(4), 100, &ready);
+        g.sync_all();
+        for i in 0..2 {
+            let o = g.link_overlap(i);
+            assert_eq!(o.transfer_busy, SimTime::from_us(8));
+            assert_eq!(o.overlapped, SimTime::from_us(4));
+            assert!((o.fraction() - 0.5).abs() < 1e-12);
+            // The PCIe overlap query is blind to link streams.
+            assert_eq!(g.device(i).overlap().transfer_busy, SimTime::ZERO);
+        }
+    }
+
+    #[test]
+    fn cross_device_events_gate_submissions() {
+        // An event from device 0's compute stream gates a kernel on device 1
+        // — events are completion times, valid across timelines.
+        let mut g = GroupEngine::new(2);
+        let e0 = g
+            .device_mut(0)
+            .submit(EngineKind::Compute, SimTime::from_us(9));
+        let e1 = g
+            .device_mut(1)
+            .submit_on(StreamId::COMPUTE, SimTime::from_us(2), &[e0]);
+        assert_eq!(e1.done_at, SimTime::from_us(11));
+    }
+
+    #[test]
+    fn group_clock_and_sync_track_the_furthest_member() {
+        let mut g = GroupEngine::new(2);
+        g.device_mut(1)
+            .submit(EngineKind::Compute, SimTime::from_us(30));
+        assert_eq!(g.now(), SimTime::ZERO, "submission does not move clocks");
+        g.sync_all();
+        assert_eq!(g.now(), SimTime::from_us(30));
+    }
+}

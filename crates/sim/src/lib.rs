@@ -28,6 +28,7 @@
 
 pub mod alloc;
 pub mod engine;
+pub mod group;
 pub mod spec;
 pub mod time;
 pub mod trace;
@@ -36,6 +37,7 @@ pub use alloc::{AllocError, AllocGrant, AllocId, CudaAllocator, DeviceAllocator}
 pub use engine::{
     Dma, EngineKind, Event, OverlapStats, StreamId, Timeline, TimelineStats, TransferDirection,
 };
+pub use group::{group_collective, group_now, group_sync, DeviceGroup, GroupEngine};
 pub use spec::DeviceSpec;
 pub use time::SimTime;
 pub use trace::{StepRecord, StepTrace};
