@@ -17,6 +17,7 @@ pub mod experiments;
 pub mod overlap;
 pub mod plan;
 pub mod table;
+pub mod trace;
 
 pub use ablation::run_ablations;
 pub use cluster::cluster;
@@ -25,3 +26,4 @@ pub use dataparallel::dataparallel;
 pub use experiments::*;
 pub use overlap::overlap;
 pub use plan::plan;
+pub use trace::trace;

@@ -1,0 +1,364 @@
+//! The `trace` experiment: the unified telemetry layer, exercised end to
+//! end and gated on its structural invariants.
+//!
+//! Part A runs a 2-replica VGG16 gang on a memory-constrained device — cold
+//! iteration untraced (memos warm, sink off), then a traced + metered warm
+//! iteration — and checks that the exported timeline *is* the measurement:
+//! the hidden-communication story the Link-track spans tell must reproduce
+//! [`sn_runtime::GroupIterationReport`]'s `allreduce_busy`/`allreduce_hidden`
+//! to the nanosecond. Part B replays a small synthetic job stream (with a
+//! guaranteed-impossible gang) through [`sn_cluster::ClusterSim`] so the
+//! per-tenant tracks and admission metrics populate too.
+//!
+//! Gates CI greps from `BENCH_trace.json`:
+//! * `trace_valid` — every span on a defined track, per-track spans
+//!   time-ordered and non-overlapping, every flow arrow resolving to
+//!   emitted spans in causal order;
+//! * `metrics_consistent` — histogram totals equal their counter sums
+//!   (iterations, admissions, completions, per-kind rejects);
+//! * `overlap_matches` — the trace-derived hidden-comm fraction equals the
+//!   group report's within 1 ns of busy/hidden time.
+//!
+//! Also writes the Perfetto-loadable `BENCH_trace.trace.json`.
+
+use sn_cluster::{
+    synthetic_stream, ClusterSim, Fleet, JobSpec, PlacementPolicy, PolicyPreset, Workload,
+};
+use sn_models as models;
+use sn_runtime::{GroupConfig, GroupExecutor, GroupIterationReport, Interconnect, Policy};
+use sn_sim::{DeviceSpec, SimTime};
+use sn_telemetry::{MetricsRegistry, MetricsSnapshot, TraceData, TraceSink};
+
+const MB: u64 = 1 << 20;
+const GB: u64 = 1 << 30;
+
+/// Everything the experiment measures; tests assert on this directly.
+pub struct TraceResult {
+    pub dram_bytes: u64,
+    pub group: GroupIterationReport,
+    /// Busy/hidden link time re-derived purely from exported spans
+    /// (device 0's link track intersected with its compute track).
+    pub trace_busy_ns: u64,
+    pub trace_hidden_ns: u64,
+    pub cluster_submitted: usize,
+    pub cluster_completed: usize,
+    pub cluster_rejected: usize,
+    pub check: sn_telemetry::TraceCheck,
+    pub snapshot: MetricsSnapshot,
+    pub data: TraceData,
+}
+
+impl TraceResult {
+    pub fn trace_valid(&self) -> bool {
+        self.check.is_valid() && self.check.spans > 0 && self.check.flows > 0
+    }
+
+    /// Trace-derived vs report-derived hidden-comm story, within 1 ns.
+    pub fn overlap_matches(&self) -> bool {
+        self.trace_busy_ns
+            .abs_diff(self.group.allreduce_busy.as_ns())
+            <= 1
+            && self
+                .trace_hidden_ns
+                .abs_diff(self.group.allreduce_hidden.as_ns())
+                <= 1
+    }
+
+    pub fn trace_overlap_fraction(&self) -> f64 {
+        if self.trace_busy_ns == 0 {
+            0.0
+        } else {
+            self.trace_hidden_ns as f64 / self.trace_busy_ns as f64
+        }
+    }
+
+    /// Histogram totals equal the counters they shadow, and every
+    /// histogram's bucket counts sum to its total.
+    pub fn metrics_consistent(&self) -> bool {
+        let s = &self.snapshot;
+        let hist_count = |name: &str| s.histogram(name).map(|h| h.count).unwrap_or(u64::MAX);
+        let ctr = |name: &str| s.counter(name).unwrap_or(0);
+        let internally_consistent = s
+            .histograms
+            .iter()
+            .all(|(_, h)| h.buckets.iter().sum::<u64>() == h.count);
+        internally_consistent
+            && hist_count("exec.iter_time_ns") == ctr("exec.iterations")
+            && hist_count("cluster.latency_ns") == ctr("cluster.jobs.completed")
+            && hist_count("cluster.queueing_ns") == ctr("cluster.jobs.admitted")
+            && ctr("cluster.jobs.rejected")
+                == ctr("cluster.rejects.empty_gang")
+                    + ctr("cluster.rejects.fleet_too_small")
+                    + ctr("cluster.rejects.peak_exceeds_capacity")
+            && ctr("cluster.jobs.submitted") == self.cluster_submitted as u64
+            && ctr("cluster.jobs.completed") == self.cluster_completed as u64
+            && ctr("cluster.jobs.rejected") == self.cluster_rejected as u64
+    }
+}
+
+/// Merge intervals into a sorted disjoint union.
+fn union(mut v: Vec<(u64, u64)>) -> Vec<(u64, u64)> {
+    v.sort_unstable();
+    let mut out: Vec<(u64, u64)> = Vec::with_capacity(v.len());
+    for (s, e) in v {
+        match out.last_mut() {
+            Some(last) if s <= last.1 => last.1 = last.1.max(e),
+            _ => out.push((s, e)),
+        }
+    }
+    out
+}
+
+/// Total intersection length of two disjoint sorted interval sets.
+fn intersect_len(a: &[(u64, u64)], b: &[(u64, u64)]) -> u64 {
+    let (mut i, mut j, mut total) = (0usize, 0usize, 0u64);
+    while i < a.len() && j < b.len() {
+        let lo = a[i].0.max(b[j].0);
+        let hi = a[i].1.min(b[j].1);
+        if lo < hi {
+            total += hi - lo;
+        }
+        if a[i].1 <= b[j].1 {
+            i += 1;
+        } else {
+            j += 1;
+        }
+    }
+    total
+}
+
+/// Spans of the track named `name` under `process`, as intervals.
+fn track_intervals(data: &TraceData, process: &str, name: &str) -> Vec<(u64, u64)> {
+    let Some(idx) = data
+        .tracks
+        .iter()
+        .position(|t| t.process == process && t.name == name)
+    else {
+        return Vec::new();
+    };
+    data.spans
+        .iter()
+        .filter(|s| s.track.0 as usize == idx)
+        .map(|s| (s.start_ns, s.end_ns))
+        .collect()
+}
+
+/// Run both parts into one shared sink + registry.
+pub fn measure(quick: bool) -> TraceResult {
+    let sink = TraceSink::recording();
+    let registry = MetricsRegistry::new();
+
+    // --- Part A: constrained 2-replica VGG16 group step ------------------
+    let policy = Policy::superneurons();
+    let net = models::vgg16(8);
+    let cfg = GroupConfig::new(2, Interconnect::pcie());
+    let mut picked = None;
+    for dram in [2 * GB, 3 * GB, 4 * GB, 12 * GB] {
+        let spec = DeviceSpec::k40c().with_dram(dram);
+        if let Ok(gx) = GroupExecutor::new(&net, spec, policy, cfg) {
+            picked = Some((gx, dram));
+            break;
+        }
+    }
+    let (mut gx, dram_bytes) = picked.expect("VGG16@8 must fit a 12 GB device");
+    gx.run_iteration().expect("cold untraced iteration");
+    gx.enable_tracing(&sink);
+    gx.enable_metrics(&registry);
+    let group = gx.run_iteration().expect("warm traced iteration");
+
+    // Re-derive the overlap story from the exported spans alone: device 0's
+    // link-track busy time and its intersection with the compute track.
+    // (Computed from a mid-run snapshot; the sink keeps recording Part B,
+    // and the returned `data` is re-read at the end so the artifact holds
+    // the cluster tracks too.)
+    let part_a = sink.data();
+    let link = union(track_intervals(&part_a, "device 0", "link"));
+    let compute = union(track_intervals(&part_a, "device 0", "compute"));
+    let trace_busy_ns = link.iter().map(|(s, e)| e - s).sum();
+    let trace_hidden_ns = intersect_len(&link, &compute);
+
+    // --- Part B: a small cluster stream with a guaranteed rejection ------
+    let fleet = Fleet::homogeneous(
+        2,
+        DeviceSpec::k40c().with_dram(96 * MB),
+        Interconnect::pcie(),
+    );
+    let mut jobs = synthetic_stream(
+        if quick { 10 } else { 24 },
+        7,
+        PolicyPreset::Superneurons,
+        true,
+    );
+    // A gang wider than the fleet: permanently unschedulable, so the reject
+    // track/counters are exercised on every run.
+    jobs.push((
+        SimTime::ZERO,
+        JobSpec::new(
+            "gang-too-wide",
+            Workload::Synthetic { width: 8, depth: 2 },
+            8,
+        )
+        .with_replicas(4)
+        .with_downgrade(false),
+    ));
+    let submitted = jobs.len();
+    let mut sim = ClusterSim::new(fleet, PlacementPolicy::BestFit);
+    sim.enable_tracing(&sink);
+    sim.enable_metrics(&registry);
+    let creport = sim.run(jobs);
+
+    TraceResult {
+        dram_bytes,
+        group,
+        trace_busy_ns,
+        trace_hidden_ns,
+        cluster_submitted: submitted,
+        cluster_completed: creport.completed,
+        cluster_rejected: creport.rejected,
+        check: sink.validate(),
+        snapshot: registry.snapshot(),
+        data: sink.data(),
+    }
+}
+
+/// Run the experiment; writes `BENCH_trace.json` (gates + embedded metrics
+/// snapshot) and the Perfetto-loadable `BENCH_trace.trace.json`.
+pub fn trace(quick: bool) -> String {
+    let sink_json = {
+        // The exported artifact must include the cluster tracks, so re-run
+        // measure() against one sink and export at the end.
+        let r = measure(quick);
+        let trace_valid = r.trace_valid();
+        let metrics_consistent = r.metrics_consistent();
+        let overlap_matches = r.overlap_matches();
+
+        let mut out = format!(
+            "trace: unified telemetry — 2-replica VGG16 gang on a {} MB device \
+             + a {}-job cluster stream, one shared sink/registry\n\n",
+            r.dram_bytes / MB,
+            r.cluster_submitted,
+        );
+        out.push_str(&format!(
+            "timeline: {} tracks, {} spans, {} instants, {} flow arrows\n",
+            r.check.tracks, r.check.spans, r.check.instants, r.check.flows
+        ));
+        for e in r.check.errors.iter().take(5) {
+            out.push_str(&format!("  INVARIANT VIOLATION: {e}\n"));
+        }
+        out.push_str(&format!(
+            "group step {:.3} ms: allreduce busy {} ns / hidden {} ns \
+             (report) vs {} ns / {} ns (from exported spans)\n",
+            r.group.step_time.as_ms_f64(),
+            r.group.allreduce_busy.as_ns(),
+            r.group.allreduce_hidden.as_ns(),
+            r.trace_busy_ns,
+            r.trace_hidden_ns,
+        ));
+        out.push_str(&format!(
+            "hidden-comm fraction: {:.4} (report) vs {:.4} (trace)\n",
+            r.group.allreduce_overlap_fraction(),
+            r.trace_overlap_fraction(),
+        ));
+        out.push_str(&format!(
+            "cluster: {} submitted / {} completed / {} rejected\n\n",
+            r.cluster_submitted, r.cluster_completed, r.cluster_rejected
+        ));
+        out.push_str(&format!(
+            "trace_valid: {trace_valid}\nmetrics_consistent: {metrics_consistent}\n\
+             overlap_matches: {overlap_matches}\n"
+        ));
+
+        let json = format!(
+            "{{\"experiment\":\"trace\",\"trace_valid\":{trace_valid},\
+             \"metrics_consistent\":{metrics_consistent},\
+             \"overlap_matches\":{overlap_matches},\
+             \"dram_bytes\":{},\"tracks\":{},\"spans\":{},\"instants\":{},\
+             \"flows\":{},\"report_allreduce_busy_ns\":{},\
+             \"report_allreduce_hidden_ns\":{},\"trace_allreduce_busy_ns\":{},\
+             \"trace_allreduce_hidden_ns\":{},\"overlap_fraction_report\":{:.6},\
+             \"overlap_fraction_trace\":{:.6},\"cluster_submitted\":{},\
+             \"cluster_completed\":{},\"cluster_rejected\":{},\"metrics\":{}}}",
+            r.dram_bytes,
+            r.check.tracks,
+            r.check.spans,
+            r.check.instants,
+            r.check.flows,
+            r.group.allreduce_busy.as_ns(),
+            r.group.allreduce_hidden.as_ns(),
+            r.trace_busy_ns,
+            r.trace_hidden_ns,
+            r.group.allreduce_overlap_fraction(),
+            r.trace_overlap_fraction(),
+            r.cluster_submitted,
+            r.cluster_completed,
+            r.cluster_rejected,
+            r.snapshot.to_json(),
+        );
+        match std::fs::write("BENCH_trace.json", &json) {
+            Ok(()) => out.push_str("wrote BENCH_trace.json\n"),
+            Err(e) => out.push_str(&format!("could not write BENCH_trace.json: {e}\n")),
+        }
+        let chrome = r.data.export_chrome_json();
+        match std::fs::write("BENCH_trace.trace.json", &chrome) {
+            Ok(()) => out.push_str(
+                "wrote BENCH_trace.trace.json (open at https://ui.perfetto.dev or \
+                 chrome://tracing)\n",
+            ),
+            Err(e) => out.push_str(&format!("could not write BENCH_trace.trace.json: {e}\n")),
+        }
+        out
+    };
+    sink_json
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interval_helpers() {
+        assert_eq!(union(vec![(5, 9), (0, 3), (2, 4)]), vec![(0, 4), (5, 9)]);
+        assert_eq!(intersect_len(&[(0, 10)], &[(2, 4), (8, 20)]), 4);
+        assert_eq!(intersect_len(&[(0, 2)], &[(2, 4)]), 0);
+        assert_eq!(intersect_len(&[], &[(0, 5)]), 0);
+    }
+
+    #[test]
+    fn trace_experiment_holds_every_gate() {
+        let r = measure(true);
+        assert!(
+            r.check.is_valid(),
+            "trace invariants violated: {:?}",
+            r.check.errors
+        );
+        assert!(r.check.spans > 0 && r.check.flows > 0);
+        assert!(
+            r.overlap_matches(),
+            "trace busy/hidden {}/{} vs report {}/{}",
+            r.trace_busy_ns,
+            r.trace_hidden_ns,
+            r.group.allreduce_busy.as_ns(),
+            r.group.allreduce_hidden.as_ns()
+        );
+        assert!(r.metrics_consistent());
+        // The guaranteed-impossible gang really was rejected, and the
+        // structured reason is countable.
+        assert!(r.cluster_rejected >= 1);
+        assert!(
+            r.snapshot
+                .counter("cluster.rejects.fleet_too_small")
+                .unwrap_or(0)
+                >= 1
+        );
+        // Both replicas flushed exec metrics for the traced iteration.
+        assert_eq!(r.snapshot.counter("exec.iterations"), Some(2));
+        // The gang actually hid communication, and the trace shows it.
+        assert!(r.group.allreduce_busy > SimTime::ZERO);
+        assert!(r.trace_hidden_ns > 0);
+        // The exported data holds BOTH parts: per-device engine tracks and
+        // the per-tenant cluster tracks with their arrive/reject instants.
+        assert!(r.data.tracks.iter().any(|t| t.process == "device 0"));
+        assert!(r.data.tracks.iter().any(|t| t.process == "cluster"));
+        assert!(!r.data.instants.is_empty());
+    }
+}

@@ -51,6 +51,6 @@ pub use admission::{feasible_on_idle_fleet, Grant, Placement, Profiler};
 pub use fleet::Fleet;
 pub use job::{JobKind, JobSpec, PolicyPreset, Workload};
 pub use placement::{Candidate, PlacementPolicy};
-pub use report::{ClusterReport, JobOutcome, TraceEvent, TraceKind};
+pub use report::{ClusterReport, JobOutcome, RejectReason, TraceEvent, TraceKind};
 pub use sim::ClusterSim;
 pub use stream::{mixed_serving_stream, synthetic_stream};

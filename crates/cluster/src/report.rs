@@ -8,6 +8,46 @@ use crate::fleet::Fleet;
 use crate::job::{JobKind, JobSpec, PolicyPreset};
 use crate::placement::PlacementPolicy;
 
+/// Why admission permanently refused a job. Structured — so the metrics
+/// registry counts rejections per kind instead of grepping free-form
+/// strings — while [`RejectReason::render`] reproduces the historical
+/// phrasing byte-for-byte (the schedule-fingerprint determinism tests diff
+/// the rendered trace across runs and PRs).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RejectReason {
+    /// A gang of zero replicas is not a schedulable job.
+    EmptyGang,
+    /// The gang wants more replicas than the fleet has devices.
+    FleetTooSmall { replicas: usize, fleet: usize },
+    /// No preset on the job's admission ladder fits even an idle fleet.
+    PeakExceedsCapacity { presets: Vec<&'static str> },
+}
+
+impl RejectReason {
+    /// Stable human phrasing, byte-identical to the pre-enum strings.
+    pub fn render(&self) -> String {
+        match self {
+            RejectReason::EmptyGang => "gang of zero replicas is not schedulable".to_string(),
+            RejectReason::FleetTooSmall { replicas, fleet } => {
+                format!("wants {replicas} replicas but the fleet has {fleet} devices")
+            }
+            RejectReason::PeakExceedsCapacity { presets } => {
+                format!("predicted peak exceeds fleet capacity under preset(s) {presets:?}")
+            }
+        }
+    }
+
+    /// Short machine label, used as the per-kind rejection counter suffix
+    /// (`cluster.rejects.<kind>`).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            RejectReason::EmptyGang => "empty_gang",
+            RejectReason::FleetTooSmall { .. } => "fleet_too_small",
+            RejectReason::PeakExceedsCapacity { .. } => "peak_exceeds_capacity",
+        }
+    }
+}
+
 /// What happened at one scheduling instant.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum TraceKind {
@@ -18,7 +58,7 @@ pub enum TraceKind {
         reservations: Vec<u64>,
     },
     Reject {
-        reason: String,
+        reason: RejectReason,
     },
     Complete,
 }
@@ -50,7 +90,12 @@ impl TraceEvent {
                 reservations
             ),
             TraceKind::Reject { reason } => {
-                format!("[{:>12}ns] REJECT   {} ({reason})", self.t_ns, self.job)
+                format!(
+                    "[{:>12}ns] REJECT   {} ({})",
+                    self.t_ns,
+                    self.job,
+                    reason.render()
+                )
             }
             TraceKind::Complete => format!("[{:>12}ns] COMPLETE {}", self.t_ns, self.job),
         }
@@ -75,7 +120,7 @@ pub struct JobOutcome {
     pub arrival: SimTime,
     pub started: Option<SimTime>,
     pub completion: Option<SimTime>,
-    pub rejected: Option<String>,
+    pub rejected: Option<RejectReason>,
 }
 
 impl JobOutcome {
@@ -271,7 +316,10 @@ impl ClusterReport {
                 j.latency()
                     .map(|t| t.0.to_string())
                     .unwrap_or("null".into()),
-                j.rejected.as_deref().map(json_str).unwrap_or("null".into()),
+                j.rejected
+                    .as_ref()
+                    .map(|r| json_str(&r.render()))
+                    .unwrap_or("null".into()),
             ));
         }
         format!(

@@ -17,12 +17,13 @@
 
 use sn_runtime::ring_allreduce_time;
 use sn_sim::SimTime;
+use sn_telemetry::{Counter, Histogram, MetricsRegistry, TraceSink, TrackId};
 
 use crate::admission::{feasible_on_idle_fleet, ladder_for, Grant, Profiler};
 use crate::fleet::Fleet;
 use crate::job::JobSpec;
 use crate::placement::PlacementPolicy;
-use crate::report::{ClusterReport, JobOutcome, TraceEvent, TraceKind};
+use crate::report::{ClusterReport, JobOutcome, RejectReason, TraceEvent, TraceKind};
 
 /// Per-device mutable state during a simulation run.
 #[derive(Debug, Clone, Default)]
@@ -46,12 +47,52 @@ struct Running {
     remaining_ns: f64,
 }
 
+/// Pre-resolved admission metric handles (see [`ClusterSim::enable_metrics`]).
+struct ClusterMetrics {
+    submitted: Counter,
+    admitted: Counter,
+    rejected: Counter,
+    completed: Counter,
+    reject_empty_gang: Counter,
+    reject_fleet_too_small: Counter,
+    reject_peak_exceeds: Counter,
+    latency_ns: Histogram,
+    queueing_ns: Histogram,
+}
+
+impl ClusterMetrics {
+    fn new(reg: &MetricsRegistry) -> ClusterMetrics {
+        ClusterMetrics {
+            submitted: reg.counter("cluster.jobs.submitted"),
+            admitted: reg.counter("cluster.jobs.admitted"),
+            rejected: reg.counter("cluster.jobs.rejected"),
+            completed: reg.counter("cluster.jobs.completed"),
+            reject_empty_gang: reg.counter("cluster.rejects.empty_gang"),
+            reject_fleet_too_small: reg.counter("cluster.rejects.fleet_too_small"),
+            reject_peak_exceeds: reg.counter("cluster.rejects.peak_exceeds_capacity"),
+            latency_ns: reg.histogram("cluster.latency_ns"),
+            queueing_ns: reg.histogram("cluster.queueing_ns"),
+        }
+    }
+
+    fn count_reject(&self, reason: &RejectReason) {
+        self.rejected.inc();
+        match reason {
+            RejectReason::EmptyGang => self.reject_empty_gang.inc(),
+            RejectReason::FleetTooSmall { .. } => self.reject_fleet_too_small.inc(),
+            RejectReason::PeakExceedsCapacity { .. } => self.reject_peak_exceeds.inc(),
+        }
+    }
+}
+
 /// The cluster scheduler: a fleet, a placement policy, and a memoizing
 /// admission profiler.
 pub struct ClusterSim {
     pub fleet: Fleet,
     pub placement: PlacementPolicy,
     profiler: Profiler,
+    sink: TraceSink,
+    metrics: Option<ClusterMetrics>,
 }
 
 impl ClusterSim {
@@ -61,7 +102,28 @@ impl ClusterSim {
             fleet,
             placement,
             profiler: Profiler::new(),
+            sink: TraceSink::off(),
+            metrics: None,
         }
+    }
+
+    /// Emit per-tenant scheduling tracks into `sink`: every job gets one
+    /// track under the `"cluster"` process with an arrive instant, a
+    /// `queued` span (arrival → admission), a `running` span (admission →
+    /// completion), and a reject instant carrying the structured reason.
+    pub fn enable_tracing(&mut self, sink: &TraceSink) {
+        self.sink = if sink.is_enabled() {
+            sink.clone()
+        } else {
+            TraceSink::off()
+        };
+    }
+
+    /// Count admission outcomes and record latency/queueing histograms in
+    /// `registry` (`cluster.jobs.*`, `cluster.rejects.*`,
+    /// `cluster.{latency,queueing}_ns`).
+    pub fn enable_metrics(&mut self, registry: &MetricsRegistry) {
+        self.metrics = Some(ClusterMetrics::new(registry));
     }
 
     /// Distinct gang shapes whose step time was measured by driving the
@@ -211,6 +273,18 @@ impl ClusterSim {
             .collect();
         let specs: Vec<JobSpec> = arrivals.iter().map(|(_, j)| j.clone()).collect();
 
+        // One per-tenant track per job under the "cluster" process; empty
+        // when untraced (and every sink call below is guarded).
+        let tracing = self.sink.is_enabled();
+        let tracks: Vec<TrackId> = if tracing {
+            specs
+                .iter()
+                .map(|j| self.sink.track("cluster", &j.name))
+                .collect()
+        } else {
+            Vec::new()
+        };
+
         let mut devices = vec![DeviceState::default(); self.fleet.len()];
         let mut trace: Vec<TraceEvent> = Vec::new();
         let mut pending: Vec<usize> = Vec::new(); // FIFO queue of job indices
@@ -283,6 +357,28 @@ impl ClusterSim {
                     job: specs[r.job].name.clone(),
                     kind: TraceKind::Complete,
                 });
+                if tracing {
+                    let started = outcomes[r.job].started.map(|s| s.0).unwrap_or(0);
+                    let end = (now_ns.round() as u64).max(started);
+                    let preset = outcomes[r.job].granted.map(|p| p.name()).unwrap_or("?");
+                    self.sink.span_with(
+                        tracks[r.job],
+                        "running".to_string(),
+                        "cluster",
+                        started,
+                        end,
+                        vec![
+                            ("preset", preset.into()),
+                            ("replicas", specs[r.job].replicas.into()),
+                        ],
+                    );
+                }
+                if let Some(m) = &self.metrics {
+                    m.completed.inc();
+                    if let Some(l) = outcomes[r.job].latency() {
+                        m.latency_ns.record(l.0);
+                    }
+                }
             }
 
             // Arrivals at this instant join the queue in input order. Match
@@ -300,6 +396,18 @@ impl ClusterSim {
                         job: specs[next_arrival].name.clone(),
                         kind: TraceKind::Arrive,
                     });
+                    if tracing {
+                        self.sink.instant(
+                            tracks[next_arrival],
+                            "arrive",
+                            "cluster",
+                            t_ns,
+                            Vec::new(),
+                        );
+                    }
+                    if let Some(m) = &self.metrics {
+                        m.submitted.inc();
+                    }
                     next_arrival += 1;
                 }
             }
@@ -344,6 +452,24 @@ impl ClusterSim {
                                 reservations: out.reservations.clone(),
                             },
                         });
+                        if tracing {
+                            let arrival = outcomes[job_idx].arrival.0;
+                            let t = (now_ns.round() as u64).max(arrival);
+                            self.sink.span_with(
+                                tracks[job_idx],
+                                "queued".to_string(),
+                                "cluster",
+                                arrival,
+                                t,
+                                vec![("preset", grant.preset.name().into())],
+                            );
+                        }
+                        if let Some(m) = &self.metrics {
+                            m.admitted.inc();
+                            if let Some(q) = outcomes[job_idx].queueing() {
+                                m.queueing_ns.record(q.0);
+                            }
+                        }
                         // Insert in job-index order (admission may start a
                         // long-queued lower-index job after a later one),
                         // keeping `running` — and therefore every `done`
@@ -363,20 +489,30 @@ impl ClusterSim {
                             still_pending.push(job_idx); // wait for capacity
                         } else {
                             let reason = if job.replicas == 0 {
-                                "gang of zero replicas is not schedulable".to_string()
+                                RejectReason::EmptyGang
                             } else if job.replicas > self.fleet.len() {
-                                format!(
-                                    "wants {} replicas but the fleet has {} devices",
-                                    job.replicas,
-                                    self.fleet.len()
-                                )
+                                RejectReason::FleetTooSmall {
+                                    replicas: job.replicas,
+                                    fleet: self.fleet.len(),
+                                }
                             } else {
-                                format!(
-                                    "predicted peak exceeds fleet capacity under preset(s) {:?}",
-                                    ladder_for(job).iter().map(|p| p.name()).collect::<Vec<_>>()
-                                )
+                                RejectReason::PeakExceedsCapacity {
+                                    presets: ladder_for(job).iter().map(|p| p.name()).collect(),
+                                }
                             };
                             outcomes[job_idx].rejected = Some(reason.clone());
+                            if tracing {
+                                self.sink.instant(
+                                    tracks[job_idx],
+                                    "reject",
+                                    "cluster",
+                                    now_ns.round() as u64,
+                                    vec![("reason", reason.kind().into())],
+                                );
+                            }
+                            if let Some(m) = &self.metrics {
+                                m.count_reject(&reason);
+                            }
                             trace.push(TraceEvent {
                                 t_ns: now_ns.round() as u64,
                                 job: job.name.clone(),

@@ -23,12 +23,16 @@
 //! that planned schedules — including recomputation — preserve exact
 //! training semantics).
 
+use std::sync::Arc;
+
 use sn_graph::liveness::{LivenessPlan, TensorId, TensorRole};
 use sn_graph::{LayerId, Net, NetCost, Route, StepPhase};
 use sn_sim::trace::Phase;
 use sn_sim::{
-    DeviceAllocator, DeviceSpec, Dma, Event, OverlapStats, SimTime, StepRecord, StepTrace, StreamId,
+    DeviceAllocator, DeviceSpec, Dma, Event, OverlapStats, SimTime, SpanLabel, StepRecord,
+    StepTrace, StreamId, TraceSink,
 };
+use sn_telemetry::{Counter, Gauge, Histogram, MetricsRegistry};
 
 use crate::device::Device;
 use crate::plan::{self, CompiledPlan, MemoryPlan, PlanOp};
@@ -91,7 +95,7 @@ impl std::fmt::Display for ExecError {
 impl std::error::Error for ExecError {}
 
 /// Per-iteration accounting.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, serde::Serialize)]
 pub struct Counters {
     /// Extra layer-forward executions performed by recomputation (Table 1).
     pub recompute_forwards: u64,
@@ -100,16 +104,52 @@ pub struct Counters {
     pub evictions: u64,
     pub cache_hits: u64,
     pub cache_misses: u64,
+    /// Device allocations granted through the reclamation ladder.
+    pub alloc_grants: u64,
+    /// Ladder rungs climbed: reclamation attempts (reap or evict) made
+    /// because an allocation did not fit on the first try — the "ladder
+    /// depth" of the run.
+    pub ladder_rungs: u64,
+    /// Completed offloads whose device bytes were released because every
+    /// consumer had run (step-boundary drains plus in-ladder reaps).
+    pub reaps: u64,
+}
+
+impl Counters {
+    /// Stable JSON object for bench artifacts (the workspace's serde shim
+    /// derives are inert, so serialization is hand-rolled).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"recompute_forwards\":{},\"offloads\":{},\"prefetches\":{},\
+             \"evictions\":{},\"cache_hits\":{},\"cache_misses\":{},\
+             \"alloc_grants\":{},\"ladder_rungs\":{},\"reaps\":{}}}",
+            self.recompute_forwards,
+            self.offloads,
+            self.prefetches,
+            self.evictions,
+            self.cache_hits,
+            self.cache_misses,
+            self.alloc_grants,
+            self.ladder_rungs,
+            self.reaps
+        )
+    }
 }
 
 /// Result of one measured iteration.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, serde::Serialize)]
 pub struct IterationReport {
     pub iter_time: SimTime,
     /// Peak device bytes (allocator high-water) during the iteration.
     pub peak_bytes: u64,
     pub h2d_bytes: u64,
     pub d2h_bytes: u64,
+    /// Bytes this replica moved over its inter-GPU link (collective wire
+    /// traffic); zero for single-device runs, accounted separately from
+    /// PCIe so Table 3 numbers are unperturbed.
+    pub link_bytes: u64,
+    /// Busy time of the link stream(s) during the iteration.
+    pub link_busy: SimTime,
     pub counters: Counters,
     /// Host-side allocator latency accumulated during the iteration.
     pub alloc_time: SimTime,
@@ -153,6 +193,100 @@ impl IterationReport {
             overlapped: self.overlapped,
         }
         .fraction()
+    }
+
+    /// Stable JSON object for bench artifacts (times in integer ns).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"iter_time_ns\":{},\"peak_bytes\":{},\"h2d_bytes\":{},\
+             \"d2h_bytes\":{},\"link_bytes\":{},\"link_busy_ns\":{},\
+             \"alloc_time_ns\":{},\"alloc_calls\":{},\"stall_ns\":{},\
+             \"compute_busy_ns\":{},\"transfer_busy_ns\":{},\"overlapped_ns\":{},\
+             \"counters\":{}}}",
+            self.iter_time.as_ns(),
+            self.peak_bytes,
+            self.h2d_bytes,
+            self.d2h_bytes,
+            self.link_bytes,
+            self.link_busy.as_ns(),
+            self.alloc_time.as_ns(),
+            self.alloc_calls,
+            self.stall.as_ns(),
+            self.compute_busy.as_ns(),
+            self.transfer_busy.as_ns(),
+            self.overlapped.as_ns(),
+            self.counters.to_json()
+        )
+    }
+}
+
+/// Pre-resolved handles into a [`MetricsRegistry`] (see
+/// [`Executor::enable_metrics`]): per-iteration flushing is a handful of
+/// relaxed atomic adds, with name lookups paid once.
+struct ExecMetrics {
+    iterations: Counter,
+    recompute_forwards: Counter,
+    offloads: Counter,
+    prefetches: Counter,
+    evictions: Counter,
+    cache_hits: Counter,
+    cache_misses: Counter,
+    alloc_grants: Counter,
+    ladder_rungs: Counter,
+    reaps: Counter,
+    h2d_bytes: Counter,
+    d2h_bytes: Counter,
+    link_bytes: Counter,
+    stall_ns: Counter,
+    prefetch_stall_ns: Counter,
+    iter_time_ns: Histogram,
+    peak_bytes: Gauge,
+    cache_resident: Gauge,
+}
+
+impl ExecMetrics {
+    fn new(reg: &MetricsRegistry) -> ExecMetrics {
+        ExecMetrics {
+            iterations: reg.counter("exec.iterations"),
+            recompute_forwards: reg.counter("exec.recompute_forwards"),
+            offloads: reg.counter("exec.offloads"),
+            prefetches: reg.counter("exec.prefetches"),
+            evictions: reg.counter("exec.evictions"),
+            cache_hits: reg.counter("exec.cache.hits"),
+            cache_misses: reg.counter("exec.cache.misses"),
+            alloc_grants: reg.counter("exec.alloc.grants"),
+            ladder_rungs: reg.counter("exec.alloc.ladder_rungs"),
+            reaps: reg.counter("exec.alloc.reaps"),
+            h2d_bytes: reg.counter("exec.h2d_bytes"),
+            d2h_bytes: reg.counter("exec.d2h_bytes"),
+            link_bytes: reg.counter("exec.link_bytes"),
+            stall_ns: reg.counter("exec.stall_ns"),
+            prefetch_stall_ns: reg.counter("exec.prefetch_stall_ns"),
+            iter_time_ns: reg.histogram("exec.iter_time_ns"),
+            peak_bytes: reg.gauge("exec.peak_bytes"),
+            cache_resident: reg.gauge("exec.cache.resident"),
+        }
+    }
+
+    fn flush(&self, report: &IterationReport, prefetch_stall: SimTime) {
+        self.iterations.inc();
+        let c = &report.counters;
+        self.recompute_forwards.add(c.recompute_forwards);
+        self.offloads.add(c.offloads);
+        self.prefetches.add(c.prefetches);
+        self.evictions.add(c.evictions);
+        self.cache_hits.add(c.cache_hits);
+        self.cache_misses.add(c.cache_misses);
+        self.alloc_grants.add(c.alloc_grants);
+        self.ladder_rungs.add(c.ladder_rungs);
+        self.reaps.add(c.reaps);
+        self.h2d_bytes.add(report.h2d_bytes);
+        self.d2h_bytes.add(report.d2h_bytes);
+        self.link_bytes.add(report.link_bytes);
+        self.stall_ns.add(report.stall.as_ns());
+        self.prefetch_stall_ns.add(prefetch_stall.as_ns());
+        self.iter_time_ns.record(report.iter_time.as_ns());
+        self.peak_bytes.set(report.peak_bytes as i64);
     }
 }
 
@@ -199,6 +333,14 @@ pub struct Executor<'n> {
     iter_t_start: SimTime,
     iter_alloc_time0: SimTime,
     iter_alloc_calls0: u64,
+    /// Interned layer names, indexed by `LayerId` — step records and span
+    /// labels share these instead of cloning a `String` per step.
+    names: Vec<Arc<str>>,
+    /// Metric handles, present only after [`Executor::enable_metrics`].
+    metrics: Option<ExecMetrics>,
+    /// Time kernels spent waiting on in-flight prefetches this iteration
+    /// (accumulated only while metrics are enabled).
+    prefetch_stall: SimTime,
 }
 
 impl<'n> Executor<'n> {
@@ -252,6 +394,11 @@ impl<'n> Executor<'n> {
         };
 
         let n_tensors = liveness.tensors.len();
+        let names: Vec<Arc<str>> = net
+            .layers()
+            .iter()
+            .map(|l| Arc::from(l.name.as_str()))
+            .collect();
         Ok(Executor {
             net,
             route,
@@ -273,6 +420,9 @@ impl<'n> Executor<'n> {
             iter_t_start: SimTime::ZERO,
             iter_alloc_time0: SimTime::ZERO,
             iter_alloc_calls0: 0,
+            names,
+            metrics: None,
+            prefetch_stall: SimTime::ZERO,
         })
     }
 
@@ -280,6 +430,27 @@ impl<'n> Executor<'n> {
     pub fn with_backend(mut self, backend: Box<dyn ComputeBackend>) -> Self {
         self.backend = Some(backend);
         self
+    }
+
+    /// Record this executor's timeline into `sink` under process `device`
+    /// (e.g. `"device 0"`): kernels, DMAs and recompute replays become
+    /// labelled spans, prefetch→kernel gates become flow arrows. Attaching
+    /// a disabled sink turns tracing off.
+    pub fn enable_tracing(&mut self, sink: &TraceSink, device: &str) {
+        self.dev.tl.attach_tracer(sink, device);
+    }
+
+    /// Report per-iteration counters, latency histograms and peak gauges
+    /// into `registry` (names under `exec.`), flushed once at the end of
+    /// every iteration.
+    pub fn enable_metrics(&mut self, registry: &MetricsRegistry) {
+        self.metrics = Some(ExecMetrics::new(registry));
+    }
+
+    /// The interned name of a layer (shared allocation, no clone).
+    #[inline]
+    pub fn layer_name(&self, l: LayerId) -> Arc<str> {
+        self.names[l.0].clone()
     }
 
     pub fn backend(&self) -> Option<&dyn ComputeBackend> {
@@ -300,6 +471,21 @@ impl<'n> Executor<'n> {
             }
             _ => tier.gbps(),
         }
+    }
+
+    /// Span label for a tensor DMA: `"<verb> <layer>.<role>"` with the
+    /// payload size, e.g. `"prefetch CONV2.out"`. Callers guard behind
+    /// [`Timeline::tracing`] so the disabled path never formats.
+    ///
+    /// [`Timeline::tracing`]: sn_sim::Timeline::tracing
+    fn dma_label(&self, verb: &str, t: TensorId) -> SpanLabel {
+        let meta = self.meta(t);
+        let role = match meta.role {
+            TensorRole::FwdOut => "out",
+            TensorRole::Grad => "grad",
+        };
+        SpanLabel::new(format!("{verb} {}.{role}", self.names[meta.layer.0]), "dma")
+            .arg("bytes", meta.bytes)
     }
 
     /// Submit a DMA for tensor `t` on `stream`, honouring the policy's
@@ -357,6 +543,9 @@ impl<'n> Executor<'n> {
             PlanOp::Fetch(t) => {
                 let g = self.planned_alloc(self.meta(t).bytes, step)?;
                 self.utp.mark_device(t, g, false);
+                if self.dev.tl.tracing() {
+                    self.dev.tl.trace_label(self.dma_label("prefetch", t));
+                }
                 let dma = self.submit_dma(StreamId::H2D, t, &[]);
                 self.utp.states[t.0].prefetch = Some(dma);
             }
@@ -372,6 +561,10 @@ impl<'n> Executor<'n> {
                     (false, Some(e)) => e,
                     _ => self.dev.tl.frontier_event(StreamId::COMPUTE),
                 };
+                if self.dev.tl.tracing() {
+                    let verb = if evict { "evict" } else { "offload" };
+                    self.dev.tl.trace_label(self.dma_label(verb, t));
+                }
                 let dma = self.submit_dma(StreamId::D2H, t, &[gate]);
                 self.utp.mark_offloading(t, evict, Some(dma));
             }
@@ -400,6 +593,12 @@ impl<'n> Executor<'n> {
                 }
                 let lk = &self.net.layer(l).kind;
                 let d = self.cost.layer(l).fwd_time(lk, &self.dev.spec, 1.0);
+                if self.dev.tl.tracing() {
+                    self.dev.tl.trace_label(
+                        SpanLabel::new(format!("recompute {}", self.names[l.0]), "recompute")
+                            .arg("step", step),
+                    );
+                }
                 self.dev.tl.submit(sn_sim::EngineKind::Compute, d);
                 self.dev.tl.join_compute();
                 if let Some(b) = self.backend.as_mut() {
@@ -459,6 +658,7 @@ impl<'n> Executor<'n> {
         self.dev.tl.reset_stats();
         self.dev.alloc.reset_high_water();
         self.counters = self.mplan.predicted;
+        self.prefetch_stall = SimTime::ZERO;
         self.trace.clear();
         self.ws_records.clear();
         if let Some(b) = self.backend.as_mut() {
@@ -486,6 +686,8 @@ impl<'n> Executor<'n> {
             peak_bytes: self.dev.alloc.high_water(),
             h2d_bytes: stats.h2d_bytes,
             d2h_bytes: stats.d2h_bytes,
+            link_bytes: stats.link_bytes,
+            link_busy: stats.link_busy,
             counters: self.counters,
             alloc_time: self.dev.alloc_time - self.iter_alloc_time0,
             alloc_calls: self.dev.alloc_calls - self.iter_alloc_calls0,
@@ -501,6 +703,10 @@ impl<'n> Executor<'n> {
             report.peak_bytes, self.mplan.peak_bytes,
             "executed peak diverged from the plan"
         );
+        if let Some(m) = &self.metrics {
+            m.flush(&report, self.prefetch_stall);
+            m.cache_resident.set(self.utp.cache_len() as i64);
+        }
         Ok(report)
     }
 
@@ -535,6 +741,35 @@ impl<'n> Executor<'n> {
             .iter()
             .filter_map(|t| self.utp.states[t.0].prefetch.map(|d| d.event))
             .collect();
+        if self.metrics.is_some() {
+            // Prefetch-stall: how far the gates push the kernel past where
+            // the compute stream could otherwise have started it.
+            let frontier = self
+                .dev
+                .tl
+                .stream_frontier(StreamId::COMPUTE)
+                .max(self.dev.tl.now());
+            let gate = gates
+                .iter()
+                .map(|e| e.done_at)
+                .fold(SimTime::ZERO, SimTime::max);
+            if gate > frontier {
+                self.prefetch_stall += gate - frontier;
+            }
+        }
+        if self.dev.tl.tracing() {
+            self.dev.tl.trace_label(
+                SpanLabel::new(self.names[layer_id.0].to_string(), "kernel")
+                    .arg("step", s)
+                    .arg(
+                        "phase",
+                        match phase {
+                            StepPhase::Forward => "forward",
+                            StepPhase::Backward => "backward",
+                        },
+                    ),
+            );
+        }
         let compute_done = self.dev.tl.submit_on(StreamId::COMPUTE, duration, &gates);
 
         if let Some(ws) = self.mplan.steps[s].workspace {
@@ -554,7 +789,7 @@ impl<'n> Executor<'n> {
         // Record the trace at the step's high-water moment.
         self.trace.push(StepRecord {
             step: s + 1,
-            layer: self.net.layer(layer_id).name.clone(),
+            layer: self.names[layer_id.0].clone(),
             phase: match phase {
                 StepPhase::Forward => Phase::Forward,
                 StepPhase::Backward => Phase::Backward,
@@ -1151,6 +1386,8 @@ mod tests {
             peak_bytes: 0,
             h2d_bytes: 0,
             d2h_bytes: 0,
+            link_bytes: 0,
+            link_busy: SimTime::ZERO,
             counters: Counters::default(),
             alloc_time: SimTime::ZERO,
             alloc_calls: 0,

@@ -38,7 +38,10 @@ use std::sync::{Arc, Mutex, OnceLock};
 
 use fxhash::FxHashMap;
 use sn_graph::{LayerId, Net, StepPhase};
-use sn_sim::{DeviceGroup, DeviceSpec, EngineKind, Event, SimTime, StreamId, Timeline};
+use sn_sim::{
+    DeviceGroup, DeviceSpec, EngineKind, Event, SimTime, SpanLabel, StreamId, Timeline, TraceSink,
+};
+use sn_telemetry::MetricsRegistry;
 
 use crate::executor::{finite_rate, ExecError, Executor, IterationReport};
 use crate::parallel::{bucket_wire_bytes, ring_wire_time, Interconnect};
@@ -303,8 +306,10 @@ pub fn compile_group_memo(
     };
     let memo = GROUP_MEMO.get_or_init(|| Mutex::new(FxHashMap::default()));
     if let Some(hit) = memo.lock().unwrap().get(&key) {
+        group_memo_metrics().0.inc();
         return hit.clone();
     }
+    group_memo_metrics().1.inc();
     let result = compile_group(net, spec, policy, cfg).map(Arc::new);
     let mut map = memo.lock().unwrap();
     if map.len() >= GROUP_MEMO_CAP {
@@ -312,6 +317,19 @@ pub fn compile_group_memo(
     }
     map.insert(key, result.clone());
     result
+}
+
+/// `group.memo.{hit,miss}` counters on the process-wide registry —
+/// monotone like the memo itself, mirroring `plan.memo.{hit,miss}`.
+fn group_memo_metrics() -> &'static (sn_telemetry::Counter, sn_telemetry::Counter) {
+    static HANDLES: OnceLock<(sn_telemetry::Counter, sn_telemetry::Counter)> = OnceLock::new();
+    HANDLES.get_or_init(|| {
+        let reg = sn_telemetry::global();
+        (
+            reg.counter("group.memo.hit"),
+            reg.counter("group.memo.miss"),
+        )
+    })
 }
 
 // ---------------------------------------------------------------------
@@ -446,6 +464,25 @@ impl<'n> GroupExecutor<'n> {
         &self.replicas[i]
     }
 
+    /// Attach `sink` to every replica's timeline. Each replica traces into
+    /// its own process ("device 0", "device 1", …) of the shared sink, so
+    /// one exported timeline shows the whole gang — kernels, DMAs, and the
+    /// lockstep collectives on each device's link track.
+    pub fn enable_tracing(&mut self, sink: &TraceSink) {
+        for (i, r) in self.replicas.iter_mut().enumerate() {
+            r.enable_tracing(sink, &format!("device {i}"));
+        }
+    }
+
+    /// Route every replica's executor metrics into `registry`. Replicas
+    /// share the handles, so `exec.*` series aggregate across the gang
+    /// (`exec.iterations` counts replica-iterations, not gang steps).
+    pub fn enable_metrics(&mut self, registry: &MetricsRegistry) {
+        for r in &mut self.replicas {
+            r.enable_metrics(registry);
+        }
+    }
+
     /// Launch one bucket's ring all-reduce: gated on every replica's
     /// compute frontier (the kernel that produced the bucket's last
     /// gradient has been submitted by now) and each device's link port.
@@ -456,7 +493,32 @@ impl<'n> GroupExecutor<'n> {
         let ready: Vec<Event> = (0..self.replicas.len())
             .map(|i| self.replicas[i].dev.tl.frontier_event(StreamId::COMPUTE))
             .collect();
+        for r in &mut self.replicas {
+            if r.dev.tl.tracing() {
+                r.dev.tl.trace_label(
+                    SpanLabel::new(format!("allreduce b{}", b.id), "collective")
+                        .arg("bucket", b.id)
+                        .arg("bytes", b.bytes)
+                        .arg("wire_bytes", b.wire_bytes)
+                        .arg("gate_step", b.ready_step),
+                );
+            }
+        }
         sn_sim::group_collective(self, duration, b.wire_bytes, &ready);
+        // The fabric gates the lockstep start with a synthesized same-stream
+        // event, so the backward-kernel → collective dependency each replica
+        // actually waited on is drawn explicitly here.
+        if duration > SimTime::ZERO {
+            for (i, gate) in ready.iter().enumerate() {
+                let link = self.links[i];
+                let tl = &mut self.replicas[i].dev.tl;
+                if tl.tracing() {
+                    let from = tl.trace_span_ending(*gate);
+                    let to = tl.trace_last_span(link);
+                    tl.trace_flow(from, to);
+                }
+            }
+        }
     }
 
     /// Run one synchronous data-parallel iteration: every replica replays
@@ -729,6 +791,8 @@ mod tests {
                 peak_bytes: 0,
                 h2d_bytes: 0,
                 d2h_bytes: 0,
+                link_bytes: 0,
+                link_busy: SimTime::ZERO,
                 counters: Default::default(),
                 alloc_time: SimTime::ZERO,
                 alloc_calls: 0,

@@ -533,6 +533,20 @@ fn compile_memo_inner(
     compile_memo_traced(net, spec, policy, inference).0
 }
 
+/// `(hit, miss)` counters of the process-wide metrics registry, mirroring
+/// `MEMO_HITS`/`MEMO_MISSES` so memo effectiveness shows up in metrics
+/// snapshots. Handles resolved once — the memo path pays two relaxed
+/// atomic increments, nothing more. The registry counters are monotone
+/// (never reset by [`clear_plan_memo`]): snapshot consumers difference
+/// them across a run.
+fn memo_metrics() -> &'static (sn_telemetry::Counter, sn_telemetry::Counter) {
+    static HANDLES: OnceLock<(sn_telemetry::Counter, sn_telemetry::Counter)> = OnceLock::new();
+    HANDLES.get_or_init(|| {
+        let reg = sn_telemetry::global();
+        (reg.counter("plan.memo.hit"), reg.counter("plan.memo.miss"))
+    })
+}
+
 /// [`compile_memo_inner`] reporting whether the result was a memo hit.
 /// Test support: the global hit/miss counters are shared by every test in
 /// a process, so tests assert on this per-call flag instead.
@@ -546,9 +560,11 @@ fn compile_memo_traced(
     let memo = PLAN_MEMO.get_or_init(|| Mutex::new(FxHashMap::default()));
     if let Some(hit) = memo.lock().unwrap().get(&key) {
         MEMO_HITS.fetch_add(1, Ordering::Relaxed);
+        memo_metrics().0.inc();
         return (hit.clone(), true);
     }
     MEMO_MISSES.fetch_add(1, Ordering::Relaxed);
+    memo_metrics().1.inc();
     // Compile outside the lock: concurrent sweeps may duplicate a compile
     // (both produce identical plans — last insert wins) but never block on
     // each other's compilation.
@@ -803,6 +819,7 @@ impl<'a> Planner<'a> {
     fn drain_reapable(&mut self, step: usize) {
         let mut scratch = std::mem::take(&mut self.reap_scratch);
         self.utp.collect_reapable(self.liveness, step, &mut scratch);
+        self.counters.reaps += scratch.len() as u64;
         for &t in &scratch {
             self.release_device(t);
         }
@@ -814,6 +831,7 @@ impl<'a> Planner<'a> {
     /// memory may have been freed and the allocation is worth retrying.
     fn reclaim_some(&mut self, step: usize) -> Result<bool, ExecError> {
         if let Some(t) = self.utp.first_reapable(self.liveness, step) {
+            self.counters.reaps += 1;
             self.release_device(t);
             return Ok(true);
         }
@@ -867,8 +885,12 @@ impl<'a> Planner<'a> {
     ) -> Result<AllocGrant, ExecError> {
         loop {
             match self.charged_alloc(bytes) {
-                Ok(g) => return Ok(g),
+                Ok(g) => {
+                    self.counters.alloc_grants += 1;
+                    return Ok(g);
+                }
                 Err(_) => {
+                    self.counters.ladder_rungs += 1;
                     if self.reclaim_some(step)? {
                         continue;
                     }

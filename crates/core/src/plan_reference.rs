@@ -162,12 +162,14 @@ impl<'a> Planner<'a> {
     fn drain_reapable(&mut self, step: usize) {
         // The old per-call `Vec` allocation, preserved.
         for t in self.utp.reapable(self.liveness, step) {
+            self.counters.reaps += 1;
             self.release_device(t);
         }
     }
 
     fn reclaim_some(&mut self, step: usize) -> Result<bool, ExecError> {
         if let Some(t) = self.utp.first_reapable(self.liveness, step) {
+            self.counters.reaps += 1;
             self.release_device(t);
             return Ok(true);
         }
@@ -215,8 +217,12 @@ impl<'a> Planner<'a> {
     ) -> Result<AllocGrant, ExecError> {
         loop {
             match self.charged_alloc(bytes) {
-                Ok(g) => return Ok(g),
+                Ok(g) => {
+                    self.counters.alloc_grants += 1;
+                    return Ok(g);
+                }
                 Err(_) => {
+                    self.counters.ladder_rungs += 1;
                     if self.reclaim_some(step)? {
                         continue;
                     }

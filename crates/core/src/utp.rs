@@ -530,6 +530,16 @@ impl Utp {
         self.pending_offloads.clear();
     }
 
+    /// Number of tensors currently under Tensor Cache management — the
+    /// telemetry occupancy gauge (`exec.cache.resident`). O(1) for both
+    /// cache representations.
+    pub fn cache_len(&self) -> usize {
+        match &self.cache {
+            Cache::Linked(l) => l.len,
+            Cache::Reference(v) => v.list.len(),
+        }
+    }
+
     /// Count of device-resident tensors (the trace's live-tensor series).
     pub fn device_resident(&self) -> usize {
         self.states

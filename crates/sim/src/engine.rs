@@ -18,6 +18,7 @@
 //! the quantity the `overlap` bench experiment reports per policy.
 
 use crate::time::SimTime;
+use sn_telemetry::{ArgValue, SpanId, TraceSink, TrackId};
 
 /// Which kind of hardware queue a stream models. Several streams may share a
 /// kind (e.g. two H2D copy queues); statistics aggregate per kind.
@@ -209,6 +210,94 @@ fn span_len(spans: &[(u64, u64)]) -> u64 {
     spans.iter().map(|(s, e)| e - s).sum()
 }
 
+/// A pending annotation for the *next* operation submitted to this timeline:
+/// the span name, category, and typed arguments shown in the trace viewer.
+/// Set via [`Timeline::trace_label`] right before the submit; unlabeled
+/// operations fall back to their stream kind's generic name ("kernel",
+/// "h2d", "d2h", "link").
+#[derive(Debug, Clone)]
+pub struct SpanLabel {
+    pub name: String,
+    pub cat: &'static str,
+    pub args: Vec<(&'static str, ArgValue)>,
+}
+
+impl SpanLabel {
+    pub fn new(name: impl Into<String>, cat: &'static str) -> SpanLabel {
+        SpanLabel {
+            name: name.into(),
+            cat,
+            args: Vec::new(),
+        }
+    }
+
+    /// Attach a typed argument (builder-style).
+    pub fn arg(mut self, key: &'static str, value: impl Into<ArgValue>) -> SpanLabel {
+        self.args.push((key, value.into()));
+        self
+    }
+}
+
+/// The timeline's connection to a [`TraceSink`]: one track per stream, the
+/// completed-span index used to resolve gate events into flow arrows, and
+/// the pending label. Present only while tracing is on, so the disabled
+/// path in [`Timeline::submit_on`] is a single `is_some` branch.
+#[derive(Debug, Clone)]
+struct Tracer {
+    sink: TraceSink,
+    /// Process name in the trace (e.g. `"device 0"`).
+    device: String,
+    /// Track per stream, parallel to `Timeline::streams`.
+    tracks: Vec<TrackId>,
+    /// Stream kinds already registered (for track-name dedup).
+    kinds: Vec<EngineKind>,
+    /// Per stream: `(end_ns, span)` of every recorded span, ends strictly
+    /// increasing (streams serialize and zero-duration ops are skipped), so
+    /// a gate event resolves to its source span by binary search.
+    ends: Vec<Vec<(u64, SpanId)>>,
+    label: Option<SpanLabel>,
+}
+
+impl Tracer {
+    fn register(&mut self, kind: EngineKind) {
+        let base = match kind {
+            EngineKind::Compute => "compute",
+            EngineKind::H2D => "h2d",
+            EngineKind::D2H => "d2h",
+            EngineKind::Link => "link",
+        };
+        let nth = self.kinds.iter().filter(|k| **k == kind).count();
+        let name = if nth == 0 {
+            base.to_string()
+        } else {
+            format!("{base} {}", nth + 1)
+        };
+        self.tracks.push(self.sink.track(&self.device, &name));
+        self.kinds.push(kind);
+        self.ends.push(Vec::new());
+    }
+
+    /// The recorded span that ends exactly when `e` completes, if any.
+    fn span_ending(&self, e: Event) -> SpanId {
+        let Some(ends) = self.ends.get(e.stream.0) else {
+            return SpanId::NONE;
+        };
+        match ends.binary_search_by_key(&e.done_at.as_ns(), |(ns, _)| *ns) {
+            Ok(i) => ends[i].1,
+            Err(_) => SpanId::NONE,
+        }
+    }
+}
+
+fn default_label(kind: EngineKind) -> (&'static str, &'static str) {
+    match kind {
+        EngineKind::Compute => ("kernel", "kernel"),
+        EngineKind::H2D => ("h2d", "dma"),
+        EngineKind::D2H => ("d2h", "dma"),
+        EngineKind::Link => ("link", "collective"),
+    }
+}
+
 /// The device timeline: a virtual clock plus a set of streams.
 ///
 /// The caller (the runtime's executor) plays the role of the host thread: it
@@ -222,6 +311,9 @@ pub struct Timeline {
     d2h_bytes: u64,
     link_bytes: u64,
     stall: SimTime,
+    /// `None` unless a live [`TraceSink`] is attached — the disabled path
+    /// costs one branch per submit and allocates nothing.
+    tracer: Option<Box<Tracer>>,
 }
 
 impl Default for Timeline {
@@ -244,13 +336,127 @@ impl Timeline {
             d2h_bytes: 0,
             link_bytes: 0,
             stall: SimTime::ZERO,
+            tracer: None,
         }
     }
 
     /// Add another stream of the given kind (e.g. a second copy queue).
     pub fn add_stream(&mut self, kind: EngineKind) -> StreamId {
         self.streams.push(Stream::new(kind));
+        if let Some(tr) = self.tracer.as_deref_mut() {
+            tr.register(kind);
+        }
         StreamId(self.streams.len() - 1)
+    }
+
+    /// Attach a [`TraceSink`]: every subsequent operation on this timeline
+    /// is recorded as a span on a per-stream track under process `device`
+    /// (e.g. `"device 0"`), and cross-stream gate events become flow
+    /// arrows. Attaching a disabled sink detaches instead, keeping the
+    /// submit hot path free of tracing work.
+    pub fn attach_tracer(&mut self, sink: &TraceSink, device: &str) {
+        if !sink.is_enabled() {
+            self.tracer = None;
+            return;
+        }
+        let mut tr = Tracer {
+            sink: sink.clone(),
+            device: device.to_string(),
+            tracks: Vec::new(),
+            kinds: Vec::new(),
+            ends: Vec::new(),
+            label: None,
+        };
+        let kinds: Vec<EngineKind> = self.streams.iter().map(|s| s.kind).collect();
+        for kind in kinds {
+            tr.register(kind);
+        }
+        self.tracer = Some(Box::new(tr));
+    }
+
+    /// Stop recording spans on this timeline.
+    pub fn detach_tracer(&mut self) {
+        self.tracer = None;
+    }
+
+    /// Whether a live trace sink is attached. Instrumented callers guard
+    /// label construction behind this, so tracing is zero-cost when off.
+    #[inline]
+    pub fn tracing(&self) -> bool {
+        self.tracer.is_some()
+    }
+
+    /// Annotate the *next* submitted operation with `label` (name, category,
+    /// args) instead of its stream kind's generic name. A no-op when no
+    /// tracer is attached.
+    pub fn trace_label(&mut self, label: SpanLabel) {
+        if let Some(tr) = self.tracer.as_deref_mut() {
+            tr.label = Some(label);
+        }
+    }
+
+    /// The recorded span that ends exactly when `e` completes (used to draw
+    /// explicit flow arrows, e.g. from a backward kernel to the collective
+    /// it feeds). [`SpanId::NONE`] when untraced or unresolvable.
+    pub fn trace_span_ending(&self, e: Event) -> SpanId {
+        match self.tracer.as_deref() {
+            Some(tr) => tr.span_ending(e),
+            None => SpanId::NONE,
+        }
+    }
+
+    /// The most recently recorded span on `stream`, or [`SpanId::NONE`].
+    pub fn trace_last_span(&self, stream: StreamId) -> SpanId {
+        self.tracer
+            .as_deref()
+            .and_then(|tr| tr.ends.get(stream.0))
+            .and_then(|ends| ends.last())
+            .map(|(_, id)| *id)
+            .unwrap_or(SpanId::NONE)
+    }
+
+    /// Draw an explicit flow arrow between two recorded spans (possibly on
+    /// different devices sharing the sink). Either endpoint being
+    /// [`SpanId::NONE`] drops the arrow; a no-op when untraced.
+    pub fn trace_flow(&mut self, from: SpanId, to: SpanId) {
+        if let Some(tr) = self.tracer.as_deref_mut() {
+            tr.sink.flow(from, to);
+        }
+    }
+
+    /// Record the just-submitted operation `[start, done)` on `stream` as a
+    /// span, consuming the pending label, and resolve every cross-stream
+    /// gate into a flow arrow ending at this span. Zero-duration ops consume
+    /// the label but record nothing (they occupy no timeline width), keeping
+    /// span ends strictly increasing per stream.
+    fn trace_submit(&mut self, stream: StreamId, start: SimTime, done: SimTime, gates: &[Event]) {
+        let kind = self.streams[stream.0].kind;
+        let tr = self.tracer.as_deref_mut().expect("tracer attached");
+        let label = tr.label.take();
+        if done == start {
+            return;
+        }
+        let (name, cat, args) = match label {
+            Some(l) => (l.name, l.cat, l.args),
+            None => {
+                let (name, cat) = default_label(kind);
+                (name.to_string(), cat, Vec::new())
+            }
+        };
+        let id = tr.sink.span_with(
+            tr.tracks[stream.0],
+            name,
+            cat,
+            start.as_ns(),
+            done.as_ns(),
+            args,
+        );
+        for g in gates {
+            if g.stream != stream && g.done_at > SimTime::ZERO {
+                tr.sink.flow(tr.span_ending(*g), id);
+            }
+        }
+        tr.ends[stream.0].push((done.as_ns(), id));
     }
 
     /// Number of streams (canonical + added).
@@ -296,6 +502,9 @@ impl Timeline {
                 Some(last) if last.1 == start.as_ns() => last.1 = done.as_ns(),
                 _ => s.intervals.push((start.as_ns(), done.as_ns())),
             }
+        }
+        if self.tracer.is_some() {
+            self.trace_submit(stream, start, done, gates);
         }
         Event {
             done_at: done,

@@ -35,9 +35,11 @@ pub mod trace;
 
 pub use alloc::{AllocError, AllocGrant, AllocId, CudaAllocator, DeviceAllocator};
 pub use engine::{
-    Dma, EngineKind, Event, OverlapStats, StreamId, Timeline, TimelineStats, TransferDirection,
+    Dma, EngineKind, Event, OverlapStats, SpanLabel, StreamId, Timeline, TimelineStats,
+    TransferDirection,
 };
 pub use group::{group_collective, group_now, group_sync, DeviceGroup, GroupEngine};
+pub use sn_telemetry::{SpanId, TraceSink};
 pub use spec::DeviceSpec;
 pub use time::SimTime;
 pub use trace::{StepRecord, StepTrace};

@@ -5,6 +5,8 @@
 //! tensors. The executor records one [`StepRecord`] per step into a
 //! [`StepTrace`]; the experiment harness prints the same two series.
 
+use std::sync::Arc;
+
 use serde::{Deserialize, Serialize};
 
 use crate::time::SimTime;
@@ -21,8 +23,10 @@ pub enum Phase {
 pub struct StepRecord {
     /// 1-based step index within the iteration (1..=2N).
     pub step: usize,
-    /// Layer name, e.g. `CONV2` or `POOL5`.
-    pub layer: String,
+    /// Layer name, e.g. `CONV2` or `POOL5`. Interned: the executor records
+    /// hundreds of steps per iteration, so each record shares the net's name
+    /// allocation instead of cloning a fresh `String`.
+    pub layer: Arc<str>,
     /// Forward or backward half.
     pub phase: Phase,
     /// Device bytes resident *during* this step's computation (the quantity
@@ -108,7 +112,7 @@ mod tests {
         t.push(rec(2, "POOL1", Phase::Forward, 300, 5));
         t.push(rec(3, "POOL1", Phase::Backward, 250, 4));
         assert_eq!(t.peak_bytes(), 300);
-        assert_eq!(t.peak_step().unwrap().layer, "POOL1");
+        assert_eq!(&*t.peak_step().unwrap().layer, "POOL1");
         assert_eq!(t.peak_live_tensors(), 5);
     }
 

@@ -1,0 +1,71 @@
+//! # sn-telemetry — the unified observability substrate
+//!
+//! Every layer of the stack — the discrete-event sim engine, the
+//! plan/interpret runtime, the device group, the cluster scheduler — needs
+//! to be *seen into* before it can be optimized: the paper's own evidence is
+//! observational (Fig. 10 plots per-step resident bytes, Table 3 decomposes
+//! iteration time into compute vs. transfer). This crate provides the two
+//! pillars that instrumentation reports through, with **zero dependencies**
+//! (std only — the workspace builds offline):
+//!
+//! * **[`TraceSink`]** — a timeline recorder of spans, instants and flow
+//!   arrows over named tracks, exported as Chrome trace-event JSON
+//!   (`.trace.json`, loadable in Perfetto or `chrome://tracing`). The sim
+//!   engine feeds it one track per stream (compute, H2D, D2H, Link × device)
+//!   and draws a flow arrow for every cross-stream `Event` gate, so overlap
+//!   and lockstep collective gating are visually inspectable.
+//! * **[`MetricsRegistry`]** — typed [`Counter`]s, [`Gauge`]s and
+//!   log-bucketed [`Histogram`]s behind cheap cloneable handles, with a
+//!   stable JSON snapshot format the bench harness embeds into
+//!   `BENCH_*.json` artifacts.
+//!
+//! **The zero-overhead-when-disabled contract**: a [`TraceSink::off`] sink
+//! records nothing and allocates nothing; instrumented code guards every
+//! label construction behind an is-enabled check, so the disabled path costs
+//! one branch per operation. The `compile` bench's `serial_ok` gate (planner
+//! throughput ≥3x the reference) runs with the no-op sink and is the CI
+//! proof that instrumentation is free when off.
+
+pub mod metrics;
+pub mod trace;
+
+pub use metrics::{
+    global, Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot,
+};
+pub use trace::{
+    ArgValue, FlowData, InstantData, SpanData, SpanId, TraceCheck, TraceData, TraceSink, TrackData,
+    TrackId,
+};
+
+/// Minimal JSON string escaping (quotes, backslash, control characters) —
+/// the same convention `sn-cluster`'s hand-rolled report JSON uses; kept
+/// here so both pillars emit valid JSON without a serde dependency.
+pub(crate) fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::json_str;
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_str("plain"), "\"plain\"");
+        assert_eq!(json_str("a\"b\\c"), "\"a\\\"b\\\\c\"");
+        assert_eq!(json_str("x\ny\u{1}"), "\"x\\ny\\u0001\"");
+    }
+}

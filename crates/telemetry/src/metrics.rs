@@ -1,0 +1,425 @@
+//! The metrics registry: typed counters, gauges, and log₂-bucketed
+//! histograms behind cheap cloneable handles.
+//!
+//! A [`MetricsRegistry`] maps stable dotted names (`"plan.memo.hit"`,
+//! `"cluster.latency_ns"`) to metrics. Instrumented code calls
+//! [`counter`](MetricsRegistry::counter) / [`gauge`](MetricsRegistry::gauge)
+//! / [`histogram`](MetricsRegistry::histogram) **once** to obtain a handle
+//! (an `Arc`-shared atomic), then updates through the handle on the hot path
+//! — no name lookup, no lock, just a relaxed atomic op.
+//! [`snapshot`](MetricsRegistry::snapshot) freezes everything into a sorted
+//! [`MetricsSnapshot`] whose [`to_json`](MetricsSnapshot::to_json) is the
+//! stable schema the bench harness embeds into `BENCH_*.json`.
+//!
+//! Histograms bucket by log₂: bucket 0 counts zero values, bucket *i* ≥ 1
+//! covers `[2^(i-1), 2^i)`. 65 buckets span the full `u64` range, so
+//! nanosecond latencies and byte sizes both fit without configuration.
+//!
+//! There is one process-wide [`global`] registry for metrics owned by
+//! process-wide caches (the plan and group memos); everything per-run
+//! (executor counters, cluster admission) takes an explicit registry so
+//! concurrent tests never observe each other's counts.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use crate::json_str;
+
+/// A monotonically increasing counter.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    pub fn add(&self, v: u64) {
+        self.0.fetch_add(v, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A point-in-time signed value (resident bytes, queue depth).
+#[derive(Debug, Clone, Default)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    pub fn add(&self, v: i64) {
+        self.0.fetch_add(v, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of histogram buckets: one for zero plus one per possible
+/// `u64` bit length.
+pub const HIST_BUCKETS: usize = 65;
+
+#[derive(Debug)]
+struct HistInner {
+    count: AtomicU64,
+    sum: AtomicU64,
+    buckets: [AtomicU64; HIST_BUCKETS],
+}
+
+impl Default for HistInner {
+    fn default() -> HistInner {
+        HistInner {
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+/// A log₂-bucketed histogram of `u64` samples.
+#[derive(Debug, Clone, Default)]
+pub struct Histogram(Arc<HistInner>);
+
+/// Bucket index of a value: 0 for 0, else `1 + floor(log2 v)` so bucket
+/// `i ≥ 1` covers `[2^(i-1), 2^i)`.
+fn bucket_of(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        64 - v.leading_zeros() as usize
+    }
+}
+
+impl Histogram {
+    pub fn record(&self, v: u64) {
+        self.0.count.fetch_add(1, Ordering::Relaxed);
+        self.0.sum.fetch_add(v, Ordering::Relaxed);
+        self.0.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    pub fn sum(&self) -> u64 {
+        self.0.sum.load(Ordering::Relaxed)
+    }
+
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let buckets: Vec<u64> = self
+            .0
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        HistogramSnapshot {
+            count: self.count(),
+            sum: self.sum(),
+            buckets,
+        }
+    }
+}
+
+/// A frozen histogram: total count/sum plus per-bucket counts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    pub count: u64,
+    pub sum: u64,
+    pub buckets: Vec<u64>,
+}
+
+impl HistogramSnapshot {
+    /// The inclusive lower bound of bucket `i`.
+    pub fn bucket_lo(i: usize) -> u64 {
+        if i <= 1 {
+            0
+        } else {
+            1u64 << (i - 1)
+        }
+    }
+
+    /// The mean sample, or 0.0 for an empty histogram.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Metric {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+/// The named-metric registry. Cloning shares the underlying map.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    inner: Arc<Mutex<BTreeMap<String, Metric>>>,
+}
+
+impl MetricsRegistry {
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// Get-or-create the counter named `name`.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric type.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut map = self.inner.lock().unwrap();
+        match map
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Counter(Counter::default()))
+        {
+            Metric::Counter(c) => c.clone(),
+            other => panic!("metric {name:?} is not a counter: {other:?}"),
+        }
+    }
+
+    /// Get-or-create the gauge named `name`.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric type.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut map = self.inner.lock().unwrap();
+        match map
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Gauge(Gauge::default()))
+        {
+            Metric::Gauge(g) => g.clone(),
+            other => panic!("metric {name:?} is not a gauge: {other:?}"),
+        }
+    }
+
+    /// Get-or-create the histogram named `name`.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric type.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        let mut map = self.inner.lock().unwrap();
+        match map
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Histogram(Histogram::default()))
+        {
+            Metric::Histogram(h) => h.clone(),
+            other => panic!("metric {name:?} is not a histogram: {other:?}"),
+        }
+    }
+
+    /// Freeze every registered metric into a sorted snapshot.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let map = self.inner.lock().unwrap();
+        let mut snap = MetricsSnapshot::default();
+        for (name, metric) in map.iter() {
+            match metric {
+                Metric::Counter(c) => snap.counters.push((name.clone(), c.get())),
+                Metric::Gauge(g) => snap.gauges.push((name.clone(), g.get())),
+                Metric::Histogram(h) => snap.histograms.push((name.clone(), h.snapshot())),
+            }
+        }
+        snap
+    }
+}
+
+/// The process-wide registry, for metrics owned by process-wide state (the
+/// plan and group memo caches). Per-run instrumentation should take an
+/// explicit [`MetricsRegistry`] instead.
+pub fn global() -> &'static MetricsRegistry {
+    static GLOBAL: OnceLock<MetricsRegistry> = OnceLock::new();
+    GLOBAL.get_or_init(MetricsRegistry::default)
+}
+
+/// A frozen registry: every metric by (sorted) name. `to_json` is the
+/// stable snapshot schema embedded in bench artifacts.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    pub counters: Vec<(String, u64)>,
+    pub gauges: Vec<(String, i64)>,
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+}
+
+impl MetricsSnapshot {
+    /// Look up a counter value by name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// Look up a gauge value by name.
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+    }
+
+    /// Look up a histogram by name.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, h)| h)
+    }
+
+    /// The stable JSON schema:
+    ///
+    /// ```json
+    /// {"counters":{"name":n,...},
+    ///  "gauges":{"name":n,...},
+    ///  "histograms":{"name":{"count":n,"sum":n,"buckets":[{"lo":n,"n":n},...]},...}}
+    /// ```
+    ///
+    /// Names are sorted; empty histogram buckets are omitted from the
+    /// bucket list (their `lo` bounds make the encoding self-describing).
+    pub fn to_json(&self) -> String {
+        let counters: Vec<String> = self
+            .counters
+            .iter()
+            .map(|(n, v)| format!("{}:{v}", json_str(n)))
+            .collect();
+        let gauges: Vec<String> = self
+            .gauges
+            .iter()
+            .map(|(n, v)| format!("{}:{v}", json_str(n)))
+            .collect();
+        let hists: Vec<String> = self
+            .histograms
+            .iter()
+            .map(|(n, h)| {
+                let buckets: Vec<String> = h
+                    .buckets
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, c)| **c > 0)
+                    .map(|(i, c)| {
+                        format!("{{\"lo\":{},\"n\":{c}}}", HistogramSnapshot::bucket_lo(i))
+                    })
+                    .collect();
+                format!(
+                    "{}:{{\"count\":{},\"sum\":{},\"buckets\":[{}]}}",
+                    json_str(n),
+                    h.count,
+                    h.sum,
+                    buckets.join(",")
+                )
+            })
+            .collect();
+        format!(
+            "{{\"counters\":{{{}}},\"gauges\":{{{}}},\"histograms\":{{{}}}}}",
+            counters.join(","),
+            gauges.join(","),
+            hists.join(",")
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_handles_share_state() {
+        let reg = MetricsRegistry::new();
+        let a = reg.counter("x");
+        let b = reg.counter("x");
+        a.inc();
+        b.add(4);
+        assert_eq!(a.get(), 5);
+        assert_eq!(reg.snapshot().counter("x"), Some(5));
+    }
+
+    #[test]
+    fn gauge_set_and_add() {
+        let reg = MetricsRegistry::new();
+        let g = reg.gauge("depth");
+        g.set(7);
+        g.add(-2);
+        assert_eq!(g.get(), 5);
+        assert_eq!(reg.snapshot().gauge("depth"), Some(5));
+    }
+
+    #[test]
+    fn histogram_buckets_by_log2() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(u64::MAX), 64);
+
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("lat");
+        for v in [0u64, 1, 2, 3, 1024] {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 5);
+        assert_eq!(snap.sum, 1030);
+        assert_eq!(snap.buckets[0], 1); // the zero
+        assert_eq!(snap.buckets[1], 1); // 1
+        assert_eq!(snap.buckets[2], 2); // 2, 3
+        assert_eq!(snap.buckets[11], 1); // 1024 in [1024, 2048)
+                                         // Bucket totals always equal the count.
+        assert_eq!(snap.buckets.iter().sum::<u64>(), snap.count);
+    }
+
+    #[test]
+    fn bucket_bounds_are_self_describing() {
+        assert_eq!(HistogramSnapshot::bucket_lo(0), 0);
+        assert_eq!(HistogramSnapshot::bucket_lo(1), 0);
+        assert_eq!(HistogramSnapshot::bucket_lo(2), 2);
+        assert_eq!(HistogramSnapshot::bucket_lo(11), 1024);
+    }
+
+    #[test]
+    #[should_panic(expected = "is not a counter")]
+    fn type_mismatch_panics() {
+        let reg = MetricsRegistry::new();
+        reg.gauge("x");
+        reg.counter("x");
+    }
+
+    #[test]
+    fn snapshot_json_is_sorted_and_stable() {
+        let reg = MetricsRegistry::new();
+        reg.counter("b.second").add(2);
+        reg.counter("a.first").inc();
+        reg.gauge("depth").set(-3);
+        reg.histogram("lat").record(5);
+        let json = reg.snapshot().to_json();
+        assert_eq!(
+            json,
+            "{\"counters\":{\"a.first\":1,\"b.second\":2},\
+             \"gauges\":{\"depth\":-3},\
+             \"histograms\":{\"lat\":{\"count\":1,\"sum\":5,\"buckets\":[{\"lo\":4,\"n\":1}]}}}"
+        );
+    }
+
+    #[test]
+    fn global_registry_is_shared() {
+        let c = global().counter("test.global.shared");
+        let before = c.get();
+        global().counter("test.global.shared").inc();
+        assert_eq!(c.get(), before + 1);
+    }
+
+    #[test]
+    fn mean_of_empty_histogram_is_zero() {
+        let h = Histogram::default();
+        assert_eq!(h.snapshot().mean(), 0.0);
+        h.record(4);
+        h.record(6);
+        assert_eq!(h.snapshot().mean(), 5.0);
+    }
+}

@@ -110,6 +110,20 @@ pub mod strategy {
     }
 
     impl_range_strategy!(usize, u64, u32, u16, u8, isize, i64, i32, f32, f64);
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($s:ident $idx:tt),+)),*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    impl_tuple_strategy!((A 0, B 1), (A 0, B 1, C 2), (A 0, B 1, C 2, D 3));
 }
 
 pub mod test_runner {

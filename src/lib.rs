@@ -11,6 +11,7 @@ pub use sn_mempool as mempool;
 pub use sn_models as models;
 pub use sn_runtime as runtime;
 pub use sn_sim as sim;
+pub use sn_telemetry as telemetry;
 pub use sn_tensor as tensor;
 
 pub use sn_cluster::{ClusterSim, Fleet, JobSpec, PlacementPolicy, PolicyPreset, Workload};
@@ -18,3 +19,4 @@ pub use sn_frameworks::Framework;
 pub use sn_graph::{Net, Shape4};
 pub use sn_runtime::{Executor, Policy, RecomputeMode, Session};
 pub use sn_sim::DeviceSpec;
+pub use sn_telemetry::{MetricsRegistry, TraceSink};
