@@ -40,13 +40,14 @@ fn main() {
             "plan" => sn_bench::plan(quick),
             "compile" => sn_bench::compile(quick),
             "dataparallel" => sn_bench::dataparallel(quick),
+            "precision" => sn_bench::precision(quick),
             "trace" => sn_bench::trace(quick),
             "all" => sn_bench::run_all(quick),
             other => {
                 eprintln!(
                     "unknown experiment '{other}'; known: fig2 fig8 fig10 table1 table2 table3 \
                      fig11 fig12 table4 table5 fig13 fig14 ablation overlap cluster plan compile \
-                     dataparallel trace all  (flag: --quick)"
+                     dataparallel precision trace all  (flag: --quick)"
                 );
                 std::process::exit(2);
             }

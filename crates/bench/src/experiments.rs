@@ -561,6 +561,7 @@ pub fn run_all(quick: bool) -> String {
         ("plan", crate::plan::plan(quick)),
         ("compile", crate::compile::compile(quick)),
         ("dataparallel", crate::dataparallel::dataparallel(quick)),
+        ("precision", crate::precision::precision(quick)),
         ("trace", crate::trace::trace(quick)),
     ] {
         out.push_str(&format!(

@@ -16,6 +16,7 @@ pub mod dataparallel;
 pub mod experiments;
 pub mod overlap;
 pub mod plan;
+pub mod precision;
 pub mod table;
 pub mod trace;
 
@@ -26,4 +27,5 @@ pub use dataparallel::dataparallel;
 pub use experiments::*;
 pub use overlap::overlap;
 pub use plan::plan;
+pub use precision::precision;
 pub use trace::trace;

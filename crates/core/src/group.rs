@@ -228,7 +228,10 @@ fn build_group_plan(replica: Arc<CompiledPlan>, cfg: &GroupConfig) -> GroupPlan 
             if step.phase != StepPhase::Backward {
                 continue;
             }
-            let wb = cost.layer(step.layer).weight_bytes;
+            // Bucket the on-the-wire gradient payload, not the fp32 master
+            // weights: under a mixed preset the ring exchanges 2-byte
+            // gradients (== weight_bytes at fp32).
+            let wb = cost.layer(step.layer).allreduce_bytes;
             if wb == 0 {
                 continue;
             }
@@ -643,6 +646,25 @@ mod tests {
             assert_eq!(g.comm_workspace_bytes % 2, 0);
             assert!(g.comm_workspace_bytes >= 2 * g.buckets.iter().map(|b| b.bytes).max().unwrap());
         }
+    }
+
+    #[test]
+    fn mixed_precision_groups_bucket_half_the_bytes() {
+        // Under bf16 gradients the collective schedule carries half the fp32
+        // payload — the buckets hold 2-byte gradient bytes while the master
+        // weights (and the fp32 group above) stay at 4 bytes per element.
+        let net = stub(8);
+        let spec = DeviceSpec::k40c();
+        let fp32 = compile_group(&net, &spec, Policy::superneurons(), &cfg(4)).unwrap();
+        let mixed = Policy::superneurons().with_precision(sn_graph::Precision::bf16_mixed());
+        let bf16 = compile_group(&net, &spec, mixed, &cfg(4)).unwrap();
+        assert_eq!(fp32.grad_bytes(), fp32.replica.plan.weight_bytes);
+        assert_eq!(bf16.grad_bytes(), fp32.grad_bytes() / 2);
+        assert_eq!(
+            bf16.wire_bytes(),
+            crate::parallel::ring_allreduce_wire_bytes(bf16.grad_bytes(), 4)
+        );
+        assert!(bf16.wire_bytes() < fp32.wire_bytes());
     }
 
     #[test]

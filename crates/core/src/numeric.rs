@@ -13,9 +13,13 @@ use sn_tensor::act::{
     dropout_backward, dropout_forward, eltwise_add, lrn_backward, lrn_forward, relu_backward,
     relu_forward, synthetic_batch, LrnParams,
 };
+use sn_tensor::attention::{attention_backward, attention_forward};
 use sn_tensor::conv::{conv2d_backward, conv2d_forward, ConvParams};
+use sn_tensor::embedding::{embedding_backward, embedding_forward};
+use sn_tensor::layernorm::{layernorm_backward, layernorm_forward};
 use sn_tensor::linear::{fc_backward, fc_forward};
 use sn_tensor::loss::{accuracy, cross_entropy, softmax_forward, softmax_xent_backward};
+use sn_tensor::mlp::{mlp_backward, mlp_forward};
 use sn_tensor::norm::{bn_backward, bn_forward, BnSaved};
 use sn_tensor::pool::{
     avgpool_backward, avgpool_forward, maxpool_backward, maxpool_forward, PoolParams,
@@ -89,6 +93,44 @@ impl NumericBackend {
                         bias: vec![0.0; c],                            // beta
                         w_state: SgdState::new(c),
                         b_state: SgdState::new(c),
+                    })
+                }
+                LayerKind::LayerNorm => {
+                    let c = layer.out_shape.c;
+                    Some(LayerParams {
+                        weight: Tensor::full(Shape4::flat(1, c), 1.0), // gamma
+                        bias: vec![0.0; c],                            // beta
+                        w_state: SgdState::new(c),
+                        b_state: SgdState::new(c),
+                    })
+                }
+                LayerKind::Embedding { vocab, dim } => {
+                    let wshape = Shape4::flat(*vocab, *dim);
+                    Some(LayerParams {
+                        weight: Tensor::rand_uniform(wshape, 0.1, seed ^ (layer.id.0 as u64) << 16),
+                        bias: vec![],
+                        w_state: SgdState::new(wshape.numel()),
+                        b_state: SgdState::new(0),
+                    })
+                }
+                LayerKind::Attention { .. } => {
+                    let d = layer.out_shape.c;
+                    let wshape = Shape4::flat(4 * d, d); // packed Wq/Wk/Wv/Wo
+                    Some(LayerParams {
+                        weight: Tensor::kaiming(wshape, d, seed ^ (layer.id.0 as u64) << 24),
+                        bias: vec![0.0; 4 * d],
+                        w_state: SgdState::new(wshape.numel()),
+                        b_state: SgdState::new(4 * d),
+                    })
+                }
+                LayerKind::Mlp { hidden } => {
+                    let d = layer.out_shape.c;
+                    let wshape = Shape4::flat(2 * *hidden, d); // packed W1/W2
+                    Some(LayerParams {
+                        weight: Tensor::kaiming(wshape, d, seed ^ (layer.id.0 as u64) << 32),
+                        bias: vec![0.0; *hidden + d],
+                        w_state: SgdState::new(wshape.numel()),
+                        b_state: SgdState::new(*hidden + d),
                     })
                 }
                 _ => None,
@@ -213,8 +255,26 @@ impl ComputeBackend for NumericBackend {
                 self.bn_saved[layer.0] = Some(saved);
                 y
             }
-            LayerKind::Dropout { p } => {
-                dropout_forward(self.input(layer, 0), *p, self.dropout_seed(layer))
+            LayerKind::Dropout { p_bits } => dropout_forward(
+                self.input(layer, 0),
+                f32::from_bits(*p_bits),
+                self.dropout_seed(layer),
+            ),
+            LayerKind::Embedding { vocab, dim } => {
+                let lp = self.params[layer.0].as_ref().unwrap();
+                embedding_forward(self.input(layer, 0), lp.weight.data(), *vocab, *dim)
+            }
+            LayerKind::LayerNorm => {
+                let lp = self.params[layer.0].as_ref().unwrap();
+                layernorm_forward(self.input(layer, 0), lp.weight.data(), &lp.bias)
+            }
+            LayerKind::Attention { heads } => {
+                let lp = self.params[layer.0].as_ref().unwrap();
+                attention_forward(self.input(layer, 0), lp.weight.data(), &lp.bias, *heads)
+            }
+            LayerKind::Mlp { hidden } => {
+                let lp = self.params[layer.0].as_ref().unwrap();
+                mlp_forward(self.input(layer, 0), lp.weight.data(), &lp.bias, *hidden)
             }
             LayerKind::Fc { .. } => {
                 let lp = self.params[layer.0].as_ref().unwrap();
@@ -356,9 +416,65 @@ impl ComputeBackend for NumericBackend {
                 lp.b_state.step(&mut lp.bias, &dbeta, &self.sgd);
                 self.accumulate_grad(prevs[0], gi);
             }
-            LayerKind::Dropout { p } => {
+            LayerKind::Dropout { p_bits } => {
                 let gout = self.grads[layer.0].as_ref().expect("dropout grad");
-                let gi = dropout_backward(gout, *p, self.dropout_seed(layer));
+                let gi = dropout_backward(gout, f32::from_bits(*p_bits), self.dropout_seed(layer));
+                self.accumulate_grad(prevs[0], gi);
+            }
+            LayerKind::Embedding { vocab, dim } => {
+                let gout = self.grads[layer.0].take().expect("embedding grad");
+                let (gi, dtable) = embedding_backward(self.input(layer, 0), &gout, *vocab, *dim);
+                self.grads[layer.0] = Some(gout);
+                let lp = self.params[layer.0].as_mut().unwrap();
+                lp.w_state.step(lp.weight.data_mut(), &dtable, &self.sgd);
+                self.accumulate_grad(prevs[0], gi);
+            }
+            LayerKind::LayerNorm => {
+                let gout = self.grads[layer.0].take().expect("layernorm grad");
+                let (gi, dgamma, dbeta) = {
+                    let lp = self.params[layer.0].as_ref().unwrap();
+                    layernorm_backward(self.input(layer, 0), &gout, lp.weight.data())
+                };
+                self.grads[layer.0] = Some(gout);
+                let lp = self.params[layer.0].as_mut().unwrap();
+                lp.w_state.step(lp.weight.data_mut(), &dgamma, &self.sgd);
+                lp.b_state.step(&mut lp.bias, &dbeta, &self.sgd);
+                self.accumulate_grad(prevs[0], gi);
+            }
+            LayerKind::Attention { heads } => {
+                let gout = self.grads[layer.0].take().expect("attention grad");
+                let (gi, dw, db) = {
+                    let lp = self.params[layer.0].as_ref().unwrap();
+                    attention_backward(
+                        self.input(layer, 0),
+                        lp.weight.data(),
+                        &lp.bias,
+                        &gout,
+                        *heads,
+                    )
+                };
+                self.grads[layer.0] = Some(gout);
+                let lp = self.params[layer.0].as_mut().unwrap();
+                lp.w_state.step(lp.weight.data_mut(), &dw, &self.sgd);
+                lp.b_state.step(&mut lp.bias, &db, &self.sgd);
+                self.accumulate_grad(prevs[0], gi);
+            }
+            LayerKind::Mlp { hidden } => {
+                let gout = self.grads[layer.0].take().expect("mlp grad");
+                let (gi, dw, db) = {
+                    let lp = self.params[layer.0].as_ref().unwrap();
+                    mlp_backward(
+                        self.input(layer, 0),
+                        lp.weight.data(),
+                        &lp.bias,
+                        &gout,
+                        *hidden,
+                    )
+                };
+                self.grads[layer.0] = Some(gout);
+                let lp = self.params[layer.0].as_mut().unwrap();
+                lp.w_state.step(lp.weight.data_mut(), &dw, &self.sgd);
+                lp.b_state.step(&mut lp.bias, &db, &self.sgd);
                 self.accumulate_grad(prevs[0], gi);
             }
             LayerKind::Concat => {

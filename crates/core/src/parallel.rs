@@ -152,8 +152,12 @@ impl DataParallel {
     pub fn run(&self) -> Result<ParallelReport, ExecError> {
         assert!(self.gpus >= 1);
         let net = (self.net_builder)(self.per_gpu_batch);
-        let cost = NetCost::of(&net);
-        let grad_bytes = cost.total_weight_bytes();
+        // Wire volume scales with the gradient element size: under a mixed
+        // preset the ring exchanges 2-byte gradients of the fp32 master
+        // weights, i.e. half the fp32 bytes. At fp32 this is exactly
+        // `total_weight_bytes()`.
+        let cost = NetCost::with_precision(&net, self.policy.precision);
+        let grad_bytes = cost.total_allreduce_bytes();
 
         // One replica's iteration (all replicas are identical).
         let mut ex = Executor::new(&net, self.spec.clone(), self.policy)?;
@@ -352,6 +356,65 @@ mod tests {
         assert_eq!(halves.iter().sum::<u64>(), 1_335);
         // A single replica moves nothing, bucketed or not.
         assert_eq!(bucket_wire_bytes(&[1_000, 2_000], 1), vec![0, 0]);
+    }
+
+    #[test]
+    fn mixed_precision_halves_the_wire_bytes() {
+        // Under a 2-byte gradient dtype the ring moves half the fp32 bytes:
+        // the net's allreduce payload is weight_bytes/2, and the 2(k−1)/k
+        // wire volume shrinks with it.
+        use sn_graph::Precision;
+        let net = build(8);
+        let fp32 = NetCost::with_precision(&net, Precision::fp32());
+        let bf16 = NetCost::with_precision(&net, Precision::bf16_mixed());
+        assert_eq!(fp32.total_allreduce_bytes(), fp32.total_weight_bytes());
+        assert_eq!(
+            bf16.total_allreduce_bytes(),
+            fp32.total_weight_bytes() / 2,
+            "bf16 gradients are half the fp32 master-weight bytes"
+        );
+        for k in 2..=8usize {
+            let w32 = ring_allreduce_wire_bytes(fp32.total_allreduce_bytes(), k);
+            let w16 = ring_allreduce_wire_bytes(bf16.total_allreduce_bytes(), k);
+            // Exact halving up to the closed form's half-byte rounding.
+            assert!(
+                w16.abs_diff(w32 / 2) <= 1,
+                "k={k}: {w16} is not half of {w32}"
+            );
+        }
+    }
+
+    #[test]
+    fn two_byte_elements_keep_bucket_and_closed_form_consistent() {
+        // The PR 2 rounding pins re-verified at 2-byte elements: gradient
+        // sizes that are element counts × 2 bytes, swept over k∈{2..8}.
+        // The telescoping bucket charge must still sum to the closed form,
+        // and the pinned small-k cases must still hold when the payload is
+        // the 2-byte version of the original fp32 sizes.
+        assert_eq!(ring_allreduce_wire_bytes(500, 2), 500); // 1000/2 fp32 → bf16
+        assert_eq!(ring_allreduce_wire_bytes(500, 4), 750);
+        // 1001 fp32 bytes has no whole 2-byte counterpart; the neighbouring
+        // even sizes bracket the fp32 pin 1335 when doubled back.
+        assert_eq!(ring_allreduce_wire_bytes(500, 3), 667); // 2·2/3·500 = 666.67
+        assert_eq!(ring_allreduce_wire_bytes(2, 5), 3); // 2·4/5·2 = 3.2
+        for k in 2..=8usize {
+            // Element-count splits at 2 bytes each, including odd counts.
+            let splits: [&[u64]; 4] = [
+                &[2 * 1_000],
+                &[2 * 501, 2 * 499],
+                &[14, 2, 2 * 9_973],
+                &[2, 2, 2, 2, 2],
+            ];
+            for split in splits {
+                let total: u64 = split.iter().sum();
+                let buckets = bucket_wire_bytes(split, k);
+                assert_eq!(
+                    buckets.iter().sum::<u64>(),
+                    ring_allreduce_wire_bytes(total, k),
+                    "k={k} split={split:?}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -384,7 +384,9 @@ fn build_analyses(
     } else {
         Route::construct(net)
     };
-    let cost = NetCost::of(net);
+    // Costs at the options' precision: activation/gradient tensors and the
+    // all-reduce payload scale by dtype, master weights stay fp32.
+    let cost = NetCost::with_precision(net, options.precision);
     let liveness = LivenessPlan::analyze(net, &route, options);
     let rplan = RecomputePlan::build(net, &route, &cost, rmode);
     let max_algo = net
@@ -1510,5 +1512,37 @@ mod tests {
         let (b, b_hit) = compile_memo_traced(&other, &spec, Policy::baseline(), false);
         assert!(!b_hit, "structurally distinct nets must not alias");
         assert_ne!(a.plan.steps.len(), b.unwrap().plan.steps.len());
+    }
+
+    #[test]
+    fn distinct_precisions_never_alias_in_the_memo() {
+        // An fp32 and a bf16-mixed compile of the *same* net on the *same*
+        // device must live under distinct memo keys: precision is part of
+        // `Policy`, hence of `PlanKey`, and the plans size tensors
+        // differently.
+        use sn_graph::Precision;
+        let _guard = memo_test_lock().lock().unwrap();
+        let net = small_net(8);
+        let spec = DeviceSpec::k40c();
+        clear_plan_memo();
+        let fp32 = Policy::superneurons();
+        let bf16 = fp32.with_precision(Precision::bf16_mixed());
+        let (a, a_hit) = compile_memo_traced(&net, &spec, fp32, false);
+        let (b, b_hit) = compile_memo_traced(&net, &spec, bf16, false);
+        assert!(!a_hit && !b_hit, "distinct precisions must both miss");
+        let (a, b) = (a.unwrap(), b.unwrap());
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert!(
+            b.plan.peak_bytes < a.plan.peak_bytes,
+            "2-byte activations must shrink the plan peak ({} vs {})",
+            b.plan.peak_bytes,
+            a.plan.peak_bytes
+        );
+        // Each precision still hits its own entry on repeat.
+        let (a2, a2_hit) = compile_memo_traced(&net, &spec, fp32, false);
+        let (b2, b2_hit) = compile_memo_traced(&net, &spec, bf16, false);
+        assert!(a2_hit && b2_hit);
+        assert!(Arc::ptr_eq(&a, &a2.unwrap()));
+        assert!(Arc::ptr_eq(&b, &b2.unwrap()));
     }
 }

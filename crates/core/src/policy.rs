@@ -96,6 +96,10 @@ pub struct Policy {
     pub cache_policy: CachePolicy,
     /// External UTP tier capacities (Fig. 7); default = local host only.
     pub tiers: crate::tiers::TierConfig,
+    /// Element precision of activations/gradients (fp32 master weights).
+    /// Part of the policy — and therefore of every memo key — so an fp32
+    /// and a mixed-precision compile of the same net never alias.
+    pub precision: sn_graph::Precision,
 }
 
 impl Policy {
@@ -117,7 +121,14 @@ impl Policy {
             workspace: WorkspacePolicy::None,
             cache_policy: CachePolicy::Lru,
             tiers: crate::tiers::TierConfig::default(),
+            precision: sn_graph::Precision::fp32(),
         }
+    }
+
+    /// This policy with the given element precision (e.g.
+    /// [`sn_graph::Precision::bf16_mixed`] for the AMP recipe).
+    pub fn with_precision(self, precision: sn_graph::Precision) -> Policy {
+        Policy { precision, ..self }
     }
 
     /// This policy with every DMA serialized against the host — the
@@ -176,6 +187,7 @@ impl Policy {
             workspace: WorkspacePolicy::Dynamic,
             cache_policy: CachePolicy::Lru,
             tiers: crate::tiers::TierConfig::default(),
+            precision: sn_graph::Precision::fp32(),
         }
     }
 
@@ -204,6 +216,7 @@ impl Policy {
             recompute_non_checkpoints: self.recompute != RecomputeMode::None,
             keep_all_forward: self.keep_all_forward,
             inplace_act: self.inplace_act,
+            precision: self.precision,
         }
     }
 }
@@ -238,5 +251,16 @@ mod tests {
         assert!(o.enabled && o.recompute_non_checkpoints);
         let o = Policy::baseline().liveness_options();
         assert!(!o.enabled && !o.recompute_non_checkpoints);
+    }
+
+    #[test]
+    fn precision_flows_into_liveness_options_and_equality() {
+        use sn_graph::Precision;
+        let fp32 = Policy::superneurons();
+        assert_eq!(fp32.precision, Precision::fp32());
+        let bf16 = Policy::superneurons().with_precision(Precision::bf16_mixed());
+        assert_ne!(fp32, bf16, "precision must distinguish policies");
+        assert_eq!(bf16.liveness_options().precision, Precision::bf16_mixed());
+        assert_ne!(fp32.liveness_options(), bf16.liveness_options());
     }
 }

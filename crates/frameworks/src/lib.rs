@@ -80,6 +80,7 @@ impl Framework {
                 workspace: WorkspacePolicy::Capped(16 << 20),
                 cache_policy: sn_runtime::CachePolicy::Lru,
                 tiers: sn_runtime::TierConfig::default(),
+                precision: sn_graph::Precision::fp32(),
             },
             Framework::Torch => Policy {
                 inplace_act: true,
@@ -100,6 +101,7 @@ impl Framework {
                 workspace: WorkspacePolicy::Capped(16 << 20),
                 cache_policy: sn_runtime::CachePolicy::Lru,
                 tiers: sn_runtime::TierConfig::default(),
+                precision: sn_graph::Precision::fp32(),
             },
             Framework::TensorFlow => Policy {
                 liveness: true,
@@ -116,6 +118,7 @@ impl Framework {
                 workspace: WorkspacePolicy::Capped(16 << 20),
                 cache_policy: sn_runtime::CachePolicy::Lru,
                 tiers: sn_runtime::TierConfig::default(),
+                precision: sn_graph::Precision::fp32(),
             },
             Framework::SuperNeurons => Policy::superneurons(),
         }

@@ -13,12 +13,15 @@ use sn_sim::{DeviceSpec, SimTime};
 
 use crate::layer::{Layer, LayerId, LayerKind};
 use crate::net::Net;
+use crate::precision::Precision;
 
 /// Arithmetic efficiency (fraction of peak FLOP/s) by layer family.
 fn efficiency(kind: &LayerKind) -> f64 {
     match kind {
         LayerKind::Conv { .. } => 0.50,
-        LayerKind::Fc { .. } => 0.35,
+        // GEMM-dominated layers: FC and the transformer attention/MLP blocks
+        // run the same tiled-GEMM kernels.
+        LayerKind::Fc { .. } | LayerKind::Attention { .. } | LayerKind::Mlp { .. } => 0.35,
         // Elementwise/pooling kernels never approach peak arithmetic
         // throughput; their time is dominated by the bandwidth term anyway.
         _ => 0.10,
@@ -44,20 +47,36 @@ pub struct LayerCost {
     pub grad_bytes: u64,
     /// Weight-gradient bytes, transient within the backward step.
     pub wgrad_bytes: u64,
-    /// Non-conv forward workspace (e.g. max-pool argmax mask), transient.
+    /// Non-conv forward workspace (e.g. max-pool argmax mask, attention
+    /// score matrices), transient.
     pub fwd_workspace: u64,
     /// Total bytes of the layer's input tensors.
     pub in_bytes: u64,
+    /// Bytes this layer contributes to the data-parallel all-reduce: its
+    /// weight-gradient *elements* at the gradient dtype. Equals
+    /// `weight_bytes` at fp32; half of it under bf16/f16 mixed precision.
+    pub allreduce_bytes: u64,
     /// Does the backward kernel read the input tensor (input-formulated)?
     pub bwd_reads_input: bool,
 }
 
 impl LayerCost {
-    /// Build the cost model for `layer` within `net`.
+    /// Build the fp32 cost model for `layer` within `net` — shorthand for
+    /// [`LayerCost::with_precision`] at [`Precision::fp32`].
     pub fn of(net: &Net, layer: &Layer) -> LayerCost {
+        Self::with_precision(net, layer, Precision::fp32())
+    }
+
+    /// Build the cost model for `layer` within `net` at `precision`.
+    ///
+    /// Activation-class tensors (outputs, inputs, activation gradients, GEMM
+    /// workspaces) scale by the activation/gradient dtype; master weights,
+    /// weight gradients, and the pool argmax mask stay fp32/u32.
+    pub fn with_precision(net: &Net, layer: &Layer, precision: Precision) -> LayerCost {
         let out = layer.out_shape;
         let out_elems = out.numel() as u64;
-        let out_bytes = out.bytes();
+        let act = precision.activations;
+        let out_bytes = out.bytes_of(act);
         let in_shape = if layer.prevs.is_empty() {
             out
         } else {
@@ -66,12 +85,12 @@ impl LayerCost {
         let in_bytes: u64 = layer
             .prevs
             .iter()
-            .map(|p| net.layer(*p).out_shape.bytes())
+            .map(|p| net.layer(*p).out_shape.bytes_of(act))
             .sum();
 
         let mut c = LayerCost {
             out_bytes,
-            grad_bytes: out_bytes,
+            grad_bytes: out.bytes_of(precision.gradients),
             in_bytes,
             bwd_reads_input: layer.kind.bwd_needs_input(),
             ..Default::default()
@@ -158,7 +177,65 @@ impl LayerCost {
                 c.fwd_bytes_moved = in_bytes + out_bytes;
                 c.bwd_bytes_moved = in_bytes + out_bytes;
             }
+            LayerKind::Embedding { vocab, dim } => {
+                // A gather: ~one read-modify-write per output element; the
+                // backward scatter-adds into the (fp32) table gradient.
+                c.fwd_flops = out_elems;
+                c.bwd_flops = out_elems;
+                let w = (*vocab as u64) * (*dim as u64) * 4;
+                c.weight_bytes = w;
+                c.wgrad_bytes = w;
+                c.fwd_bytes_moved = in_bytes + 2 * out_bytes;
+                c.bwd_bytes_moved = 2 * out_bytes;
+            }
+            LayerKind::LayerNorm => {
+                // Per-position mean/var + normalize, Welford-ish flop counts
+                // mirroring BN; gamma/beta are 2 floats per channel.
+                c.fwd_flops = out_elems * 4;
+                c.bwd_flops = out_elems * 7;
+                let w = out.c as u64 * 2 * 4;
+                c.weight_bytes = w;
+                c.wgrad_bytes = w;
+                c.fwd_bytes_moved = in_bytes * 2 + out_bytes;
+                c.bwd_bytes_moved = 2 * (in_bytes + out_bytes);
+            }
+            LayerKind::Attention { heads } => {
+                // GEMM-dominated: four d×d projections (8·s·d² MACs·2) plus
+                // scores and context (2·2·s²·d), per batch item.
+                let n = out.n as u64;
+                let d = out.c as u64;
+                let s = (out.h * out.w) as u64;
+                c.fwd_flops = n * (8 * s * d * d + 4 * s * s * d);
+                c.bwd_flops = 2 * c.fwd_flops;
+                let w = (4 * d * d + 4 * d) * 4;
+                c.weight_bytes = w;
+                c.wgrad_bytes = w;
+                c.fwd_bytes_moved = in_bytes + out_bytes + w;
+                c.bwd_bytes_moved = 2 * (in_bytes + out_bytes) + 2 * w;
+                // Transient q/k/v plus the per-head score matrices, held at
+                // activation precision — the seq²-dominant term that makes
+                // long sequences expensive.
+                c.fwd_workspace = n * (3 * s * d + *heads as u64 * s * s) * act.size_of();
+            }
+            LayerKind::Mlp { hidden } => {
+                let n = out.n as u64;
+                let d = out.c as u64;
+                let s = (out.h * out.w) as u64;
+                let hid = *hidden as u64;
+                c.fwd_flops = 4 * n * s * d * hid;
+                c.bwd_flops = 2 * c.fwd_flops;
+                let w = (2 * hid * d + hid + d) * 4;
+                c.weight_bytes = w;
+                c.wgrad_bytes = w;
+                c.fwd_bytes_moved = in_bytes + out_bytes + w;
+                c.bwd_bytes_moved = 2 * (in_bytes + out_bytes) + 2 * w;
+                // The hidden activation, transient at activation precision.
+                c.fwd_workspace = n * s * hid * act.size_of();
+            }
         }
+        // All-reduce payload: one element per weight-gradient element,
+        // shipped at the gradient dtype (fp32 master weights stay local).
+        c.allreduce_bytes = c.weight_bytes / 4 * precision.gradients.size_of();
         c
     }
 
@@ -238,9 +315,20 @@ pub struct NetCost {
 }
 
 impl NetCost {
+    /// fp32 costs — shorthand for [`NetCost::with_precision`] at
+    /// [`Precision::fp32`].
     pub fn of(net: &Net) -> NetCost {
+        Self::with_precision(net, Precision::fp32())
+    }
+
+    /// Costs for every layer at `precision`.
+    pub fn with_precision(net: &Net, precision: Precision) -> NetCost {
         NetCost {
-            per_layer: net.layers().iter().map(|l| LayerCost::of(net, l)).collect(),
+            per_layer: net
+                .layers()
+                .iter()
+                .map(|l| LayerCost::with_precision(net, l, precision))
+                .collect(),
         }
     }
 
@@ -280,9 +368,15 @@ impl NetCost {
         )
     }
 
-    /// Total trainable parameter bytes.
+    /// Total trainable parameter bytes (always fp32 master weights).
     pub fn total_weight_bytes(&self) -> u64 {
         self.per_layer.iter().map(|c| c.weight_bytes).sum()
+    }
+
+    /// Total data-parallel all-reduce payload at the gradient dtype. Equals
+    /// [`NetCost::total_weight_bytes`] at fp32; half of it under bf16/f16.
+    pub fn total_allreduce_bytes(&self) -> u64 {
+        self.per_layer.iter().map(|c| c.allreduce_bytes).sum()
     }
 
     /// Fig. 8 aggregation: per layer-type `(fwd+bwd time share, memory
@@ -417,5 +511,80 @@ mod tests {
         let net = alexnet_like();
         let cost = NetCost::of(&net);
         assert_eq!(cost.layer(LayerId(0)).grad_bytes, 0);
+    }
+
+    fn tiny_gpt() -> Net {
+        let mut net = Net::new("tiny-gpt", Shape4::new(2, 1, 8, 1));
+        let d = net.data();
+        let e = net.embedding(d, 64, 16);
+        let ln = net.layernorm(e);
+        let a = net.attention(ln, 4);
+        let m = net.mlp(a, 32);
+        net.softmax(m);
+        net
+    }
+
+    #[test]
+    fn mixed_precision_halves_activations_keeps_weights_fp32() {
+        use crate::precision::Precision;
+        let net = tiny_gpt();
+        let fp32 = NetCost::with_precision(&net, Precision::fp32());
+        let bf16 = NetCost::with_precision(&net, Precision::bf16_mixed());
+        for l in net.layers() {
+            let a = fp32.layer(l.id);
+            let b = bf16.layer(l.id);
+            assert_eq!(a.out_bytes, 2 * b.out_bytes, "{}: out halves", l.name);
+            assert_eq!(a.grad_bytes, 2 * b.grad_bytes, "{}: grad halves", l.name);
+            // Master weights and their gradients stay fp32.
+            assert_eq!(a.weight_bytes, b.weight_bytes, "{}: weights fixed", l.name);
+            assert_eq!(a.wgrad_bytes, b.wgrad_bytes, "{}: wgrads fixed", l.name);
+            // All-reduce payload ships at the gradient dtype.
+            assert_eq!(
+                b.allreduce_bytes,
+                a.weight_bytes / 2,
+                "{}: wire bytes halve",
+                l.name
+            );
+        }
+        assert_eq!(fp32.total_allreduce_bytes(), fp32.total_weight_bytes());
+        assert_eq!(bf16.total_allreduce_bytes() * 2, bf16.total_weight_bytes());
+        // `of` stays the fp32 shorthand.
+        assert_eq!(
+            NetCost::of(&net).total_weight_bytes(),
+            fp32.total_weight_bytes()
+        );
+    }
+
+    #[test]
+    fn attention_and_mlp_are_gemm_dominated() {
+        let net = tiny_gpt();
+        let cost = NetCost::of(&net);
+        let spec = DeviceSpec::k40c();
+        let attn = net
+            .layers()
+            .iter()
+            .find(|l| matches!(l.kind, LayerKind::Attention { .. }))
+            .unwrap();
+        let mlp = net
+            .layers()
+            .iter()
+            .find(|l| matches!(l.kind, LayerKind::Mlp { .. }))
+            .unwrap();
+        // Analytic flop counts: n(8sd² + 4s²d) and 4nsd·hidden.
+        assert_eq!(
+            cost.layer(attn.id).fwd_flops,
+            2 * (8 * 8 * 16 * 16 + 4 * 8 * 8 * 16)
+        );
+        assert_eq!(cost.layer(mlp.id).fwd_flops, 4 * 2 * 8 * 16 * 32);
+        // The GEMM blocks dominate the cheap layers' time.
+        let ln = net
+            .layers()
+            .iter()
+            .find(|l| matches!(l.kind, LayerKind::LayerNorm))
+            .unwrap();
+        assert!(
+            cost.layer(attn.id).fwd_time(&attn.kind, &spec, 1.0)
+                >= cost.layer(ln.id).fwd_time(&ln.kind, &spec, 1.0)
+        );
     }
 }

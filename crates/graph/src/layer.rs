@@ -9,15 +9,19 @@ use sn_tensor::Shape4;
 pub struct LayerId(pub usize);
 
 /// Pooling flavour.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PoolKind {
     Max,
     Avg,
 }
 
 /// The layer vocabulary. Every network in the paper's evaluation (AlexNet,
-/// VGG, ResNet, Inception v4, DenseNet) is expressible with these kinds.
-#[derive(Debug, Clone, PartialEq)]
+/// VGG, ResNet, Inception v4, DenseNet) is expressible with these kinds,
+/// and the transformer additions (EMBED/LNORM/ATTN/MLP) open the GPT-style
+/// workloads. Dropout stores its probability as raw `f32` bits so the whole
+/// vocabulary is `Eq + Hash` — fingerprinting and memo keys need no
+/// float special-casing.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum LayerKind {
     /// Input batch producer (shape is the batch shape).
     Data { shape: Shape4 },
@@ -41,8 +45,9 @@ pub enum LayerKind {
     Lrn { local_size: usize },
     /// Batch normalization.
     Bn,
-    /// Dropout with drop probability `p`.
-    Dropout { p: f32 },
+    /// Dropout with drop probability `f32::from_bits(p_bits)` (stored as
+    /// bits so the enum derives `Eq + Hash`; build via [`LayerKind::dropout`]).
+    Dropout { p_bits: u32 },
     /// Fully connected with `out` output features.
     Fc { out: usize },
     /// Softmax + cross-entropy loss (terminal layer).
@@ -51,9 +56,32 @@ pub enum LayerKind {
     Concat,
     /// Elementwise addition join (residual connection, Fig. 1b).
     Eltwise,
+    /// Token-embedding gather: `N×1×S×1` ids → `N×dim×S×1` vectors.
+    Embedding { vocab: usize, dim: usize },
+    /// Layer normalization over the channel (model) dimension.
+    LayerNorm,
+    /// Multi-head self-attention over the sequence (`H·W`) axis.
+    Attention { heads: usize },
+    /// Position-wise two-layer MLP block with `hidden` inner features.
+    Mlp { hidden: usize },
 }
 
 impl LayerKind {
+    /// Dropout with drop probability `p` (stored as bits, see the variant).
+    pub fn dropout(p: f32) -> LayerKind {
+        LayerKind::Dropout {
+            p_bits: p.to_bits(),
+        }
+    }
+
+    /// Drop probability of a [`LayerKind::Dropout`], `None` otherwise.
+    pub fn dropout_p(&self) -> Option<f32> {
+        match self {
+            LayerKind::Dropout { p_bits } => Some(f32::from_bits(*p_bits)),
+            _ => None,
+        }
+    }
+
     /// Short type name used in reports (matches the paper's Fig. 8 legend).
     pub fn type_name(&self) -> &'static str {
         match self {
@@ -68,6 +96,10 @@ impl LayerKind {
             LayerKind::Softmax => "SOFTMAX",
             LayerKind::Concat => "CONCAT",
             LayerKind::Eltwise => "ELTWISE",
+            LayerKind::Embedding { .. } => "EMBED",
+            LayerKind::LayerNorm => "LNORM",
+            LayerKind::Attention { .. } => "ATTN",
+            LayerKind::Mlp { .. } => "MLP",
         }
     }
 
@@ -75,11 +107,12 @@ impl LayerKind {
     ///
     /// Checkpoints are layers whose outputs are kept (and, for CONV/DATA,
     /// offloaded via the Unified Tensor Pool) rather than recomputed:
-    /// compute-intensive layers (CONV, FC), structural layers whose inputs
+    /// compute-intensive layers (CONV, FC, and the GEMM-dominated
+    /// transformer blocks EMBED/ATTN/MLP), structural layers whose inputs
     /// cross recompute-segment boundaries (DATA, CONCAT, ELTWISE), and the
-    /// terminal SOFTMAX. The remaining kinds — POOL, ACT, LRN, BN, DROPOUT —
-    /// are the paper's "cheap-to-compute" layers whose forward results are
-    /// dropped and reconstructed (§3.4).
+    /// terminal SOFTMAX. The remaining kinds — POOL, ACT, LRN, BN, DROPOUT,
+    /// LNORM — are the paper's "cheap-to-compute" layers whose forward
+    /// results are dropped and reconstructed (§3.4).
     pub fn is_checkpoint(&self) -> bool {
         matches!(
             self,
@@ -89,14 +122,26 @@ impl LayerKind {
                 | LayerKind::Softmax
                 | LayerKind::Concat
                 | LayerKind::Eltwise
+                | LayerKind::Embedding { .. }
+                | LayerKind::Attention { .. }
+                | LayerKind::Mlp { .. }
         )
     }
 
     /// Is this layer's output offloaded to the host by the UTP? The paper
     /// offloads only CONV outputs (plus the input batch, which by the same
-    /// argument — large, produced early, reused late — we offload too).
+    /// argument — large, produced early, reused late — we offload too). The
+    /// transformer checkpoints (EMBED/ATTN/MLP) qualify by the same
+    /// large-early-reused-late argument.
     pub fn is_offload_candidate(&self) -> bool {
-        matches!(self, LayerKind::Conv { .. } | LayerKind::Data { .. })
+        matches!(
+            self,
+            LayerKind::Conv { .. }
+                | LayerKind::Data { .. }
+                | LayerKind::Embedding { .. }
+                | LayerKind::Attention { .. }
+                | LayerKind::Mlp { .. }
+        )
     }
 
     /// Does this layer's backward computation need its *input* tensor(s)?
@@ -114,7 +159,14 @@ impl LayerKind {
             | LayerKind::Bn
             | LayerKind::Lrn { .. }
             | LayerKind::Act
-            | LayerKind::Dropout { .. } => true,
+            | LayerKind::Dropout { .. }
+            // The transformer kernels are all input-formulated: embedding
+            // re-hashes token ids, layernorm re-derives its statistics, and
+            // attention/MLP re-derive q/k/v/probabilities/hidden from `x`.
+            | LayerKind::Embedding { .. }
+            | LayerKind::LayerNorm
+            | LayerKind::Attention { .. }
+            | LayerKind::Mlp { .. } => true,
             // The joins and softmax pass gradients without touching inputs.
             LayerKind::Softmax
             | LayerKind::Concat
@@ -134,7 +186,13 @@ impl LayerKind {
     pub fn has_weights(&self) -> bool {
         matches!(
             self,
-            LayerKind::Conv { .. } | LayerKind::Fc { .. } | LayerKind::Bn
+            LayerKind::Conv { .. }
+                | LayerKind::Fc { .. }
+                | LayerKind::Bn
+                | LayerKind::Embedding { .. }
+                | LayerKind::LayerNorm
+                | LayerKind::Attention { .. }
+                | LayerKind::Mlp { .. }
         )
     }
 
@@ -210,7 +268,26 @@ mod tests {
         .is_checkpoint());
         assert!(!LayerKind::Bn.is_checkpoint());
         assert!(!LayerKind::Lrn { local_size: 5 }.is_checkpoint());
-        assert!(!LayerKind::Dropout { p: 0.5 }.is_checkpoint());
+        assert!(!LayerKind::dropout(0.5).is_checkpoint());
+        // Transformer blocks: GEMM-dominated layers checkpoint, LNORM is
+        // cheap recompute.
+        assert!(LayerKind::Embedding { vocab: 100, dim: 8 }.is_checkpoint());
+        assert!(LayerKind::Attention { heads: 4 }.is_checkpoint());
+        assert!(LayerKind::Mlp { hidden: 32 }.is_checkpoint());
+        assert!(!LayerKind::LayerNorm.is_checkpoint());
+    }
+
+    #[test]
+    fn layer_kinds_are_hashable_and_eq() {
+        use std::collections::HashSet;
+        let mut set = HashSet::new();
+        set.insert(LayerKind::dropout(0.5));
+        set.insert(LayerKind::dropout(0.5));
+        set.insert(LayerKind::dropout(0.25));
+        set.insert(LayerKind::Attention { heads: 4 });
+        assert_eq!(set.len(), 3);
+        assert_eq!(LayerKind::dropout(0.5).dropout_p(), Some(0.5));
+        assert_eq!(LayerKind::Act.dropout_p(), None);
     }
 
     #[test]
@@ -228,6 +305,10 @@ mod tests {
         .is_offload_candidate());
         assert!(!LayerKind::Fc { out: 10 }.is_offload_candidate());
         assert!(!LayerKind::Act.is_offload_candidate());
+        assert!(LayerKind::Embedding { vocab: 100, dim: 8 }.is_offload_candidate());
+        assert!(LayerKind::Attention { heads: 4 }.is_offload_candidate());
+        assert!(LayerKind::Mlp { hidden: 32 }.is_offload_candidate());
+        assert!(!LayerKind::LayerNorm.is_offload_candidate());
     }
 
     #[test]
@@ -243,6 +324,9 @@ mod tests {
         assert!(LayerKind::Act.bwd_needs_input());
         assert!(!LayerKind::Eltwise.bwd_needs_input());
         assert!(LayerKind::Softmax.bwd_needs_output());
-        assert!(LayerKind::Dropout { p: 0.5 }.bwd_needs_input());
+        assert!(LayerKind::dropout(0.5).bwd_needs_input());
+        assert!(LayerKind::Attention { heads: 2 }.bwd_needs_input());
+        assert!(LayerKind::LayerNorm.bwd_needs_input());
+        assert!(!LayerKind::Attention { heads: 2 }.bwd_needs_output());
     }
 }

@@ -14,17 +14,22 @@
 //!   create/free schedules, with the paper's explicit in/out-set variant for
 //!   validation;
 //! * [`cost`]: per-layer memory (`l_f`, `l_b`) and FLOP/byte cost models that
-//!   drive the virtual-time executor and the Fig. 8 breakdowns.
+//!   drive the virtual-time executor and the Fig. 8 breakdowns;
+//! * [`precision`]: the AMP descriptor (activation/gradient dtype over fp32
+//!   master weights) that makes cost and liveness byte accounting
+//!   dtype-exact.
 
 pub mod cost;
 pub mod layer;
 pub mod liveness;
 pub mod net;
+pub mod precision;
 pub mod route;
 
 pub use cost::{LayerCost, NetCost};
 pub use layer::{Layer, LayerId, LayerKind, PoolKind};
 pub use liveness::{LivenessPlan, TensorId, TensorMeta, TensorRole};
 pub use net::Net;
+pub use precision::Precision;
 pub use route::{Route, RouteKind, Step, StepPhase};
-pub use sn_tensor::Shape4;
+pub use sn_tensor::{DType, Shape4};

@@ -77,6 +77,10 @@ pub struct LivenessOptions {
     pub keep_all_forward: bool,
     /// ReLU/Dropout run in place (their outputs alias their inputs).
     pub inplace_act: bool,
+    /// Element precision of activations/gradients — sizes every registered
+    /// tensor (and, being part of the options, keys the analysis cache so
+    /// fp32 and mixed-precision analyses never alias).
+    pub precision: crate::precision::Precision,
 }
 
 impl Default for LivenessOptions {
@@ -86,6 +90,7 @@ impl Default for LivenessOptions {
             recompute_non_checkpoints: false,
             keep_all_forward: false,
             inplace_act: false,
+            precision: crate::precision::Precision::fp32(),
         }
     }
 }
@@ -201,7 +206,7 @@ impl LivenessPlan {
                 id,
                 layer: layer.id,
                 role: TensorRole::FwdOut,
-                bytes: layer.out_shape.bytes(),
+                bytes: layer.out_shape.bytes_of(options.precision.activations),
                 created_step: route.fwd_step(layer.id),
                 last_use_step: route.fwd_step(layer.id),
                 fwd_last_use: route.fwd_step(layer.id),
@@ -251,7 +256,7 @@ impl LivenessPlan {
                 id,
                 layer: layer.id,
                 role: TensorRole::Grad,
-                bytes: layer.out_shape.bytes(),
+                bytes: layer.out_shape.bytes_of(options.precision.gradients),
                 created_step: created,
                 last_use_step: route.bwd_step(layer.id),
                 fwd_last_use: 0,

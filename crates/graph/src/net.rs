@@ -88,6 +88,24 @@ impl Net {
                 assert_eq!(prevs.len(), 1, "elementwise layers take one input");
                 shape_of(prevs[0])
             }
+            LayerKind::LayerNorm | LayerKind::Attention { .. } | LayerKind::Mlp { .. } => {
+                assert_eq!(prevs.len(), 1, "transformer blocks take one input");
+                let s = shape_of(prevs[0]);
+                if let LayerKind::Attention { heads } = kind {
+                    assert!(
+                        *heads > 0 && s.c % heads == 0,
+                        "model dim {} must split across {heads} heads",
+                        s.c
+                    );
+                }
+                s
+            }
+            LayerKind::Embedding { dim, .. } => {
+                assert_eq!(prevs.len(), 1, "EMBED takes one input");
+                let s = shape_of(prevs[0]);
+                assert_eq!(s.c, 1, "EMBED input carries one token id per position");
+                Shape4::new(s.n, *dim, s.h, s.w)
+            }
             LayerKind::Fc { out } => {
                 assert_eq!(prevs.len(), 1, "FC takes one input");
                 Shape4::flat(shape_of(prevs[0]).n, *out)
@@ -203,11 +221,17 @@ impl Net {
                 LayerKind::Act => 3u8.hash(&mut h),
                 LayerKind::Lrn { local_size } => (4u8, local_size).hash(&mut h),
                 LayerKind::Bn => 5u8.hash(&mut h),
-                LayerKind::Dropout { p } => (6u8, p.to_bits()).hash(&mut h),
+                // Dropout keeps the bits it stores — digest-identical to the
+                // former `p.to_bits()` special case.
+                LayerKind::Dropout { p_bits } => (6u8, p_bits).hash(&mut h),
                 LayerKind::Fc { out } => (7u8, out).hash(&mut h),
                 LayerKind::Softmax => 8u8.hash(&mut h),
                 LayerKind::Concat => 9u8.hash(&mut h),
                 LayerKind::Eltwise => 10u8.hash(&mut h),
+                LayerKind::Embedding { vocab, dim } => (11u8, vocab, dim).hash(&mut h),
+                LayerKind::LayerNorm => 12u8.hash(&mut h),
+                LayerKind::Attention { heads } => (13u8, heads).hash(&mut h),
+                LayerKind::Mlp { hidden } => (14u8, hidden).hash(&mut h),
             }
             // `out_shape` is omitted deliberately: shape inference is a
             // pure function of the kinds and wiring hashed above, so it
@@ -303,11 +327,27 @@ impl Net {
     }
 
     pub fn dropout(&mut self, prev: LayerId, p: f32) -> LayerId {
-        self.chain(LayerKind::Dropout { p }, prev)
+        self.chain(LayerKind::dropout(p), prev)
     }
 
     pub fn fc(&mut self, prev: LayerId, out: usize) -> LayerId {
         self.chain(LayerKind::Fc { out }, prev)
+    }
+
+    pub fn embedding(&mut self, prev: LayerId, vocab: usize, dim: usize) -> LayerId {
+        self.chain(LayerKind::Embedding { vocab, dim }, prev)
+    }
+
+    pub fn layernorm(&mut self, prev: LayerId) -> LayerId {
+        self.chain(LayerKind::LayerNorm, prev)
+    }
+
+    pub fn attention(&mut self, prev: LayerId, heads: usize) -> LayerId {
+        self.chain(LayerKind::Attention { heads }, prev)
+    }
+
+    pub fn mlp(&mut self, prev: LayerId, hidden: usize) -> LayerId {
+        self.chain(LayerKind::Mlp { hidden }, prev)
     }
 
     pub fn softmax(&mut self, prev: LayerId) -> LayerId {
@@ -381,6 +421,39 @@ mod tests {
         let f = net.fc(c, 2);
         net.softmax(f);
         assert!(net.validate().unwrap_err().contains("dangling"));
+    }
+
+    #[test]
+    fn transformer_shapes_infer() {
+        let mut net = Net::new("t", Shape4::new(2, 1, 6, 1));
+        let d = net.data();
+        let e = net.embedding(d, 100, 8);
+        assert_eq!(net.layer(e).out_shape, Shape4::new(2, 8, 6, 1));
+        let ln = net.layernorm(e);
+        let a = net.attention(ln, 4);
+        let m = net.mlp(a, 32);
+        assert_eq!(net.layer(m).out_shape, Shape4::new(2, 8, 6, 1));
+        net.softmax(m);
+        net.validate().unwrap();
+        // A different head count or hidden width changes the fingerprint.
+        let fp = net.fingerprint();
+        let mut other = Net::new("t", Shape4::new(2, 1, 6, 1));
+        let d = other.data();
+        let e = other.embedding(d, 100, 8);
+        let ln = other.layernorm(e);
+        let a = other.attention(ln, 2);
+        let m = other.mlp(a, 32);
+        other.softmax(m);
+        assert_ne!(fp, other.fingerprint());
+    }
+
+    #[test]
+    #[should_panic(expected = "must split across")]
+    fn attention_rejects_indivisible_heads() {
+        let mut net = Net::new("t", Shape4::new(1, 1, 4, 1));
+        let d = net.data();
+        let e = net.embedding(d, 10, 6);
+        net.attention(e, 4);
     }
 
     #[test]

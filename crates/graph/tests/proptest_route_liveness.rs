@@ -145,6 +145,7 @@ proptest! {
             recompute_non_checkpoints: recompute,
             keep_all_forward: false,
             inplace_act: inplace,
+            ..Default::default()
         });
         // Replay the schedule: a tensor freed after step s must not be read
         // by any step > s, except recomputable forward outputs when the

@@ -349,6 +349,67 @@ pub fn densenet(batch: usize, k: usize, layers_per_block: usize) -> Net {
     net
 }
 
+// ---------------------------------------------------------------------
+// GPT-style transformers
+// ---------------------------------------------------------------------
+
+/// GPT-2's BPE vocabulary size, shared by both GPT presets.
+pub const GPT_VOCAB: usize = 50_257;
+
+/// One pre-norm transformer block: `x + Attn(LN(x))` then `r + MLP(LN(r))`,
+/// with dropout on each sublayer output before the residual join.
+fn transformer_block(net: &mut Net, x: LayerId, heads: usize, hidden: usize) -> LayerId {
+    let ln1 = net.layernorm(x);
+    let attn = net.attention(ln1, heads);
+    let d1 = net.dropout(attn, 0.1);
+    let r1 = net.eltwise(&[x, d1]);
+    let ln2 = net.layernorm(r1);
+    let mlp = net.mlp(ln2, hidden);
+    let d2 = net.dropout(mlp, 0.1);
+    net.eltwise(&[r1, d2])
+}
+
+/// A GPT-style decoder stack: token embedding, `layers` pre-norm blocks, a
+/// final LayerNorm and a softmax over the model dimension. Tokens ride the
+/// spatial axis (`H = seq`, `W = 1`); the embedding lifts them to `C = dim`.
+fn gpt(
+    name: &str,
+    batch: usize,
+    seq: usize,
+    dim: usize,
+    heads: usize,
+    hidden: usize,
+    layers: usize,
+) -> Net {
+    let mut net = Net::new(name, Shape4::new(batch, 1, seq, 1));
+    let d = net.data();
+    let e = net.embedding(d, GPT_VOCAB, dim);
+    let mut prev = net.dropout(e, 0.1);
+    for _ in 0..layers {
+        prev = transformer_block(&mut net, prev, heads, hidden);
+    }
+    let ln = net.layernorm(prev);
+    net.softmax(ln);
+    net
+}
+
+/// GPT-Small (GPT-2 124M-class): 12 blocks, `d = 768`, 12 heads,
+/// 4·d MLP hidden width, at the given batch and sequence length.
+pub fn gpt_small(batch: usize, seq: usize) -> Net {
+    gpt("GPT-Small", batch, seq, 768, 12, 3072, 12)
+}
+
+/// GPT-Medium (GPT-2 350M-class): 24 blocks, `d = 1024`, 16 heads.
+pub fn gpt_medium(batch: usize, seq: usize) -> Net {
+    gpt("GPT-Medium", batch, seq, 1024, 16, 4096, 24)
+}
+
+/// GPT-Small at sequence length 256 — the transformer row of the
+/// batch-parameterized experiment sweeps.
+pub fn gpt_small_seq256(batch: usize) -> Net {
+    gpt_small(batch, 256)
+}
+
 /// A LeNet-style small network for numeric-mode training (input `1×28×28`,
 /// `classes` outputs).
 pub fn lenet(batch: usize, classes: usize) -> Net {
@@ -379,6 +440,7 @@ pub fn evaluation_networks() -> Vec<(&'static str, NetBuilder)> {
         ("ResNet50", resnet50),
         ("ResNet101", resnet101),
         ("ResNet152", resnet152),
+        ("GPT-Small", gpt_small_seq256),
     ]
 }
 
@@ -506,6 +568,54 @@ mod tests {
             .map(|l| l.out_shape.c)
             .collect();
         assert!(concats.windows(2).take(4).all(|w| w[1] > w[0]));
+    }
+
+    #[test]
+    fn gpt_blocks_have_the_pre_norm_structure() {
+        let net = gpt_small(2, 64);
+        net.validate().unwrap();
+        let route = Route::construct(&net);
+        route.validate(&net).unwrap();
+        // DATA + EMBED + DROPOUT + 12 × 8-layer block + LNORM + SOFTMAX.
+        assert_eq!(net.len(), 3 + 12 * 8 + 2);
+        let count = |pat: &str| {
+            net.layers()
+                .iter()
+                .filter(|l| l.kind.type_name() == pat)
+                .count()
+        };
+        assert_eq!(count("ATTN"), 12);
+        assert_eq!(count("MLP"), 12);
+        assert_eq!(count("LNORM"), 2 * 12 + 1);
+        assert_eq!(count("ELTWISE"), 2 * 12);
+        // The embedding lifts tokens to the model dimension; every block
+        // preserves the (batch, d, seq, 1) shape (the terminal softmax
+        // flattens it like every other head).
+        let e = &net.layers()[1];
+        assert_eq!(e.kind.type_name(), "EMBED");
+        assert_eq!(e.out_shape, Shape4::new(2, 768, 64, 1));
+        let body = &net.layers()[2..net.len() - 1];
+        assert!(body.iter().all(|l| l.out_shape == e.out_shape));
+    }
+
+    #[test]
+    fn gpt_presets_scale_like_their_parameter_counts() {
+        // GPT-Medium has ~2.8× GPT-Small's parameters; the weight bytes (and
+        // forward cost) must order the same way at equal batch/seq.
+        let small = NetCost::of(&gpt_small(2, 64));
+        let medium = NetCost::of(&gpt_medium(2, 64));
+        assert!(medium.total_weight_bytes() > 2 * small.total_weight_bytes());
+        assert!(medium.sum_l_f() > small.sum_l_f());
+        // Attention/MLP layers are the GEMM checkpoints of the §3 policy:
+        // every ATTN/MLP layer is a checkpoint, LNORM is not.
+        let net = gpt_small(2, 64);
+        for l in net.layers() {
+            match l.kind.type_name() {
+                "ATTN" | "MLP" | "EMBED" => assert!(l.kind.is_checkpoint()),
+                "LNORM" => assert!(!l.kind.is_checkpoint()),
+                _ => {}
+            }
+        }
     }
 
     #[test]

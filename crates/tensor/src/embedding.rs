@@ -1,0 +1,109 @@
+//! Token-embedding lookup.
+//!
+//! The data pipeline produces `f32` batches, so the embedding layer derives a
+//! token id from each input element with a counter-style hash of its bit
+//! pattern (stateless, like the dropout mask): the same input always selects
+//! the same row, which keeps recomputation exact. Input is `N×1×H×W` (one
+//! scalar per sequence position); output is `N×dim×H×W`.
+
+use crate::shape::Shape4;
+use crate::tensor::Tensor;
+
+/// Deterministic token id for one input element (SplitMix64 on the bits).
+#[inline]
+pub fn token_of(bits: u32, vocab: usize) -> usize {
+    let mut z = (bits as u64).wrapping_mul(0x9E3779B97F4A7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^= z >> 31;
+    (z % vocab as u64) as usize
+}
+
+/// Embedding forward: gather `table` rows (`vocab×dim`, row-major) by the
+/// token id of each input position.
+pub fn embedding_forward(input: &Tensor, table: &[f32], vocab: usize, dim: usize) -> Tensor {
+    let s = input.shape();
+    assert_eq!(s.c, 1, "embedding input carries one token id per position");
+    assert_eq!(table.len(), vocab * dim);
+    let hw = s.h * s.w;
+    let mut out = Tensor::zeros(Shape4::new(s.n, dim, s.h, s.w));
+    for n in 0..s.n {
+        for pos in 0..hw {
+            let t = token_of(input.data()[n * hw + pos].to_bits(), vocab);
+            let row = &table[t * dim..(t + 1) * dim];
+            for (d, &v) in row.iter().enumerate() {
+                out.data_mut()[(n * dim + d) * hw + pos] = v;
+            }
+        }
+    }
+    out
+}
+
+/// Embedding backward: scatter-add the output gradient into the table
+/// gradient. Token ids are not differentiable, so `grad_input` is zero.
+pub fn embedding_backward(
+    input: &Tensor,
+    grad_out: &Tensor,
+    vocab: usize,
+    dim: usize,
+) -> (Tensor, Vec<f32>) {
+    let s = input.shape();
+    let hw = s.h * s.w;
+    assert_eq!(grad_out.shape(), Shape4::new(s.n, dim, s.h, s.w));
+    let mut dtable = vec![0.0f32; vocab * dim];
+    for n in 0..s.n {
+        for pos in 0..hw {
+            let t = token_of(input.data()[n * hw + pos].to_bits(), vocab);
+            for d in 0..dim {
+                dtable[t * dim + d] += grad_out.data()[(n * dim + d) * hw + pos];
+            }
+        }
+    }
+    (Tensor::zeros(s), dtable)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gather_is_deterministic_and_row_aligned() {
+        let (vocab, dim) = (7, 3);
+        let table: Vec<f32> = (0..vocab * dim).map(|i| i as f32).collect();
+        let x = Tensor::rand_uniform(Shape4::new(2, 1, 4, 1), 1.0, 21);
+        let y1 = embedding_forward(&x, &table, vocab, dim);
+        let y2 = embedding_forward(&x, &table, vocab, dim);
+        assert_eq!(y1, y2, "same input must select the same rows");
+        // Every output position is an exact table row.
+        let hw = 4;
+        for n in 0..2 {
+            for pos in 0..hw {
+                let t = token_of(x.data()[n * hw + pos].to_bits(), vocab);
+                for d in 0..dim {
+                    assert_eq!(y1.data()[(n * dim + d) * hw + pos], table[t * dim + d]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn backward_scatters_exactly_where_forward_gathered() {
+        let (vocab, dim) = (5, 2);
+        let table = vec![0.5f32; vocab * dim];
+        let x = Tensor::rand_uniform(Shape4::new(1, 1, 6, 1), 1.0, 22);
+        let dy = Tensor::full(Shape4::new(1, dim, 6, 1), 1.0);
+        let (dx, dt) = embedding_backward(&x, &dy, vocab, dim);
+        assert_eq!(dx.sum(), 0.0, "token ids carry no gradient");
+        // Six positions each add 1.0 to `dim` slots.
+        assert_eq!(dt.iter().sum::<f32>(), 6.0 * dim as f32);
+        // Touched rows are consistent with the forward gather.
+        let used: std::collections::HashSet<usize> = (0..6)
+            .map(|p| token_of(x.data()[p].to_bits(), vocab))
+            .collect();
+        for t in 0..vocab {
+            let touched = (0..dim).any(|d| dt[t * dim + d] != 0.0);
+            assert_eq!(touched, used.contains(&t), "row {t}");
+        }
+        let _ = embedding_forward(&x, &table, vocab, dim);
+    }
+}

@@ -1,0 +1,163 @@
+//! Layer normalization over the channel (feature) dimension.
+//!
+//! Each `(n, h, w)` position is normalized across its `C` features — the
+//! transformer convention, where `C` is the model dimension and `H·W` the
+//! sequence. The backward pass re-derives mean/variance from the input
+//! (input-formulated), so no saved statistics survive the forward pass and
+//! cost-aware recomputation replays it exactly.
+
+use crate::tensor::Tensor;
+
+const LN_EPS: f32 = 1e-5;
+
+#[inline]
+fn stats(x: &[f32], base: usize, c: usize, hw: usize, pos: usize) -> (f32, f32) {
+    let mut mean = 0.0f32;
+    for ch in 0..c {
+        mean += x[base + ch * hw + pos];
+    }
+    mean /= c as f32;
+    let mut var = 0.0f32;
+    for ch in 0..c {
+        let d = x[base + ch * hw + pos] - mean;
+        var += d * d;
+    }
+    let inv_std = 1.0 / (var / c as f32 + LN_EPS).sqrt();
+    (mean, inv_std)
+}
+
+/// LayerNorm forward with per-feature `gamma`/`beta` (each `C` long).
+pub fn layernorm_forward(input: &Tensor, gamma: &[f32], beta: &[f32]) -> Tensor {
+    let s = input.shape();
+    assert_eq!(gamma.len(), s.c);
+    assert_eq!(beta.len(), s.c);
+    let hw = s.h * s.w;
+    let x = input.data();
+    let mut out = Tensor::zeros(s);
+    for n in 0..s.n {
+        let base = n * s.c * hw;
+        for pos in 0..hw {
+            let (mean, inv_std) = stats(x, base, s.c, hw, pos);
+            for ch in 0..s.c {
+                let i = base + ch * hw + pos;
+                out.data_mut()[i] = (x[i] - mean) * inv_std * gamma[ch] + beta[ch];
+            }
+        }
+    }
+    out
+}
+
+/// LayerNorm backward: returns `(grad_input, grad_gamma, grad_beta)`.
+pub fn layernorm_backward(
+    input: &Tensor,
+    grad_out: &Tensor,
+    gamma: &[f32],
+) -> (Tensor, Vec<f32>, Vec<f32>) {
+    let s = input.shape();
+    assert_eq!(s, grad_out.shape());
+    let hw = s.h * s.w;
+    let cn = s.c as f32;
+    let x = input.data();
+    let dy = grad_out.data();
+    let mut gi = Tensor::zeros(s);
+    let mut dgamma = vec![0.0f32; s.c];
+    let mut dbeta = vec![0.0f32; s.c];
+    for n in 0..s.n {
+        let base = n * s.c * hw;
+        for pos in 0..hw {
+            let (mean, inv_std) = stats(x, base, s.c, hw, pos);
+            let mut dxhat_sum = 0.0f32;
+            let mut dxhat_xhat_sum = 0.0f32;
+            for ch in 0..s.c {
+                let i = base + ch * hw + pos;
+                let xhat = (x[i] - mean) * inv_std;
+                dgamma[ch] += dy[i] * xhat;
+                dbeta[ch] += dy[i];
+                let dxhat = dy[i] * gamma[ch];
+                dxhat_sum += dxhat;
+                dxhat_xhat_sum += dxhat * xhat;
+            }
+            for ch in 0..s.c {
+                let i = base + ch * hw + pos;
+                let xhat = (x[i] - mean) * inv_std;
+                let dxhat = dy[i] * gamma[ch];
+                gi.data_mut()[i] = inv_std / cn * (cn * dxhat - dxhat_sum - xhat * dxhat_xhat_sum);
+            }
+        }
+    }
+    (gi, dgamma, dbeta)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shape::Shape4;
+
+    #[test]
+    fn forward_normalizes_each_position() {
+        let x = Tensor::rand_uniform(Shape4::new(2, 8, 3, 1), 2.0, 31);
+        let y = layernorm_forward(&x, &[1.0; 8], &[0.0; 8]);
+        let s = x.shape();
+        let hw = s.h * s.w;
+        for n in 0..s.n {
+            for pos in 0..hw {
+                let vals: Vec<f32> = (0..s.c)
+                    .map(|c| y.data()[(n * s.c + c) * hw + pos])
+                    .collect();
+                let mean: f32 = vals.iter().sum::<f32>() / s.c as f32;
+                let var: f32 =
+                    vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / s.c as f32;
+                assert!(mean.abs() < 1e-4, "pos ({n},{pos}) mean {mean}");
+                assert!((var - 1.0).abs() < 1e-2, "pos ({n},{pos}) var {var}");
+            }
+        }
+    }
+
+    #[test]
+    fn backward_matches_finite_differences() {
+        let x = Tensor::rand_uniform(Shape4::new(2, 4, 3, 1), 1.0, 32);
+        let gamma = vec![1.5, 0.5, -0.7, 1.1];
+        let beta = vec![0.1, -0.2, 0.3, 0.0];
+        let dy = Tensor::rand_uniform(x.shape(), 1.0, 33);
+        let (dx, dg, db) = layernorm_backward(&x, &dy, &gamma);
+        let loss = |inp: &Tensor, g: &[f32], b: &[f32]| -> f32 {
+            layernorm_forward(inp, g, b)
+                .data()
+                .iter()
+                .zip(dy.data())
+                .map(|(a, d)| a * d)
+                .sum()
+        };
+        let eps = 1e-2f32;
+        for &i in &[0usize, 5, 13, 22] {
+            let mut xp = x.clone();
+            xp.data_mut()[i] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[i] -= eps;
+            let num = (loss(&xp, &gamma, &beta) - loss(&xm, &gamma, &beta)) / (2.0 * eps);
+            assert!(
+                (num - dx.data()[i]).abs() < 3e-2,
+                "dX[{i}]: {num} vs {}",
+                dx.data()[i]
+            );
+        }
+        for c in 0..4 {
+            let mut gp = gamma.clone();
+            gp[c] += eps;
+            let mut gm = gamma.clone();
+            gm[c] -= eps;
+            let num = (loss(&x, &gp, &beta) - loss(&x, &gm, &beta)) / (2.0 * eps);
+            assert!(
+                (num - dg[c]).abs() < 3e-2,
+                "dGamma[{c}]: {num} vs {}",
+                dg[c]
+            );
+            let mut bp = beta.clone();
+            bp[c] += eps;
+            let mut bm = beta.clone();
+            bm[c] -= eps;
+            let num = (loss(&x, &gamma, &bp) - loss(&x, &gamma, &bm)) / (2.0 * eps);
+            assert!((num - db[c]).abs() < 3e-2, "dBeta[{c}]: {num} vs {}", db[c]);
+        }
+    }
+}

@@ -12,7 +12,17 @@
 //! * ReLU, LRN (cross-channel), batch normalization, dropout (counter-based
 //!   mask so recomputation regenerates the identical mask without storing
 //!   it), softmax + cross-entropy loss;
-//! * fully-connected layers and SGD with momentum.
+//! * fully-connected layers and SGD with momentum;
+//! * the transformer family: token [`embedding`](embedding::embedding_forward)
+//!   (hash-gathered, recompute-exact), [`layernorm`](layernorm::layernorm_forward)
+//!   over the channel axis, multi-head self-[`attention`](attention::attention_forward),
+//!   and the position-wise [`mlp`](mlp::mlp_forward) block — all
+//!   input-formulated so cost-aware recomputation replays them exactly.
+//!
+//! Byte accounting is precision-aware: [`DType`] gives bytes
+//! per element and [`Shape4::bytes_of`] sizes a tensor at any precision
+//! (`Shape4::bytes` remains the fp32 shorthand). Numeric kernels stay f32 —
+//! dtype affects the *memory model*, not reference numerics.
 //!
 //! Kernels favour clarity + data-parallelism over peak FLOPs: the paper's
 //! experiments run in *virtual* mode (cost models), while numeric mode exists
@@ -24,15 +34,19 @@
 #![allow(clippy::needless_range_loop, clippy::too_many_arguments)]
 
 pub mod act;
+pub mod attention;
 pub mod conv;
+pub mod embedding;
 pub mod gemm;
+pub mod layernorm;
 pub mod linear;
 pub mod loss;
+pub mod mlp;
 pub mod norm;
 pub mod pool;
 pub mod sgd;
 pub mod shape;
 pub mod tensor;
 
-pub use shape::Shape4;
+pub use shape::{DType, Shape4};
 pub use tensor::Tensor;

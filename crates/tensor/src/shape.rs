@@ -3,6 +3,39 @@
 
 use std::fmt;
 
+/// Element precision of a tensor as it lives in device memory.
+///
+/// The planner's byte accounting multiplies element counts by
+/// [`DType::size_of`]; `F16` and `BF16` differ in numerics, not in the
+/// memory model, so both map to 2 bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DType {
+    F32,
+    F16,
+    BF16,
+}
+
+impl DType {
+    /// Bytes per element.
+    #[inline]
+    pub const fn size_of(self) -> u64 {
+        match self {
+            DType::F32 => 4,
+            DType::F16 | DType::BF16 => 2,
+        }
+    }
+}
+
+impl fmt::Display for DType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            DType::F32 => "f32",
+            DType::F16 => "f16",
+            DType::BF16 => "bf16",
+        })
+    }
+}
+
 /// Dense NCHW shape.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Shape4 {
@@ -28,10 +61,17 @@ impl Shape4 {
         self.n * self.c * self.h * self.w
     }
 
-    /// Size in bytes at `f32` precision.
+    /// Size in bytes at `f32` precision — shorthand for
+    /// `bytes_of(DType::F32)`.
     #[inline]
     pub fn bytes(&self) -> u64 {
-        self.numel() as u64 * 4
+        self.bytes_of(DType::F32)
+    }
+
+    /// Size in bytes at the given element precision.
+    #[inline]
+    pub fn bytes_of(&self, dtype: DType) -> u64 {
+        self.numel() as u64 * dtype.size_of()
     }
 
     /// Features per batch item.
@@ -82,6 +122,17 @@ mod tests {
         assert_eq!(s.numel(), 120);
         assert_eq!(s.bytes(), 480);
         assert_eq!(s.features(), 60);
+    }
+
+    #[test]
+    fn bytes_of_scales_by_dtype() {
+        let s = Shape4::new(2, 3, 4, 5);
+        assert_eq!(s.bytes_of(DType::F32), s.bytes());
+        assert_eq!(s.bytes_of(DType::F16), 240);
+        assert_eq!(s.bytes_of(DType::BF16), 240);
+        assert_eq!(DType::F32.size_of(), 4);
+        assert_eq!(DType::BF16.size_of(), 2);
+        assert_eq!(DType::BF16.to_string(), "bf16");
     }
 
     #[test]
