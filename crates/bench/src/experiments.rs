@@ -563,6 +563,7 @@ pub fn run_all(quick: bool) -> String {
         ("dataparallel", crate::dataparallel::dataparallel(quick)),
         ("precision", crate::precision::precision(quick)),
         ("trace", crate::trace::trace(quick)),
+        ("service", crate::service::service(quick)),
     ] {
         out.push_str(&format!(
             "\n==================== {id} ====================\n"

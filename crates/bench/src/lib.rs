@@ -17,6 +17,7 @@ pub mod experiments;
 pub mod overlap;
 pub mod plan;
 pub mod precision;
+pub mod service;
 pub mod table;
 pub mod trace;
 
@@ -28,4 +29,5 @@ pub use experiments::*;
 pub use overlap::overlap;
 pub use plan::plan;
 pub use precision::precision;
+pub use service::service;
 pub use trace::trace;

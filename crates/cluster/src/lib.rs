@@ -42,15 +42,22 @@
 pub mod admission;
 pub mod fleet;
 pub mod job;
+pub mod latency;
 pub mod placement;
 pub mod report;
 pub mod sim;
+pub mod sim_reference;
+mod slab;
 pub mod stream;
 
 pub use admission::{feasible_on_idle_fleet, Grant, Placement, Profiler};
 pub use fleet::Fleet;
 pub use job::{JobKind, JobSpec, PolicyPreset, Workload};
+pub use latency::LatencySketch;
 pub use placement::{Candidate, PlacementPolicy};
-pub use report::{ClusterReport, JobOutcome, RejectReason, TraceEvent, TraceKind};
+pub use report::{ClusterReport, JobOutcome, RejectReason, ServiceReport, TraceEvent, TraceKind};
 pub use sim::ClusterSim;
-pub use stream::{mixed_serving_stream, synthetic_stream};
+pub use stream::{
+    collect_stream, mixed_serving_stream, synthetic_stream, ArrivalStream, PoissonStream,
+    ReplayStream,
+};

@@ -168,6 +168,7 @@ pub struct ClusterReport {
     pub jobs_per_sec: f64,
     pub p50_latency: SimTime,
     pub p99_latency: SimTime,
+    pub p999_latency: SimTime,
     pub mean_queueing: SimTime,
     /// Fraction of device-time with at least one tenant.
     pub compute_utilization: f64,
@@ -179,16 +180,37 @@ pub struct ClusterReport {
     pub peak_reserved: Vec<u64>,
     /// Per-device high-water tenant count.
     pub peak_tenants: Vec<usize>,
+    /// Per-device wall time (ns) with at least one tenant — the raw busy
+    /// integral the utilization above is derived from. Exposed so the
+    /// differential suite can pin the indexed event loop to the reference
+    /// loop *bit-for-bit*, not merely to six printed decimals.
+    pub busy_ns: Vec<f64>,
+    /// Per-device ∫ reserved(t) dt in byte·ns (memory-utilization
+    /// numerator), same bit-exactness contract as `busy_ns`.
+    pub reserved_integral: Vec<f64>,
     /// Distinct admission predictions the profiler simulated.
     pub predictions_simulated: usize,
 }
 
-fn percentile(sorted: &[SimTime], q: f64) -> SimTime {
+/// Nearest-rank percentile over an ascending-sorted slice: the smallest
+/// element such that at least `q` of the samples are ≤ it.
+///
+/// `q` must lie in `(0, 1]`. The old implementation clamped the rank into
+/// `1..=len`, which silently made `q = 0.0` (rank 0 — not a percentile any
+/// convention defines) return the first element instead of being rejected;
+/// the clamp's lower arm existed only to mask that invalid input. Valid
+/// `q > 0.0` always yields `ceil(q·n) ≥ 1` on its own, so only the upper
+/// guard (against float overshoot at `q = 1.0`) remains.
+pub(crate) fn percentile(sorted: &[SimTime], q: f64) -> SimTime {
+    assert!(
+        q > 0.0 && q <= 1.0,
+        "percentile q must be in (0, 1], got {q}"
+    );
     if sorted.is_empty() {
         return SimTime::ZERO;
     }
     let rank = (q * sorted.len() as f64).ceil() as usize;
-    sorted[rank.clamp(1, sorted.len()) - 1]
+    sorted[rank.min(sorted.len()) - 1]
 }
 
 impl ClusterReport {
@@ -225,12 +247,15 @@ impl ClusterReport {
             jobs_per_sec: completed as f64 / makespan.as_secs_f64().max(f64::MIN_POSITIVE),
             p50_latency: percentile(&latencies, 0.50),
             p99_latency: percentile(&latencies, 0.99),
+            p999_latency: percentile(&latencies, 0.999),
             mean_queueing,
             compute_utilization,
             memory_utilization,
             peak_concurrent_jobs,
             peak_reserved: device_stats.iter().map(|(_, _, p, _)| *p).collect(),
             peak_tenants: device_stats.iter().map(|(_, _, _, t)| *t).collect(),
+            busy_ns: device_stats.iter().map(|(b, ..)| *b).collect(),
+            reserved_integral: device_stats.iter().map(|(_, m, ..)| *m).collect(),
             predictions_simulated,
             jobs,
             trace,
@@ -238,6 +263,40 @@ impl ClusterReport {
             completed,
             rejected,
         }
+    }
+
+    /// Bit-exact equality against another report: every integer field, the
+    /// full schedule trace/JSON renderings, and — the strict part — the
+    /// per-device f64 busy/reserved integrals and every derived ratio
+    /// compared by *bit pattern* (`to_bits`), not tolerance. This is the
+    /// contract the differential suite pins the indexed event loop to the
+    /// retained reference loop with: both must perform the same
+    /// floating-point operations in the same order, or they are not the
+    /// same simulator.
+    pub fn bit_identical(&self, other: &ClusterReport) -> bool {
+        let f64_bits_eq = |a: &[f64], b: &[f64]| {
+            a.len() == b.len()
+                && a.iter()
+                    .zip(b)
+                    .all(|(x, y)| x.to_bits() == y.to_bits())
+        };
+        self.schedule_fingerprint() == other.schedule_fingerprint()
+            && self.to_json() == other.to_json()
+            && self.makespan == other.makespan
+            && self.completed == other.completed
+            && self.rejected == other.rejected
+            && self.peak_concurrent_jobs == other.peak_concurrent_jobs
+            && self.peak_reserved == other.peak_reserved
+            && self.peak_tenants == other.peak_tenants
+            && f64_bits_eq(&self.busy_ns, &other.busy_ns)
+            && f64_bits_eq(&self.reserved_integral, &other.reserved_integral)
+            && self.jobs_per_sec.to_bits() == other.jobs_per_sec.to_bits()
+            && self.compute_utilization.to_bits() == other.compute_utilization.to_bits()
+            && self.memory_utilization.to_bits() == other.memory_utilization.to_bits()
+            && self.p50_latency == other.p50_latency
+            && self.p99_latency == other.p99_latency
+            && self.p999_latency == other.p999_latency
+            && self.mean_queueing == other.mean_queueing
     }
 
     /// The whole schedule as one string — byte-identical across runs of the
@@ -273,9 +332,10 @@ impl ClusterReport {
             self.peak_concurrent_jobs
         ));
         s.push_str(&format!(
-            "  latency p50 {:.3} s  p99 {:.3} s   mean queueing {:.3} s\n",
+            "  latency p50 {:.3} s  p99 {:.3} s  p999 {:.3} s   mean queueing {:.3} s\n",
             self.p50_latency.as_secs_f64(),
             self.p99_latency.as_secs_f64(),
+            self.p999_latency.as_secs_f64(),
             self.mean_queueing.as_secs_f64()
         ));
         s.push_str(&format!(
@@ -326,7 +386,8 @@ impl ClusterReport {
             "{{\"placement\":{},\"devices\":{},\"fleet_dram_bytes\":{},\
              \"submitted\":{},\"completed\":{},\"rejected\":{},\
              \"makespan_ns\":{},\"jobs_per_sec\":{:.6},\
-             \"p50_latency_ns\":{},\"p99_latency_ns\":{},\"mean_queueing_ns\":{},\
+             \"p50_latency_ns\":{},\"p99_latency_ns\":{},\"p999_latency_ns\":{},\
+             \"mean_queueing_ns\":{},\
              \"compute_utilization\":{:.6},\"memory_utilization\":{:.6},\
              \"peak_concurrent_jobs\":{},\"predictions_simulated\":{},\
              \"jobs\":[{}]}}",
@@ -340,12 +401,113 @@ impl ClusterReport {
             self.jobs_per_sec,
             self.p50_latency.0,
             self.p99_latency.0,
+            self.p999_latency.0,
             self.mean_queueing.0,
             self.compute_utilization,
             self.memory_utilization,
             self.peak_concurrent_jobs,
             self.predictions_simulated,
             jobs
+        )
+    }
+}
+
+/// Aggregate results of one *streaming* run ([`ClusterSim::run_stream`]).
+///
+/// Unlike [`ClusterReport`] this carries no per-job outcomes and no schedule
+/// trace — a million-event stream must not materialize a million
+/// `JobOutcome`s. What survives is the serving summary: counts, tail
+/// latencies over completed jobs, device utilization, and the event count
+/// the `service` bench gates throughput on.
+///
+/// [`ClusterSim::run_stream`]: crate::ClusterSim::run_stream
+#[derive(Debug, Clone)]
+pub struct ServiceReport {
+    pub placement: PlacementPolicy,
+    pub fleet_devices: usize,
+    /// Jobs pulled from the arrival stream.
+    pub submitted: u64,
+    pub completed: u64,
+    pub rejected: u64,
+    /// Scheduling events processed (arrivals + completions + admissions) —
+    /// the numerator of the events/sec throughput gate.
+    pub events: u64,
+    pub makespan: SimTime,
+    pub jobs_per_sec: f64,
+    pub p50_latency: SimTime,
+    pub p99_latency: SimTime,
+    pub p999_latency: SimTime,
+    pub mean_queueing: SimTime,
+    pub compute_utilization: f64,
+    pub memory_utilization: f64,
+    pub peak_concurrent_jobs: usize,
+    /// High-water live-job slab slots — the constant-memory evidence: for a
+    /// 10^6-job stream this stays near peak concurrency, not near 10^6.
+    pub peak_live_jobs: usize,
+}
+
+impl ServiceReport {
+    /// Human-readable summary.
+    pub fn render_text(&self) -> String {
+        let mut s = String::new();
+        s.push_str(&format!(
+            "service[{} devices, placement={}]\n",
+            self.fleet_devices,
+            self.placement.name()
+        ));
+        s.push_str(&format!(
+            "  jobs: {} submitted / {} completed / {} rejected   events {}\n",
+            self.submitted, self.completed, self.rejected, self.events
+        ));
+        s.push_str(&format!(
+            "  makespan {:.3} s   throughput {:.2} jobs/s   peak concurrency {}   peak live slots {}\n",
+            self.makespan.as_secs_f64(),
+            self.jobs_per_sec,
+            self.peak_concurrent_jobs,
+            self.peak_live_jobs
+        ));
+        s.push_str(&format!(
+            "  latency p50 {:.3} s  p99 {:.3} s  p999 {:.3} s   mean queueing {:.3} s\n",
+            self.p50_latency.as_secs_f64(),
+            self.p99_latency.as_secs_f64(),
+            self.p999_latency.as_secs_f64(),
+            self.mean_queueing.as_secs_f64()
+        ));
+        s.push_str(&format!(
+            "  utilization: compute {:.1}%  memory {:.1}%\n",
+            100.0 * self.compute_utilization,
+            100.0 * self.memory_utilization
+        ));
+        s
+    }
+
+    /// Machine-readable JSON, same hand-rolled convention as
+    /// [`ClusterReport::to_json`].
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"placement\":{},\"devices\":{},\
+             \"submitted\":{},\"completed\":{},\"rejected\":{},\"events\":{},\
+             \"makespan_ns\":{},\"jobs_per_sec\":{:.6},\
+             \"p50_latency_ns\":{},\"p99_latency_ns\":{},\"p999_latency_ns\":{},\
+             \"mean_queueing_ns\":{},\
+             \"compute_utilization\":{:.6},\"memory_utilization\":{:.6},\
+             \"peak_concurrent_jobs\":{},\"peak_live_jobs\":{}}}",
+            json_str(self.placement.name()),
+            self.fleet_devices,
+            self.submitted,
+            self.completed,
+            self.rejected,
+            self.events,
+            self.makespan.0,
+            self.jobs_per_sec,
+            self.p50_latency.0,
+            self.p99_latency.0,
+            self.p999_latency.0,
+            self.mean_queueing.0,
+            self.compute_utilization,
+            self.memory_utilization,
+            self.peak_concurrent_jobs,
+            self.peak_live_jobs
         )
     }
 }
@@ -384,6 +546,44 @@ mod tests {
             percentile(&[SimTime::from_us(7)], 0.99),
             SimTime::from_us(7)
         );
+    }
+
+    #[test]
+    fn percentile_small_n_nearest_rank() {
+        // n = 1: every valid q lands on the only sample.
+        let one = [SimTime::from_us(7)];
+        assert_eq!(percentile(&one, 0.001), SimTime::from_us(7));
+        assert_eq!(percentile(&one, 0.50), SimTime::from_us(7));
+        assert_eq!(percentile(&one, 1.0), SimTime::from_us(7));
+
+        // n = 2: nearest-rank splits exactly at q = 0.5 (ceil(0.5·2) = 1).
+        let two = [SimTime::from_us(1), SimTime::from_us(2)];
+        assert_eq!(percentile(&two, 0.25), SimTime::from_us(1));
+        assert_eq!(percentile(&two, 0.50), SimTime::from_us(1));
+        assert_eq!(percentile(&two, 0.51), SimTime::from_us(2));
+        assert_eq!(percentile(&two, 0.999), SimTime::from_us(2));
+        assert_eq!(percentile(&two, 1.0), SimTime::from_us(2));
+
+        // n = 100: p999 must round *up* to the max, never down past it.
+        let hundred: Vec<SimTime> = (1..=100).map(SimTime::from_us).collect();
+        assert_eq!(percentile(&hundred, 0.001), SimTime::from_us(1));
+        assert_eq!(percentile(&hundred, 0.999), SimTime::from_us(100));
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile q must be in (0, 1]")]
+    fn percentile_rejects_q_zero() {
+        // The old clamp silently mapped rank 0 to the first element; q = 0
+        // is not a percentile under any convention and must panic.
+        let v = [SimTime::from_us(1)];
+        percentile(&v, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile q must be in (0, 1]")]
+    fn percentile_rejects_q_above_one() {
+        let v = [SimTime::from_us(1)];
+        percentile(&v, 1.5);
     }
 
     #[test]

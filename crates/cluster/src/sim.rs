@@ -14,50 +14,98 @@
 //! order is FIFO (with backfill past a blocked head), and the RNG-free state
 //! machine is a pure function of the input job stream — identical streams
 //! produce byte-identical schedule traces.
+//!
+//! ## The indexed event core
+//!
+//! The loop is *indexed*, not scanned — the structure classic
+//! discrete-event simulators use to stay O(log n)-ish per event instead of
+//! O(n):
+//!
+//! * **Event queue** — a binary heap of projected completions plus the next
+//!   arrival, ordered by `(time, job index)`. Projections that a
+//!   tenant-count change invalidates are not deleted (heaps can't); the
+//!   superseding push carries a bumped generation and the stale entry is
+//!   discarded when it eventually surfaces.
+//! * **Slab job state** — live jobs (pending + running) occupy
+//!   generation-stamped slots ([`crate::slab`]); storage is bounded by peak
+//!   concurrency, not stream length, and freed slots can never be confused
+//!   with their successors by a stale heap entry.
+//! * **Lazy progress** — each running gang carries
+//!   `(anchor_ns, remaining_ns, slowdown)`: its completion is always
+//!   `anchor + remaining · slowdown`, and `remaining` is folded forward
+//!   **only when its slowdown changes**. Per-device tenant lists identify
+//!   exactly the gangs a completion/admission can affect, so an event
+//!   touches its neighborhood, not every running job.
+//! * **Admission-pass memo** — the FIFO pass re-evaluates queued jobs only
+//!   when reservations changed since they were last evaluated (admission is
+//!   a pure function of the reservation vector, so the replay is provably
+//!   identical), and `(reservation vector, job shape) → grant` decisions
+//!   are memoized across events.
+//!
+//! The loop this replaced is retained verbatim in [`crate::sim_reference`];
+//! a differential suite pins both to byte-identical [`ClusterReport`]s —
+//! same trace, same outcomes, same f64 integrals to the last bit.
+//! [`ClusterSim::run_stream`] runs the same core against a pull-based
+//! [`ArrivalStream`] with aggregate-only recording: millions of arrivals in
+//! constant memory.
 
+use std::collections::BinaryHeap;
+use std::sync::Arc;
+
+use fxhash::FxHashMap;
 use sn_runtime::ring_allreduce_time;
 use sn_sim::SimTime;
 use sn_telemetry::{Counter, Histogram, MetricsRegistry, TraceSink, TrackId};
 
 use crate::admission::{feasible_on_idle_fleet, ladder_for, Grant, Profiler};
 use crate::fleet::Fleet;
-use crate::job::JobSpec;
+use crate::job::{JobKind, JobSpec, PolicyPreset, Workload};
+use crate::latency::LatencySketch;
 use crate::placement::PlacementPolicy;
-use crate::report::{ClusterReport, JobOutcome, RejectReason, TraceEvent, TraceKind};
+use crate::report::{
+    ClusterReport, JobOutcome, RejectReason, ServiceReport, TraceEvent, TraceKind,
+};
+use crate::slab::{Slab, SlotKey};
+use crate::stream::{ArrivalStream, ReplayStream};
 
 /// Per-device mutable state during a simulation run.
 #[derive(Debug, Clone, Default)]
-struct DeviceState {
-    reserved: u64,
-    tenants: usize,
+pub(crate) struct DeviceState {
+    pub(crate) reserved: u64,
+    pub(crate) tenants: usize,
     /// Wall time (ns) with at least one tenant.
-    busy_ns: f64,
+    pub(crate) busy_ns: f64,
     /// ∫ reserved(t) dt, in byte·ns — memory utilization numerator.
-    reserved_integral: f64,
-    peak_reserved: u64,
-    peak_tenants: usize,
+    pub(crate) reserved_integral: f64,
+    pub(crate) peak_reserved: u64,
+    pub(crate) peak_tenants: usize,
 }
 
-/// A gang currently executing.
-#[derive(Debug, Clone)]
-struct Running {
-    job: usize,
-    grant: Grant,
-    /// Remaining work in ns of *solo* execution time.
-    remaining_ns: f64,
+/// Gang slowdown under processor sharing: the most-loaded of its devices
+/// sets the pace (each of `k` tenants gets `1/k` of a device). Shared by
+/// the indexed loop and the retained reference loop — it must be the same
+/// float computation in both or they stop being bit-comparable.
+pub(crate) fn gang_slowdown(devices: &[DeviceState], grant: &Grant) -> f64 {
+    grant
+        .placements
+        .iter()
+        .map(|p| devices[p.device].tenants)
+        .max()
+        .unwrap_or(1)
+        .max(1) as f64
 }
 
 /// Pre-resolved admission metric handles (see [`ClusterSim::enable_metrics`]).
-struct ClusterMetrics {
-    submitted: Counter,
-    admitted: Counter,
+pub(crate) struct ClusterMetrics {
+    pub(crate) submitted: Counter,
+    pub(crate) admitted: Counter,
     rejected: Counter,
-    completed: Counter,
+    pub(crate) completed: Counter,
     reject_empty_gang: Counter,
     reject_fleet_too_small: Counter,
     reject_peak_exceeds: Counter,
-    latency_ns: Histogram,
-    queueing_ns: Histogram,
+    pub(crate) latency_ns: Histogram,
+    pub(crate) queueing_ns: Histogram,
 }
 
 impl ClusterMetrics {
@@ -75,7 +123,7 @@ impl ClusterMetrics {
         }
     }
 
-    fn count_reject(&self, reason: &RejectReason) {
+    pub(crate) fn count_reject(&self, reason: &RejectReason) {
         self.rejected.inc();
         match reason {
             RejectReason::EmptyGang => self.reject_empty_gang.inc(),
@@ -85,14 +133,315 @@ impl ClusterMetrics {
     }
 }
 
+/// One live (pending or running) job in the slab.
+struct LiveJob {
+    spec: Arc<JobSpec>,
+    /// Arrival sequence number: ties on the event heap break toward the
+    /// earliest arrival, matching the reference loop's job-index order.
+    seq: u64,
+    arrival: SimTime,
+    run: Option<RunState>,
+}
+
+/// Execution state of a running gang (see the module docs on lazy
+/// progress).
+struct RunState {
+    grant: Grant,
+    /// Remaining work in ns of *solo* execution time, valid as of
+    /// `anchor_ns`.
+    remaining_ns: f64,
+    anchor_ns: f64,
+    slowdown: f64,
+    /// Bumped on every re-anchor; heap entries carrying an older generation
+    /// are stale and discarded on pop.
+    gen: u64,
+}
+
+enum EventKind {
+    /// Projected gang completion. Stale if the job is gone (slot freed or
+    /// reused) or re-anchored since (`gen` mismatch).
+    Completion { key: SlotKey, gen: u64 },
+    /// The next pulled-but-unprocessed arrival is due.
+    Arrival,
+}
+
+struct QueuedEvent {
+    t_ns: f64,
+    /// Tiebreak at equal times: completions by arrival sequence (the
+    /// reference loop's job-index order), the arrival marker last.
+    order: u64,
+    kind: EventKind,
+}
+
+// `BinaryHeap` is a max-heap; compare reversed for earliest-first.
+impl Ord for QueuedEvent {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        other
+            .t_ns
+            .total_cmp(&self.t_ns)
+            .then_with(|| other.order.cmp(&self.order))
+    }
+}
+impl PartialOrd for QueuedEvent {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl PartialEq for QueuedEvent {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == std::cmp::Ordering::Equal
+    }
+}
+impl Eq for QueuedEvent {}
+
+/// What the event core tells the outside world as it goes. [`FullRecorder`]
+/// reproduces `run`'s historical behavior exactly (per-job outcomes, the
+/// schedule trace, telemetry spans, metrics); [`StreamRecorder`] keeps
+/// aggregates only, so recording cost — like everything else in the
+/// streaming loop — is independent of stream length.
+trait Recorder {
+    fn on_arrive(&mut self, sim: &ClusterSim, job: &LiveJob, t_ns: u64);
+    fn on_admit(&mut self, sim: &ClusterSim, job: &LiveJob, grant: &Grant, t_ns: u64);
+    fn on_reject(&mut self, sim: &ClusterSim, job: &LiveJob, reason: &RejectReason, t_ns: u64);
+    fn on_complete(&mut self, sim: &ClusterSim, job: &LiveJob, t_ns: u64);
+}
+
+/// Full per-job recording: byte-identical to what the pre-indexed loop
+/// produced (the differential suite holds it to that), including telemetry
+/// track/span emission order. Tracks are pre-created in arrival order by
+/// [`ClusterSim::run`] so the Perfetto artifact keeps its historical layout.
+struct FullRecorder {
+    outcomes: Vec<JobOutcome>,
+    trace: Vec<TraceEvent>,
+    tracks: Vec<TrackId>,
+    tracing: bool,
+}
+
+impl Recorder for FullRecorder {
+    fn on_arrive(&mut self, sim: &ClusterSim, job: &LiveJob, t_ns: u64) {
+        debug_assert_eq!(self.outcomes.len() as u64, job.seq);
+        self.outcomes.push(JobOutcome::pending(&job.spec, job.arrival));
+        self.trace.push(TraceEvent {
+            t_ns,
+            job: job.spec.name.clone(),
+            kind: TraceKind::Arrive,
+        });
+        if self.tracing {
+            sim.sink
+                .instant(self.tracks[job.seq as usize], "arrive", "cluster", t_ns, Vec::new());
+        }
+        if let Some(m) = &sim.metrics {
+            m.submitted.inc();
+        }
+    }
+
+    fn on_admit(&mut self, sim: &ClusterSim, job: &LiveJob, grant: &Grant, t_ns: u64) {
+        let idx = job.seq as usize;
+        let out = &mut self.outcomes[idx];
+        out.started = Some(SimTime(t_ns));
+        out.granted = Some(grant.preset);
+        out.devices = grant.placements.iter().map(|p| p.device).collect();
+        out.reservations = grant
+            .placements
+            .iter()
+            .map(|p| p.prediction.peak_bytes)
+            .collect();
+        self.trace.push(TraceEvent {
+            t_ns,
+            job: job.spec.name.clone(),
+            kind: TraceKind::Admit {
+                preset: grant.preset,
+                devices: out.devices.clone(),
+                reservations: out.reservations.clone(),
+            },
+        });
+        if self.tracing {
+            let arrival = self.outcomes[idx].arrival.0;
+            let t = t_ns.max(arrival);
+            sim.sink.span_with(
+                self.tracks[idx],
+                "queued".to_string(),
+                "cluster",
+                arrival,
+                t,
+                vec![("preset", grant.preset.name().into())],
+            );
+        }
+        if let Some(m) = &sim.metrics {
+            m.admitted.inc();
+            if let Some(q) = self.outcomes[idx].queueing() {
+                m.queueing_ns.record(q.0);
+            }
+        }
+    }
+
+    fn on_reject(&mut self, sim: &ClusterSim, job: &LiveJob, reason: &RejectReason, t_ns: u64) {
+        let idx = job.seq as usize;
+        self.outcomes[idx].rejected = Some(reason.clone());
+        if self.tracing {
+            sim.sink.instant(
+                self.tracks[idx],
+                "reject",
+                "cluster",
+                t_ns,
+                vec![("reason", reason.kind().into())],
+            );
+        }
+        if let Some(m) = &sim.metrics {
+            m.count_reject(reason);
+        }
+        self.trace.push(TraceEvent {
+            t_ns,
+            job: job.spec.name.clone(),
+            kind: TraceKind::Reject {
+                reason: reason.clone(),
+            },
+        });
+    }
+
+    fn on_complete(&mut self, sim: &ClusterSim, job: &LiveJob, t_ns: u64) {
+        let idx = job.seq as usize;
+        self.outcomes[idx].completion = Some(SimTime(t_ns));
+        self.trace.push(TraceEvent {
+            t_ns,
+            job: job.spec.name.clone(),
+            kind: TraceKind::Complete,
+        });
+        if self.tracing {
+            let started = self.outcomes[idx].started.map(|s| s.0).unwrap_or(0);
+            let end = t_ns.max(started);
+            let preset = self.outcomes[idx].granted.map(|p| p.name()).unwrap_or("?");
+            sim.sink.span_with(
+                self.tracks[idx],
+                "running".to_string(),
+                "cluster",
+                started,
+                end,
+                vec![
+                    ("preset", preset.into()),
+                    ("replicas", job.spec.replicas.into()),
+                ],
+            );
+        }
+        if let Some(m) = &sim.metrics {
+            m.completed.inc();
+            if let Some(l) = self.outcomes[idx].latency() {
+                m.latency_ns.record(l.0);
+            }
+        }
+    }
+}
+
+/// Aggregate-only recording for streaming runs: a fixed-size latency sketch
+/// and exact queueing sums. No outcomes, no trace, no telemetry spans —
+/// O(1) memory regardless of stream length. Metrics counters (if enabled)
+/// still tick; they are already aggregates.
+#[derive(Default)]
+struct StreamRecorder {
+    latency: LatencySketch,
+    queue_sum: u128,
+    queue_count: u64,
+}
+
+impl Recorder for StreamRecorder {
+    fn on_arrive(&mut self, sim: &ClusterSim, _job: &LiveJob, _t_ns: u64) {
+        if let Some(m) = &sim.metrics {
+            m.submitted.inc();
+        }
+    }
+
+    fn on_admit(&mut self, sim: &ClusterSim, job: &LiveJob, _grant: &Grant, t_ns: u64) {
+        let q = t_ns.saturating_sub(job.arrival.0);
+        self.queue_sum += q as u128;
+        self.queue_count += 1;
+        if let Some(m) = &sim.metrics {
+            m.admitted.inc();
+            m.queueing_ns.record(q);
+        }
+    }
+
+    fn on_reject(&mut self, sim: &ClusterSim, _job: &LiveJob, reason: &RejectReason, _t_ns: u64) {
+        if let Some(m) = &sim.metrics {
+            m.count_reject(reason);
+        }
+    }
+
+    fn on_complete(&mut self, sim: &ClusterSim, job: &LiveJob, t_ns: u64) {
+        let l = t_ns.saturating_sub(job.arrival.0);
+        self.latency.record(l);
+        if let Some(m) = &sim.metrics {
+            m.completed.inc();
+            m.latency_ns.record(l);
+        }
+    }
+}
+
+/// Admission decisions memoized across events. `try_admit` is a pure
+/// function of the per-device **raw reservation vector** and the job's
+/// shape — raw, not quantized, because best-fit ranks candidates by exact
+/// free bytes and bin-pack by exact reserved bytes, so two reservation
+/// states sharing quantized budgets can still place differently. Keyed on
+/// that vector the memo is exact with no invalidation protocol at all; a
+/// size cap bounds memory on long streams (clearing it is semantically
+/// invisible — entries are pure).
+#[derive(Default)]
+struct AdmitMemo {
+    map: FxHashMap<Vec<u64>, FxHashMap<ShapeKey, Option<Grant>>>,
+    /// Idle-fleet feasibility per shape: [`feasible_on_idle_fleet`] is a
+    /// pure function of (profiler, fleet, job shape), and the FIFO pass
+    /// re-asks it for every still-queued job at every pass — under load
+    /// that was the single hottest path in the whole loop (it takes
+    /// several mutex-guarded profiler lookups per device per ladder rung).
+    feasible: FxHashMap<ShapeKey, bool>,
+    /// The reservation vector is rebuilt (and re-hashed) only when
+    /// `state_version` moves, not once per queued job.
+    last_version: Option<u64>,
+    last_key: Vec<u64>,
+}
+
+/// Everything `try_admit` reads from a [`JobSpec`] (name and iteration
+/// count don't influence admission).
+type ShapeKey = (Workload, usize, JobKind, PolicyPreset, bool, usize);
+
+fn shape_key(job: &JobSpec) -> ShapeKey {
+    (
+        job.workload,
+        job.batch,
+        job.kind,
+        job.preset,
+        job.allow_downgrade,
+        job.replicas,
+    )
+}
+
+/// Outer-map size cap: past this many distinct reservation states the memo
+/// resets. Generous for steady-state serving (states recur) while bounding
+/// pathological churn.
+const ADMIT_MEMO_MAX_STATES: usize = 4096;
+
+/// What the event core hands back besides recorder contents.
+struct CoreOutcome {
+    devices: Vec<DeviceState>,
+    now_ns: f64,
+    peak_concurrent: usize,
+    /// Slab high-water: the constant-memory evidence for streaming runs.
+    peak_live: usize,
+    /// Scheduling events processed: arrivals + admissions + rejections +
+    /// completions (the schedule-trace length, when one is recorded).
+    events: u64,
+    submitted: u64,
+    completed: u64,
+    rejected: u64,
+}
+
 /// The cluster scheduler: a fleet, a placement policy, and a memoizing
 /// admission profiler.
 pub struct ClusterSim {
     pub fleet: Fleet,
     pub placement: PlacementPolicy,
-    profiler: Profiler,
-    sink: TraceSink,
-    metrics: Option<ClusterMetrics>,
+    pub(crate) profiler: Profiler,
+    pub(crate) sink: TraceSink,
+    pub(crate) metrics: Option<ClusterMetrics>,
 }
 
 impl ClusterSim {
@@ -111,6 +460,11 @@ impl ClusterSim {
     /// track under the `"cluster"` process with an arrive instant, a
     /// `queued` span (arrival → admission), a `running` span (admission →
     /// completion), and a reject instant carrying the structured reason.
+    /// Honored by [`ClusterSim::run`] and [`ClusterSim::run_reference`];
+    /// streaming runs ([`ClusterSim::run_stream`]) never emit per-job
+    /// tracks — that would be O(stream) sink state.
+    ///
+    /// [`ClusterSim::run_reference`]: ClusterSim::run_reference
     pub fn enable_tracing(&mut self, sink: &TraceSink) {
         self.sink = if sink.is_enabled() {
             sink.clone()
@@ -141,7 +495,7 @@ impl ClusterSim {
     /// 1/32-of-DRAM quantum: still sound (the predicted peak fits under the
     /// real free space), but the profiler's memo key space collapses from
     /// "every reservation state ever" to at most 32 budgets per device.
-    fn try_admit(&self, devices: &[DeviceState], job: &JobSpec) -> Option<Grant> {
+    pub(crate) fn try_admit(&self, devices: &[DeviceState], job: &JobSpec) -> Option<Grant> {
         if job.replicas == 0 {
             return None; // an empty gang is not a schedulable job
         }
@@ -208,6 +562,39 @@ impl ClusterSim {
         None
     }
 
+    /// [`ClusterSim::try_admit`] behind the cross-event memo (see
+    /// [`AdmitMemo`]).
+    fn try_admit_memo(
+        &self,
+        devices: &[DeviceState],
+        job: &JobSpec,
+        memo: &mut AdmitMemo,
+        state_version: u64,
+    ) -> Option<Grant> {
+        if memo.last_version != Some(state_version) {
+            memo.last_key.clear();
+            memo.last_key.extend(devices.iter().map(|d| d.reserved));
+            memo.last_version = Some(state_version);
+        }
+        let shape = shape_key(job);
+        if let Some(hit) = memo
+            .map
+            .get(&memo.last_key)
+            .and_then(|inner| inner.get(&shape))
+        {
+            return hit.clone();
+        }
+        let result = self.try_admit(devices, job);
+        if memo.map.len() >= ADMIT_MEMO_MAX_STATES {
+            memo.map.clear();
+        }
+        memo.map
+            .entry(memo.last_key.clone())
+            .or_default()
+            .insert(shape, result.clone());
+        result
+    }
+
     /// One gang iteration's solo duration. Gangs (`replicas > 1`) no longer
     /// multiply an analytic all-reduce term: the profiler compiles the
     /// job's [`sn_runtime::GroupPlan`] and *runs* the group interpreter on
@@ -218,7 +605,7 @@ impl ClusterSim {
     /// analytic estimate (no gradient exchange to measure). The closed
     /// form survives only as a belt-and-braces fallback for a gang whose
     /// group execution cannot run (which admission feasibility rules out).
-    fn step_time(&self, job: &JobSpec, grant: &Grant) -> SimTime {
+    pub(crate) fn step_time(&self, job: &JobSpec, grant: &Grant) -> SimTime {
         match job.kind {
             crate::job::JobKind::Training if job.replicas > 1 => {
                 let measured = grant.slowest().and_then(|pace| {
@@ -247,18 +634,6 @@ impl ClusterSim {
         }
     }
 
-    /// Gang slowdown under processor sharing: the most-loaded of its devices
-    /// sets the pace (each of `k` tenants gets `1/k` of a device).
-    fn slowdown(devices: &[DeviceState], r: &Running) -> f64 {
-        r.grant
-            .placements
-            .iter()
-            .map(|p| devices[p.device].tenants)
-            .max()
-            .unwrap_or(1)
-            .max(1) as f64
-    }
-
     /// Run the job stream to completion and report. `arrivals` pairs each
     /// job with its (virtual) submission time; same-time jobs keep their
     /// input order in the queue.
@@ -266,58 +641,197 @@ impl ClusterSim {
         let mut arrivals = arrivals;
         arrivals.sort_by_key(|(t, _)| *t); // stable: ties keep input order
 
-        let n_jobs = arrivals.len();
-        let mut outcomes: Vec<JobOutcome> = arrivals
-            .iter()
-            .map(|(t, j)| JobOutcome::pending(j, *t))
-            .collect();
-        let specs: Vec<JobSpec> = arrivals.iter().map(|(_, j)| j.clone()).collect();
-
-        // One per-tenant track per job under the "cluster" process; empty
-        // when untraced (and every sink call below is guarded).
+        // One per-tenant track per job under the "cluster" process,
+        // pre-created in arrival order so the Perfetto artifact's track
+        // layout is identical to the reference loop's; empty when untraced.
         let tracing = self.sink.is_enabled();
         let tracks: Vec<TrackId> = if tracing {
-            specs
+            arrivals
                 .iter()
-                .map(|j| self.sink.track("cluster", &j.name))
+                .map(|(_, j)| self.sink.track("cluster", &j.name))
                 .collect()
         } else {
             Vec::new()
         };
+        let mut rec = FullRecorder {
+            outcomes: Vec::with_capacity(arrivals.len()),
+            trace: Vec::new(),
+            tracks,
+            tracing,
+        };
+        let mut stream = ReplayStream::new(arrivals);
+        let core = self.run_core(&mut stream, &mut rec);
 
+        let makespan = SimTime(core.now_ns.round() as u64);
+        ClusterReport::assemble(
+            &self.fleet,
+            self.placement,
+            rec.outcomes,
+            rec.trace,
+            makespan,
+            core.devices
+                .iter()
+                .map(|d| {
+                    (
+                        d.busy_ns,
+                        d.reserved_integral,
+                        d.peak_reserved,
+                        d.peak_tenants,
+                    )
+                })
+                .collect(),
+            core.peak_concurrent,
+            self.profiler.simulated(),
+        )
+    }
+
+    /// Run an open-loop arrival stream to exhaustion with aggregate-only
+    /// recording: arrivals are pulled one ahead of the clock and per-job
+    /// state lives only while the job does, so a 10^6-event stream runs in
+    /// memory proportional to **peak concurrency** (reported as
+    /// [`ServiceReport::peak_live_jobs`]), not stream length. Tail
+    /// latencies come from a fixed-size log-linear sketch (≤ 1/16 relative
+    /// rounding); counts, means, utilizations, and the schedule itself are
+    /// exact — the loop is the same indexed core [`ClusterSim::run`] uses.
+    pub fn run_stream(&mut self, stream: &mut dyn ArrivalStream) -> ServiceReport {
+        let mut rec = StreamRecorder::default();
+        let core = self.run_core(stream, &mut rec);
+
+        let makespan = SimTime(core.now_ns.round() as u64);
+        let span_ns = makespan.0.max(1) as f64;
+        let compute_utilization = core.devices.iter().map(|d| d.busy_ns).sum::<f64>()
+            / (span_ns * self.fleet.len().max(1) as f64);
+        let memory_utilization = core.devices.iter().map(|d| d.reserved_integral).sum::<f64>()
+            / (span_ns * self.fleet.total_dram().max(1) as f64);
+        let mean_queueing = if rec.queue_count == 0 {
+            SimTime::ZERO
+        } else {
+            SimTime((rec.queue_sum / rec.queue_count as u128) as u64)
+        };
+        ServiceReport {
+            placement: self.placement,
+            fleet_devices: self.fleet.len(),
+            submitted: core.submitted,
+            completed: core.completed,
+            rejected: core.rejected,
+            events: core.events,
+            makespan,
+            jobs_per_sec: core.completed as f64 / makespan.as_secs_f64().max(f64::MIN_POSITIVE),
+            p50_latency: rec.latency.quantile(0.50),
+            p99_latency: rec.latency.quantile(0.99),
+            p999_latency: rec.latency.quantile(0.999),
+            mean_queueing,
+            compute_utilization,
+            memory_utilization,
+            peak_concurrent_jobs: core.peak_concurrent,
+            peak_live_jobs: core.peak_live,
+        }
+    }
+
+    /// The indexed discrete-event core (see the module docs). Everything
+    /// observable goes through `rec`; the returned [`CoreOutcome`] carries
+    /// the device integrals and counters both report types share.
+    fn run_core<R: Recorder>(&self, stream: &mut dyn ArrivalStream, rec: &mut R) -> CoreOutcome {
         let mut devices = vec![DeviceState::default(); self.fleet.len()];
-        let mut trace: Vec<TraceEvent> = Vec::new();
-        let mut pending: Vec<usize> = Vec::new(); // FIFO queue of job indices
-        let mut running: Vec<Running> = Vec::new();
-        let mut next_arrival = 0usize;
+        // Per-device running tenants: the gangs a tenant-count change on
+        // this device can re-pace. The re-anchor sweep walks only these.
+        let mut tenants_on: Vec<Vec<SlotKey>> = vec![Vec::new(); self.fleet.len()];
+        let mut jobs: Slab<LiveJob> = Slab::new();
+        let mut heap: BinaryHeap<QueuedEvent> = BinaryHeap::new();
+        let mut pending: Vec<SlotKey> = Vec::new(); // FIFO queue
+        let mut memo = AdmitMemo::default();
+
         let mut now_ns = 0f64;
+        let mut next_seq = 0u64;
+        let mut running_count = 0usize;
         let mut peak_concurrent = 0usize;
+        let mut events = 0u64;
+        let mut submitted = 0u64;
+        let mut completed = 0u64;
+        let mut rejected = 0u64;
+
+        // Reservation-state version, bumped on every reserve/release.
+        // `pass_version` is the version every *currently queued* job was
+        // last (provably) evaluated at; when they match, the FIFO pass can
+        // skip straight to this event's fresh arrivals — the old entries'
+        // re-evaluation would be a pure replay ending in "still pending".
+        let mut state_version = 0u64;
+        let mut pass_version = 0u64;
+
+        // Pull one arrival ahead of the clock.
+        let mut pending_arrival = stream.next_job();
+        if let Some((t, _)) = &pending_arrival {
+            heap.push(QueuedEvent {
+                t_ns: t.0 as f64,
+                order: u64::MAX,
+                kind: EventKind::Arrival,
+            });
+        }
 
         loop {
-            // Projected completion per running gang (f64-exact, so the same
-            // expression below re-identifies the completing jobs).
-            let projections: Vec<f64> = running
-                .iter()
-                .map(|r| now_ns + r.remaining_ns * Self::slowdown(&devices, r))
-                .collect();
-            let t_completion = projections.iter().copied().fold(f64::INFINITY, f64::min);
-            // Keep the arrival timestamp in integer nanoseconds; its f64
-            // projection is only used to order it against completion
-            // projections (which are inherently f64 under processor sharing).
-            let t_arrival_ns: Option<u64> = arrivals.get(next_arrival).map(|(t, _)| t.0);
-            let t_arrival = t_arrival_ns.map(|t| t as f64).unwrap_or(f64::INFINITY);
-            let t_next = t_completion.min(t_arrival);
+            // Earliest live event; stale completion projections (job gone
+            // or re-anchored since the push) are lazily discarded here.
+            let t_next = loop {
+                match heap.peek() {
+                    None => break f64::INFINITY,
+                    Some(ev) => {
+                        if let EventKind::Completion { key, gen } = ev.kind {
+                            let live = jobs
+                                .get(key)
+                                .and_then(|j| j.run.as_ref())
+                                .is_some_and(|r| r.gen == gen);
+                            if !live {
+                                heap.pop();
+                                continue;
+                            }
+                        }
+                        break ev.t_ns;
+                    }
+                }
+            };
             if t_next.is_infinite() {
                 debug_assert!(pending.is_empty(), "queued jobs with no future events");
                 break;
             }
 
-            // Advance the clock: work progresses, accounting integrates.
+            // Collect everything due at this instant *before* processing:
+            // pushes made while handling the batch (same-f64-time arrivals
+            // past 2^53 ns, zero-dt re-projections) belong to the next
+            // iteration, exactly like the reference loop's dt=0 follow-ups.
+            let mut completions: Vec<SlotKey> = Vec::new();
+            let mut arrival_due = false;
+            while let Some(ev) = heap.peek() {
+                if ev.t_ns != t_next {
+                    break;
+                }
+                let ev = heap.pop().expect("peeked entry");
+                match ev.kind {
+                    EventKind::Completion { key, gen } => {
+                        let live = jobs
+                            .get(key)
+                            .and_then(|j| j.run.as_ref())
+                            .is_some_and(|r| r.gen == gen);
+                        if live {
+                            completions.push(key);
+                        }
+                    }
+                    EventKind::Arrival => arrival_due = true,
+                }
+            }
+            // Heap pops at equal times ascend by `order`, i.e. by arrival
+            // sequence — the completion-report order the reference loop
+            // gets from keeping `running` sorted.
+            debug_assert!(completions
+                .windows(2)
+                .all(|w| jobs.get(w[0]).unwrap().seq < jobs.get(w[1]).unwrap().seq));
+
+            // Advance the clock: device accounting integrates (per-gang
+            // progress is implicit in the anchors). Deliberately the same
+            // eager per-device loop as the reference — f64 addition is not
+            // associative, so coalescing idle stretches would change bits;
+            // the fleet is small and fixed, the asymptotic win is in jobs.
             let dt = t_next - now_ns;
             if dt > 0.0 {
-                for r in running.iter_mut() {
-                    r.remaining_ns -= dt / Self::slowdown(&devices, r);
-                }
                 for d in devices.iter_mut() {
                     if d.tenants > 0 {
                         d.busy_ns += dt;
@@ -325,102 +839,95 @@ impl ClusterSim {
                     d.reserved_integral += d.reserved as f64 * dt;
                 }
             }
-            // Never move the clock backwards: an arrival timestamp past 2^53
-            // ns can *round down* below a completion the clock already
+            // Never move the clock backwards: an arrival timestamp past
+            // 2^53 ns can *round down* below a completion the clock already
             // advanced to.
             now_ns = now_ns.max(t_next);
 
-            // Completions first (freeing capacity for same-instant arrivals),
-            // lowest job index first. Partition rather than remove-by-index:
-            // several gangs can finish at the same instant. `running` is
-            // kept sorted by job index at insertion, so the partition is
-            // already in completion-report order — no per-event sort.
-            let mut done: Vec<Running> = Vec::new();
-            let mut still_running = Vec::with_capacity(running.len());
-            for (i, r) in running.into_iter().enumerate() {
-                if projections[i] == t_next {
-                    done.push(r);
-                } else {
-                    still_running.push(r);
-                }
-            }
-            running = still_running;
-            debug_assert!(done.windows(2).all(|w| w[0].job < w[1].job));
-            for r in done {
-                for p in &r.grant.placements {
+            // Devices whose tenant count changes this event — the re-anchor
+            // sweep below visits exactly their gangs.
+            let mut affected: Vec<usize> = Vec::new();
+
+            // Completions first (freeing capacity for same-instant
+            // arrivals), in arrival-sequence order.
+            for key in completions {
+                let mut job = jobs.remove(key).expect("validated above");
+                let run = job.run.take().expect("validated above");
+                for p in &run.grant.placements {
                     devices[p.device].reserved -= p.prediction.peak_bytes;
                     devices[p.device].tenants -= 1;
+                    let list = &mut tenants_on[p.device];
+                    let pos = list.iter().position(|k| *k == key).expect("tenant listed");
+                    list.swap_remove(pos);
+                    affected.push(p.device);
                 }
-                outcomes[r.job].completion = Some(SimTime(now_ns.round() as u64));
-                trace.push(TraceEvent {
-                    t_ns: now_ns.round() as u64,
-                    job: specs[r.job].name.clone(),
-                    kind: TraceKind::Complete,
-                });
-                if tracing {
-                    let started = outcomes[r.job].started.map(|s| s.0).unwrap_or(0);
-                    let end = (now_ns.round() as u64).max(started);
-                    let preset = outcomes[r.job].granted.map(|p| p.name()).unwrap_or("?");
-                    self.sink.span_with(
-                        tracks[r.job],
-                        "running".to_string(),
-                        "cluster",
-                        started,
-                        end,
-                        vec![
-                            ("preset", preset.into()),
-                            ("replicas", specs[r.job].replicas.into()),
-                        ],
-                    );
-                }
-                if let Some(m) = &self.metrics {
-                    m.completed.inc();
-                    if let Some(l) = outcomes[r.job].latency() {
-                        m.latency_ns.record(l.0);
-                    }
-                }
+                state_version += 1;
+                running_count -= 1;
+                completed += 1;
+                events += 1;
+                rec.on_complete(self, &job, now_ns.round() as u64);
             }
 
-            // Arrivals at this instant join the queue in input order. Match
+            // Arrivals at this instant join the queue in pull order. Match
             // on the *integer* nanosecond timestamp, not its f64 projection:
             // beyond 2^53 ns distinct arrival times collapse under `as f64`,
             // and a float-equality match would drop (or spuriously merge)
-            // coincident arrivals. Only arrivals sharing the exact SimTime
-            // of the one that triggered this event are coincident.
-            if t_arrival <= t_next {
-                let t_ns = t_arrival_ns.expect("finite arrival projection");
-                while next_arrival < n_jobs && arrivals[next_arrival].0 .0 == t_ns {
-                    pending.push(next_arrival);
-                    trace.push(TraceEvent {
-                        t_ns,
-                        job: specs[next_arrival].name.clone(),
-                        kind: TraceKind::Arrive,
+            // coincident arrivals.
+            let fresh_start = pending.len();
+            if arrival_due {
+                let (t0, first) = pending_arrival.take().expect("arrival marker without job");
+                let t_int = t0.0;
+                let mut cur = Some((t0, first));
+                loop {
+                    match cur.take() {
+                        Some((t, spec)) if t.0 == t_int => {
+                            let seq = next_seq;
+                            next_seq += 1;
+                            let key = jobs.insert(LiveJob {
+                                spec: Arc::new(spec),
+                                seq,
+                                arrival: t,
+                                run: None,
+                            });
+                            pending.push(key);
+                            submitted += 1;
+                            events += 1;
+                            rec.on_arrive(self, jobs.get(key).expect("just inserted"), t_int);
+                            cur = stream.next_job();
+                        }
+                        later => {
+                            cur = later;
+                            break;
+                        }
+                    }
+                }
+                pending_arrival = cur;
+                if let Some((t, _)) = &pending_arrival {
+                    debug_assert!(t.0 >= t_int, "ArrivalStream times must be non-decreasing");
+                    heap.push(QueuedEvent {
+                        t_ns: t.0 as f64,
+                        order: u64::MAX,
+                        kind: EventKind::Arrival,
                     });
-                    if tracing {
-                        self.sink.instant(
-                            tracks[next_arrival],
-                            "arrive",
-                            "cluster",
-                            t_ns,
-                            Vec::new(),
-                        );
-                    }
-                    if let Some(m) = &self.metrics {
-                        m.submitted.inc();
-                    }
-                    next_arrival += 1;
                 }
             }
 
             // Admission/placement pass: FIFO with backfill — a blocked job
             // stays queued while later, smaller jobs may slot in behind it.
-            let mut still_pending = Vec::with_capacity(pending.len());
-            for &job_idx in pending.iter() {
-                let job = &specs[job_idx];
-                match self.try_admit(&devices, job) {
+            // When reservations haven't changed since the queue was last
+            // evaluated, only this event's fresh arrivals are worth asking
+            // about (see `pass_version` above).
+            let full_pass = state_version != pass_version;
+            let start = if full_pass { 0 } else { fresh_start };
+            let version_at_pass_start = state_version;
+            let mut kept: Vec<SlotKey> = Vec::new();
+            for i in start..pending.len() {
+                let key = pending[i];
+                let spec = Arc::clone(&jobs.get(key).expect("pending jobs are live").spec);
+                match self.try_admit_memo(&devices, &spec, &mut memo, state_version) {
                     Some(grant) => {
-                        let step = self.step_time(job, &grant);
-                        let work_ns = step.0 as f64 * job.iterations as f64;
+                        let step = self.step_time(&spec, &grant);
+                        let work_ns = step.0 as f64 * spec.iterations as f64;
                         for p in &grant.placements {
                             let d = p.device;
                             devices[d].reserved += p.prediction.peak_bytes;
@@ -433,119 +940,133 @@ impl ClusterSim {
                                 devices[d].reserved <= self.fleet.devices[d].dram_bytes,
                                 "reservation exceeds device {d} DRAM"
                             );
+                            tenants_on[d].push(key);
+                            affected.push(d);
                         }
-                        let out = &mut outcomes[job_idx];
-                        out.started = Some(SimTime(now_ns.round() as u64));
-                        out.granted = Some(grant.preset);
-                        out.devices = grant.placements.iter().map(|p| p.device).collect();
-                        out.reservations = grant
-                            .placements
-                            .iter()
-                            .map(|p| p.prediction.peak_bytes)
-                            .collect();
-                        trace.push(TraceEvent {
-                            t_ns: now_ns.round() as u64,
-                            job: job.name.clone(),
-                            kind: TraceKind::Admit {
-                                preset: grant.preset,
-                                devices: out.devices.clone(),
-                                reservations: out.reservations.clone(),
-                            },
-                        });
-                        if tracing {
-                            let arrival = outcomes[job_idx].arrival.0;
-                            let t = (now_ns.round() as u64).max(arrival);
-                            self.sink.span_with(
-                                tracks[job_idx],
-                                "queued".to_string(),
-                                "cluster",
-                                arrival,
-                                t,
-                                vec![("preset", grant.preset.name().into())],
-                            );
-                        }
-                        if let Some(m) = &self.metrics {
-                            m.admitted.inc();
-                            if let Some(q) = outcomes[job_idx].queueing() {
-                                m.queueing_ns.record(q.0);
-                            }
-                        }
-                        // Insert in job-index order (admission may start a
-                        // long-queued lower-index job after a later one),
-                        // keeping `running` — and therefore every `done`
-                        // partition — ordered by construction.
-                        let pos = running.partition_point(|r| r.job < job_idx);
-                        running.insert(
-                            pos,
-                            Running {
-                                job: job_idx,
+                        state_version += 1;
+                        rec.on_admit(
+                            self,
+                            jobs.get(key).expect("pending jobs are live"),
+                            &grant,
+                            now_ns.round() as u64,
+                        );
+                        // The gang's slowdown is read *after* its own
+                        // reservations landed; if a later same-pass
+                        // admission changes it, the sweep below folds that
+                        // in (a zero-dt, bit-safe re-anchor).
+                        let slowdown = gang_slowdown(&devices, &grant);
+                        let seq = {
+                            let job = jobs.get_mut(key).expect("pending jobs are live");
+                            job.run = Some(RunState {
                                 grant,
                                 remaining_ns: work_ns,
-                            },
-                        );
+                                anchor_ns: now_ns,
+                                slowdown,
+                                gen: 0,
+                            });
+                            job.seq
+                        };
+                        heap.push(QueuedEvent {
+                            t_ns: now_ns + work_ns * slowdown,
+                            order: seq,
+                            kind: EventKind::Completion { key, gen: 0 },
+                        });
+                        running_count += 1;
+                        events += 1;
                     }
                     None => {
-                        if feasible_on_idle_fleet(&self.profiler, &self.fleet, job) {
-                            still_pending.push(job_idx); // wait for capacity
+                        // Idle-fleet feasibility depends only on the job
+                        // shape, so a queued shape is checked once per run,
+                        // not once per pass.
+                        let feasible = *memo
+                            .feasible
+                            .entry(shape_key(&spec))
+                            .or_insert_with(|| {
+                                feasible_on_idle_fleet(&self.profiler, &self.fleet, &spec)
+                            });
+                        if feasible {
+                            kept.push(key); // wait for capacity
                         } else {
-                            let reason = if job.replicas == 0 {
+                            let reason = if spec.replicas == 0 {
                                 RejectReason::EmptyGang
-                            } else if job.replicas > self.fleet.len() {
+                            } else if spec.replicas > self.fleet.len() {
                                 RejectReason::FleetTooSmall {
-                                    replicas: job.replicas,
+                                    replicas: spec.replicas,
                                     fleet: self.fleet.len(),
                                 }
                             } else {
                                 RejectReason::PeakExceedsCapacity {
-                                    presets: ladder_for(job).iter().map(|p| p.name()).collect(),
+                                    presets: ladder_for(&spec)
+                                        .iter()
+                                        .map(|p| p.name())
+                                        .collect(),
                                 }
                             };
-                            outcomes[job_idx].rejected = Some(reason.clone());
-                            if tracing {
-                                self.sink.instant(
-                                    tracks[job_idx],
-                                    "reject",
-                                    "cluster",
-                                    now_ns.round() as u64,
-                                    vec![("reason", reason.kind().into())],
-                                );
-                            }
-                            if let Some(m) = &self.metrics {
-                                m.count_reject(&reason);
-                            }
-                            trace.push(TraceEvent {
-                                t_ns: now_ns.round() as u64,
-                                job: job.name.clone(),
-                                kind: TraceKind::Reject { reason },
-                            });
+                            rec.on_reject(
+                                self,
+                                jobs.get(key).expect("pending jobs are live"),
+                                &reason,
+                                now_ns.round() as u64,
+                            );
+                            jobs.remove(key);
+                            rejected += 1;
+                            events += 1;
                         }
                     }
                 }
             }
-            pending = still_pending;
-            peak_concurrent = peak_concurrent.max(running.len());
+            pending.truncate(start);
+            pending.extend(kept);
+            if full_pass {
+                // If the pass admitted anything, state_version moved past
+                // this and the next event re-evaluates everyone — a job
+                // evaluated early in the pass saw pre-admission state.
+                pass_version = version_at_pass_start;
+            }
+            peak_concurrent = peak_concurrent.max(running_count);
+            // Every live slot is exactly one queued or one running job.
+            debug_assert_eq!(jobs.len(), pending.len() + running_count);
+
+            // Re-anchor sweep: exactly the gangs sharing a device whose
+            // tenant count changed this event. Fold their progress forward
+            // under the old slowdown, restart the anchor at `now`, and
+            // supersede their heap projection (generation bump). Gangs
+            // reached through two affected devices are visited twice but
+            // re-anchored once — the second visit sees the new slowdown
+            // already in place. These are the same float ops the reference
+            // loop's top-of-iteration pass performs on the same values.
+            affected.sort_unstable();
+            affected.dedup();
+            for &d in &affected {
+                for &key in &tenants_on[d] {
+                    let job = jobs.get_mut(key).expect("tenant lists track live jobs");
+                    let seq = job.seq;
+                    let run = job.run.as_mut().expect("listed tenants are running");
+                    let s = gang_slowdown(&devices, &run.grant);
+                    if s != run.slowdown {
+                        run.remaining_ns -= (now_ns - run.anchor_ns) / run.slowdown;
+                        run.anchor_ns = now_ns;
+                        run.slowdown = s;
+                        run.gen += 1;
+                        heap.push(QueuedEvent {
+                            t_ns: run.anchor_ns + run.remaining_ns * run.slowdown,
+                            order: seq,
+                            kind: EventKind::Completion { key, gen: run.gen },
+                        });
+                    }
+                }
+            }
         }
 
-        let makespan = SimTime(now_ns.round() as u64);
-        ClusterReport::assemble(
-            &self.fleet,
-            self.placement,
-            outcomes,
-            trace,
-            makespan,
-            devices
-                .iter()
-                .map(|d| {
-                    (
-                        d.busy_ns,
-                        d.reserved_integral,
-                        d.peak_reserved,
-                        d.peak_tenants,
-                    )
-                })
-                .collect(),
+        CoreOutcome {
+            devices,
+            now_ns,
             peak_concurrent,
-            self.profiler.simulated(),
-        )
+            peak_live: jobs.capacity(),
+            events,
+            submitted,
+            completed,
+            rejected,
+        }
     }
 }

@@ -80,7 +80,7 @@ fn main() {
     }
 
     // Show the schedule around the hand-written tenants.
-    let mut sim = ClusterSim::new(fleet, PlacementPolicy::BestFit);
+    let mut sim = ClusterSim::new(fleet.clone(), PlacementPolicy::BestFit);
     let report = sim.run(jobs);
     println!("schedule excerpts:");
     for event in report
@@ -104,4 +104,18 @@ fn main() {
             srv.reservations
         );
     }
+
+    // Open-loop serving: arrivals are *pulled* from a generator, never
+    // materialized, so memory tracks peak concurrency — not stream length.
+    // Any `ArrivalStream` works here; `PoissonStream` is the built-in
+    // seeded open-loop source, `ReplayStream` adapts a recorded trace.
+    let mut stream = superneurons::cluster::PoissonStream::new(
+        50_000,
+        7,
+        superneurons::sim::SimTime::from_us(500),
+        PolicyPreset::Superneurons,
+    );
+    let svc = ClusterSim::new(fleet, PlacementPolicy::BestFit).run_stream(&mut stream);
+    println!("\nopen-loop Poisson serving (50k jobs, pulled not materialized):");
+    println!("{}", svc.render_text());
 }
