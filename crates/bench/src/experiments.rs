@@ -564,6 +564,7 @@ pub fn run_all(quick: bool) -> String {
         ("precision", crate::precision::precision(quick)),
         ("trace", crate::trace::trace(quick)),
         ("service", crate::service::service(quick)),
+        ("faults", crate::faults::faults(quick)),
     ] {
         out.push_str(&format!(
             "\n==================== {id} ====================\n"

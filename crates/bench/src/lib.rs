@@ -14,6 +14,7 @@ pub mod cluster;
 pub mod compile;
 pub mod dataparallel;
 pub mod experiments;
+pub mod faults;
 pub mod overlap;
 pub mod plan;
 pub mod precision;
@@ -26,6 +27,7 @@ pub use cluster::cluster;
 pub use compile::compile;
 pub use dataparallel::dataparallel;
 pub use experiments::*;
+pub use faults::faults;
 pub use overlap::overlap;
 pub use plan::plan;
 pub use precision::precision;

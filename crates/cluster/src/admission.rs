@@ -338,6 +338,38 @@ pub fn feasible_on_idle_fleet(
     false
 }
 
+/// [`feasible_on_idle_fleet`] restricted to an arbitrary device subset —
+/// the live (non-failed) devices, under fault injection. Discriminates
+/// "wait for the fleet to heal" (feasible on the full fleet but not here:
+/// backoff and retry) from "wait for reservations to drain" (feasible here:
+/// stay queued). Serial: it runs only when the live set shrank, which is
+/// rare next to admission passes.
+pub fn feasible_on_device_subset(
+    profiler: &Profiler,
+    devices: &[&DeviceSpec],
+    job: &JobSpec,
+) -> bool {
+    if job.replicas == 0 || job.replicas > devices.len() {
+        return false;
+    }
+    for preset in ladder_for(job) {
+        let fitting = devices
+            .iter()
+            .filter(|spec| {
+                let budget = quantized_budget(spec, spec.dram_bytes);
+                budget > 0
+                    && profiler
+                        .profile_kind(job.workload, job.batch, preset, job.kind, spec, budget)
+                        .is_some()
+            })
+            .count();
+        if fitting >= job.replicas {
+            return true;
+        }
+    }
+    false
+}
+
 /// The preset sequence admission tries for `job`.
 pub fn ladder_for(job: &JobSpec) -> Vec<PolicyPreset> {
     if job.allow_downgrade {

@@ -132,6 +132,13 @@ impl PolicyPreset {
     pub fn ladder(self) -> impl Iterator<Item = PolicyPreset> {
         PolicyPreset::ALL.into_iter().filter(move |p| *p >= self)
     }
+
+    /// The next memory-stronger preset, or `None` at the top of the ladder.
+    /// Elastic recovery walks running tenants one rung at a time.
+    pub fn next_stronger(self) -> Option<PolicyPreset> {
+        let idx = PolicyPreset::ALL.iter().position(|p| *p == self)?;
+        PolicyPreset::ALL.get(idx + 1).copied()
+    }
 }
 
 /// One tenant's training request.

@@ -22,6 +22,10 @@
 //!   exact runtime high-water — no simulated iteration runs on the hot path
 //!   — and the reject/queue/downgrade decision;
 //! * [`placement`] — first-fit / best-fit / bin-packing device selection;
+//! * [`fault`] — [`FaultPlan`]/[`RecoveryPolicy`]: deterministic fault
+//!   injection (device kills, link degradation, pressure spikes at integer
+//!   instants) and the recovery ladder (no-recovery → checkpoint/restart →
+//!   restart + elastic live-downgrade);
 //! * [`sim`] — [`ClusterSim`]: the deterministic virtual-time event loop
 //!   with processor-sharing compute and hard memory reservations, gang
 //!   scheduling multi-replica jobs through the data-parallel model;
@@ -40,6 +44,7 @@
 //!    on distinct devices, or none do.
 
 pub mod admission;
+pub mod fault;
 pub mod fleet;
 pub mod job;
 pub mod latency;
@@ -50,7 +55,10 @@ pub mod sim_reference;
 mod slab;
 pub mod stream;
 
-pub use admission::{feasible_on_idle_fleet, Grant, Placement, Profiler};
+pub use admission::{
+    feasible_on_device_subset, feasible_on_idle_fleet, Grant, Placement, Profiler,
+};
+pub use fault::{FaultEvent, FaultPlan, RecoveryMode, RecoveryPolicy};
 pub use fleet::Fleet;
 pub use job::{JobKind, JobSpec, PolicyPreset, Workload};
 pub use latency::LatencySketch;

@@ -61,6 +61,34 @@ pub enum TraceKind {
         reason: RejectReason,
     },
     Complete,
+    /// A [`crate::FaultPlan`] event applied to the fleet (the trace entry's
+    /// `job` is `"fleet"`).
+    Fault {
+        desc: String,
+    },
+    /// A running gang lost a device; all its replicas released their
+    /// reservations atomically.
+    Interrupt {
+        device: usize,
+    },
+    /// An interrupted job was re-placed and resumed from its checkpoint.
+    Restart {
+        preset: PolicyPreset,
+        devices: Vec<usize>,
+        reservations: Vec<u64>,
+        from_iteration: u32,
+    },
+    /// A running tenant was live-downgraded to a memory-stronger preset to
+    /// relieve pressure (elastic recovery).
+    Downgrade {
+        from: PolicyPreset,
+        to: PolicyPreset,
+        reservations: Vec<u64>,
+    },
+    /// The job failed permanently (no recovery, or retries exhausted).
+    Fail {
+        why: String,
+    },
 }
 
 /// One schedule-trace entry.
@@ -98,6 +126,42 @@ impl TraceEvent {
                 )
             }
             TraceKind::Complete => format!("[{:>12}ns] COMPLETE {}", self.t_ns, self.job),
+            TraceKind::Fault { desc } => {
+                format!("[{:>12}ns] FAULT    {} ({})", self.t_ns, self.job, desc)
+            }
+            TraceKind::Interrupt { device } => format!(
+                "[{:>12}ns] INTERRUPT {} (device {} failed)",
+                self.t_ns, self.job, device
+            ),
+            TraceKind::Restart {
+                preset,
+                devices,
+                reservations,
+                from_iteration,
+            } => format!(
+                "[{:>12}ns] RESTART  {} preset={} devices={:?} reserve={:?} from_iter={}",
+                self.t_ns,
+                self.job,
+                preset.name(),
+                devices,
+                reservations,
+                from_iteration
+            ),
+            TraceKind::Downgrade {
+                from,
+                to,
+                reservations,
+            } => format!(
+                "[{:>12}ns] DOWNGRADE {} {}->{} reserve={:?}",
+                self.t_ns,
+                self.job,
+                from.name(),
+                to.name(),
+                reservations
+            ),
+            TraceKind::Fail { why } => {
+                format!("[{:>12}ns] FAIL     {} ({})", self.t_ns, self.job, why)
+            }
         }
     }
 }
@@ -121,6 +185,20 @@ pub struct JobOutcome {
     pub started: Option<SimTime>,
     pub completion: Option<SimTime>,
     pub rejected: Option<RejectReason>,
+    /// Iterations the job asked for (its useful work when it completes).
+    pub iterations: u32,
+    /// Times the job was re-placed after an interruption.
+    pub restarts: u32,
+    /// Iterations executed but lost to interruptions (redone after restart,
+    /// or gone for good on permanent failure).
+    pub wasted_iterations: u64,
+    /// Permanent failure (fault-induced), with the reason. Disjoint from
+    /// `rejected` — a failed job *ran* (or retried) and lost.
+    pub failed: Option<String>,
+    /// Every restart re-admitted at byte-identical per-replica plan peaks
+    /// (vacuously true for never-restarted jobs) — the invariant the
+    /// `faults` bench gates on.
+    pub restart_peak_exact: bool,
 }
 
 impl JobOutcome {
@@ -139,6 +217,11 @@ impl JobOutcome {
             started: None,
             completion: None,
             rejected: None,
+            iterations: job.iterations,
+            restarts: 0,
+            wasted_iterations: 0,
+            failed: None,
+            restart_peak_exact: true,
         }
     }
 
@@ -164,6 +247,25 @@ pub struct ClusterReport {
     pub makespan: SimTime,
     pub completed: usize,
     pub rejected: usize,
+    /// Jobs that failed permanently under faults (no recovery, or retries
+    /// exhausted). Zero on fault-free runs.
+    pub failed: usize,
+    /// Jobs still waiting for capacity when the event stream ran dry (a
+    /// terminal state only under faults, e.g. a never-released pressure
+    /// spike). Zero on fault-free runs.
+    pub still_queued: usize,
+    /// Total checkpoint restarts across all jobs.
+    pub restarts: u64,
+    /// Iterations that landed in completed jobs — the goodput numerator.
+    pub useful_iterations: u64,
+    /// Iterations executed but lost to interruptions.
+    pub wasted_iterations: u64,
+    /// Useful iterations per virtual second (0 when the makespan is zero —
+    /// never inf/NaN).
+    pub goodput_iters_per_sec: f64,
+    /// All executed iterations (useful + wasted) per virtual second, same
+    /// zero-duration guard.
+    pub raw_iters_per_sec: f64,
     /// Completed jobs per virtual second over the makespan.
     pub jobs_per_sec: f64,
     pub p50_latency: SimTime,
@@ -213,6 +315,17 @@ pub(crate) fn percentile(sorted: &[SimTime], q: f64) -> SimTime {
     sorted[rank.min(sorted.len()) - 1]
 }
 
+/// `count` per virtual second over `makespan`, with a zero-duration guard:
+/// a run with no elapsed time (e.g. an empty stream) reports 0.0, never
+/// inf or NaN. All goodput/raw-throughput rates go through this.
+pub(crate) fn safe_rate(count: u64, makespan: SimTime) -> f64 {
+    if makespan.0 == 0 {
+        0.0
+    } else {
+        count as f64 / makespan.as_secs_f64()
+    }
+}
+
 impl ClusterReport {
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn assemble(
@@ -227,6 +340,18 @@ impl ClusterReport {
     ) -> ClusterReport {
         let completed = jobs.iter().filter(|j| j.completion.is_some()).count();
         let rejected = jobs.iter().filter(|j| j.rejected.is_some()).count();
+        let failed = jobs.iter().filter(|j| j.failed.is_some()).count();
+        let still_queued = jobs
+            .iter()
+            .filter(|j| j.completion.is_none() && j.rejected.is_none() && j.failed.is_none())
+            .count();
+        let restarts = jobs.iter().map(|j| u64::from(j.restarts)).sum::<u64>();
+        let useful_iterations = jobs
+            .iter()
+            .filter(|j| j.completion.is_some())
+            .map(|j| u64::from(j.iterations))
+            .sum::<u64>();
+        let wasted_iterations = jobs.iter().map(|j| j.wasted_iterations).sum::<u64>();
         let mut latencies: Vec<SimTime> = jobs.iter().filter_map(|j| j.latency()).collect();
         latencies.sort_unstable();
         let queueing: Vec<SimTime> = jobs.iter().filter_map(|j| j.queueing()).collect();
@@ -257,12 +382,25 @@ impl ClusterReport {
             busy_ns: device_stats.iter().map(|(b, ..)| *b).collect(),
             reserved_integral: device_stats.iter().map(|(_, m, ..)| *m).collect(),
             predictions_simulated,
+            failed,
+            still_queued,
+            restarts,
+            useful_iterations,
+            wasted_iterations,
+            goodput_iters_per_sec: safe_rate(useful_iterations, makespan),
+            raw_iters_per_sec: safe_rate(useful_iterations + wasted_iterations, makespan),
             jobs,
             trace,
             makespan,
             completed,
             rejected,
         }
+    }
+
+    /// Job conservation: every submitted job ends in exactly one terminal
+    /// state. The first hard gate of the `faults` bench.
+    pub fn conservation_holds(&self) -> bool {
+        self.jobs.len() == self.completed + self.rejected + self.failed + self.still_queued
     }
 
     /// Bit-exact equality against another report: every integer field, the
@@ -275,16 +413,20 @@ impl ClusterReport {
     /// same simulator.
     pub fn bit_identical(&self, other: &ClusterReport) -> bool {
         let f64_bits_eq = |a: &[f64], b: &[f64]| {
-            a.len() == b.len()
-                && a.iter()
-                    .zip(b)
-                    .all(|(x, y)| x.to_bits() == y.to_bits())
+            a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits())
         };
         self.schedule_fingerprint() == other.schedule_fingerprint()
             && self.to_json() == other.to_json()
             && self.makespan == other.makespan
             && self.completed == other.completed
             && self.rejected == other.rejected
+            && self.failed == other.failed
+            && self.still_queued == other.still_queued
+            && self.restarts == other.restarts
+            && self.useful_iterations == other.useful_iterations
+            && self.wasted_iterations == other.wasted_iterations
+            && self.goodput_iters_per_sec.to_bits() == other.goodput_iters_per_sec.to_bits()
+            && self.raw_iters_per_sec.to_bits() == other.raw_iters_per_sec.to_bits()
             && self.peak_concurrent_jobs == other.peak_concurrent_jobs
             && self.peak_reserved == other.peak_reserved
             && self.peak_tenants == other.peak_tenants
@@ -325,6 +467,17 @@ impl ClusterReport {
             self.completed,
             self.rejected
         ));
+        if self.failed + self.still_queued > 0 || self.restarts + self.wasted_iterations > 0 {
+            s.push_str(&format!(
+                "  faults: {} failed / {} still queued / {} restarts   goodput {:.1} iters/s (raw {:.1}, {} wasted)\n",
+                self.failed,
+                self.still_queued,
+                self.restarts,
+                self.goodput_iters_per_sec,
+                self.raw_iters_per_sec,
+                self.wasted_iterations
+            ));
+        }
         s.push_str(&format!(
             "  makespan {:.3} s   throughput {:.2} jobs/s   peak concurrency {}\n",
             self.makespan.as_secs_f64(),
@@ -358,7 +511,8 @@ impl ClusterReport {
             jobs.push_str(&format!(
                 "{{\"name\":{},\"workload\":{},\"batch\":{},\"replicas\":{},\"kind\":{},\
                  \"requested\":{},\"granted\":{},\"devices\":{:?},\
-                 \"arrival_ns\":{},\"queueing_ns\":{},\"latency_ns\":{},\"rejected\":{}}}",
+                 \"arrival_ns\":{},\"queueing_ns\":{},\"latency_ns\":{},\"rejected\":{},\
+                 \"iterations\":{},\"restarts\":{},\"wasted_iterations\":{},\"failed\":{}}}",
                 json_str(&j.name),
                 json_str(&j.workload),
                 j.batch,
@@ -380,11 +534,21 @@ impl ClusterReport {
                     .as_ref()
                     .map(|r| json_str(&r.render()))
                     .unwrap_or("null".into()),
+                j.iterations,
+                j.restarts,
+                j.wasted_iterations,
+                j.failed
+                    .as_ref()
+                    .map(|w| json_str(w))
+                    .unwrap_or("null".into()),
             ));
         }
         format!(
             "{{\"placement\":{},\"devices\":{},\"fleet_dram_bytes\":{},\
              \"submitted\":{},\"completed\":{},\"rejected\":{},\
+             \"failed\":{},\"still_queued\":{},\"restarts\":{},\
+             \"useful_iterations\":{},\"wasted_iterations\":{},\
+             \"goodput_iters_per_sec\":{:.6},\"raw_iters_per_sec\":{:.6},\
              \"makespan_ns\":{},\"jobs_per_sec\":{:.6},\
              \"p50_latency_ns\":{},\"p99_latency_ns\":{},\"p999_latency_ns\":{},\
              \"mean_queueing_ns\":{},\
@@ -397,6 +561,13 @@ impl ClusterReport {
             self.jobs.len(),
             self.completed,
             self.rejected,
+            self.failed,
+            self.still_queued,
+            self.restarts,
+            self.useful_iterations,
+            self.wasted_iterations,
+            self.goodput_iters_per_sec,
+            self.raw_iters_per_sec,
             self.makespan.0,
             self.jobs_per_sec,
             self.p50_latency.0,
@@ -429,6 +600,25 @@ pub struct ServiceReport {
     pub submitted: u64,
     pub completed: u64,
     pub rejected: u64,
+    /// Jobs that failed permanently under faults. Zero on fault-free runs.
+    pub failed: u64,
+    /// Jobs still waiting for capacity at stream exhaustion (terminal only
+    /// under faults). Zero on fault-free runs.
+    pub still_queued: u64,
+    /// Gang interruptions observed (a restarted job may contribute many).
+    pub interrupted: u64,
+    /// Checkpoint restarts performed.
+    pub restarts: u64,
+    /// Iterations that landed in completed jobs — the goodput numerator.
+    pub useful_iterations: u64,
+    /// Iterations executed but lost to interruptions.
+    pub wasted_iterations: u64,
+    /// Useful iterations per virtual second; 0 on a zero makespan (never
+    /// inf/NaN — see `safe_rate`).
+    pub goodput_iters_per_sec: f64,
+    /// All executed iterations (useful + wasted) per virtual second, same
+    /// zero-duration guard.
+    pub raw_iters_per_sec: f64,
     /// Scheduling events processed (arrivals + completions + admissions) —
     /// the numerator of the events/sec throughput gate.
     pub events: u64,
@@ -447,6 +637,12 @@ pub struct ServiceReport {
 }
 
 impl ServiceReport {
+    /// Job conservation for streaming runs: every pulled job ends in exactly
+    /// one terminal state.
+    pub fn conservation_holds(&self) -> bool {
+        self.submitted == self.completed + self.rejected + self.failed + self.still_queued
+    }
+
     /// Human-readable summary.
     pub fn render_text(&self) -> String {
         let mut s = String::new();
@@ -459,6 +655,18 @@ impl ServiceReport {
             "  jobs: {} submitted / {} completed / {} rejected   events {}\n",
             self.submitted, self.completed, self.rejected, self.events
         ));
+        if self.failed + self.still_queued + self.interrupted + self.restarts > 0 {
+            s.push_str(&format!(
+                "  faults: {} failed / {} still queued / {} interrupted / {} restarts   goodput {:.1} iters/s (raw {:.1}, {} wasted)\n",
+                self.failed,
+                self.still_queued,
+                self.interrupted,
+                self.restarts,
+                self.goodput_iters_per_sec,
+                self.raw_iters_per_sec,
+                self.wasted_iterations
+            ));
+        }
         s.push_str(&format!(
             "  makespan {:.3} s   throughput {:.2} jobs/s   peak concurrency {}   peak live slots {}\n",
             self.makespan.as_secs_f64(),
@@ -486,7 +694,11 @@ impl ServiceReport {
     pub fn to_json(&self) -> String {
         format!(
             "{{\"placement\":{},\"devices\":{},\
-             \"submitted\":{},\"completed\":{},\"rejected\":{},\"events\":{},\
+             \"submitted\":{},\"completed\":{},\"rejected\":{},\
+             \"failed\":{},\"still_queued\":{},\"interrupted\":{},\"restarts\":{},\
+             \"useful_iterations\":{},\"wasted_iterations\":{},\
+             \"goodput_iters_per_sec\":{:.6},\"raw_iters_per_sec\":{:.6},\
+             \"events\":{},\
              \"makespan_ns\":{},\"jobs_per_sec\":{:.6},\
              \"p50_latency_ns\":{},\"p99_latency_ns\":{},\"p999_latency_ns\":{},\
              \"mean_queueing_ns\":{},\
@@ -497,6 +709,14 @@ impl ServiceReport {
             self.submitted,
             self.completed,
             self.rejected,
+            self.failed,
+            self.still_queued,
+            self.interrupted,
+            self.restarts,
+            self.useful_iterations,
+            self.wasted_iterations,
+            self.goodput_iters_per_sec,
+            self.raw_iters_per_sec,
             self.events,
             self.makespan.0,
             self.jobs_per_sec,
@@ -584,6 +804,20 @@ mod tests {
     fn percentile_rejects_q_above_one() {
         let v = [SimTime::from_us(1)];
         percentile(&v, 1.5);
+    }
+
+    #[test]
+    fn safe_rate_guards_zero_durations() {
+        // The satellite contract: goodput/raw rates are never inf or NaN,
+        // even for zero-duration runs (empty stream) or zero counts.
+        assert_eq!(safe_rate(0, SimTime::ZERO), 0.0);
+        assert_eq!(safe_rate(1_000_000, SimTime::ZERO), 0.0);
+        let r = safe_rate(10, SimTime::from_ms(1));
+        assert!(r.is_finite() && !r.is_nan());
+        assert_eq!(r, 10_000.0, "10 iters over 1 ms is 10k/s");
+        assert_eq!(safe_rate(0, SimTime::from_ms(1)), 0.0);
+        // u64::MAX counts over 1 ns stay finite (f64 range is ample).
+        assert!(safe_rate(u64::MAX, SimTime(1)).is_finite());
     }
 
     #[test]

@@ -27,7 +27,7 @@
 //!   superseding push carries a bumped generation and the stale entry is
 //!   discarded when it eventually surfaces.
 //! * **Slab job state** — live jobs (pending + running) occupy
-//!   generation-stamped slots ([`crate::slab`]); storage is bounded by peak
+//!   generation-stamped slots (`crate::slab`); storage is bounded by peak
 //!   concurrency, not stream length, and freed slots can never be confused
 //!   with their successors by a stale heap entry.
 //! * **Lazy progress** — each running gang carries
@@ -57,7 +57,10 @@ use sn_runtime::ring_allreduce_time;
 use sn_sim::SimTime;
 use sn_telemetry::{Counter, Histogram, MetricsRegistry, TraceSink, TrackId};
 
-use crate::admission::{feasible_on_idle_fleet, ladder_for, Grant, Profiler};
+use crate::admission::{
+    feasible_on_device_subset, feasible_on_idle_fleet, ladder_for, Grant, Placement, Profiler,
+};
+use crate::fault::{FaultEvent, FaultPlan, RecoveryMode, RecoveryPolicy};
 use crate::fleet::Fleet;
 use crate::job::{JobKind, JobSpec, PolicyPreset, Workload};
 use crate::latency::LatencySketch;
@@ -79,6 +82,25 @@ pub(crate) struct DeviceState {
     pub(crate) reserved_integral: f64,
     pub(crate) peak_reserved: u64,
     pub(crate) peak_tenants: usize,
+    /// Fault state: a failed device admits nothing (its tenants were
+    /// interrupted when it failed) and `spike` bytes are withheld from
+    /// admission by an injected pressure fault. Both stay at their defaults
+    /// on fault-free runs, where [`DeviceState::free_bytes`] degenerates to
+    /// exactly `dram − reserved`.
+    pub(crate) failed: bool,
+    pub(crate) spike: u64,
+}
+
+impl DeviceState {
+    /// Bytes admission may still reserve on this device.
+    pub(crate) fn free_bytes(&self, spec: &sn_sim::DeviceSpec) -> u64 {
+        if self.failed {
+            0
+        } else {
+            spec.dram_bytes
+                .saturating_sub(self.reserved.saturating_add(self.spike))
+        }
+    }
 }
 
 /// Gang slowdown under processor sharing: the most-loaded of its devices
@@ -95,6 +117,19 @@ pub(crate) fn gang_slowdown(devices: &[DeviceState], grant: &Grant) -> f64 {
         .max(1) as f64
 }
 
+/// Fold an injected link degradation into a gang's slowdown: gangs stretch
+/// by `1000/permille` (their step time embeds all-reduce traffic), solo
+/// tenants exchange no gradients and are untouched. At the nominal 1000‰
+/// this performs **no float op at all** — the fault-free path must stay
+/// bit-identical to the reference loop.
+fn apply_link(slowdown: f64, replicas: usize, permille: u32) -> f64 {
+    if permille != 1000 && replicas > 1 {
+        slowdown * (1000.0 / permille.max(1) as f64)
+    } else {
+        slowdown
+    }
+}
+
 /// Pre-resolved admission metric handles (see [`ClusterSim::enable_metrics`]).
 pub(crate) struct ClusterMetrics {
     pub(crate) submitted: Counter,
@@ -106,6 +141,17 @@ pub(crate) struct ClusterMetrics {
     reject_peak_exceeds: Counter,
     pub(crate) latency_ns: Histogram,
     pub(crate) queueing_ns: Histogram,
+    // Fault/recovery instrumentation (all zero on fault-free runs).
+    device_failures: Counter,
+    device_recoveries: Counter,
+    mttr_ns: Histogram,
+    jobs_interrupted: Counter,
+    jobs_restarted: Counter,
+    jobs_failed: Counter,
+    jobs_downgraded: Counter,
+    retries_scheduled: Counter,
+    backoff_ns: Histogram,
+    wasted_iterations: Counter,
 }
 
 impl ClusterMetrics {
@@ -120,6 +166,16 @@ impl ClusterMetrics {
             reject_peak_exceeds: reg.counter("cluster.rejects.peak_exceeds_capacity"),
             latency_ns: reg.histogram("cluster.latency_ns"),
             queueing_ns: reg.histogram("cluster.queueing_ns"),
+            device_failures: reg.counter("cluster.faults.device_failures"),
+            device_recoveries: reg.counter("cluster.faults.device_recoveries"),
+            mttr_ns: reg.histogram("cluster.faults.mttr_ns"),
+            jobs_interrupted: reg.counter("cluster.jobs.interrupted"),
+            jobs_restarted: reg.counter("cluster.jobs.restarted"),
+            jobs_failed: reg.counter("cluster.jobs.failed"),
+            jobs_downgraded: reg.counter("cluster.jobs.downgraded"),
+            retries_scheduled: reg.counter("cluster.retries.scheduled"),
+            backoff_ns: reg.histogram("cluster.retries.backoff_ns"),
+            wasted_iterations: reg.counter("cluster.iterations.wasted"),
         }
     }
 
@@ -133,7 +189,7 @@ impl ClusterMetrics {
     }
 }
 
-/// One live (pending or running) job in the slab.
+/// One live (pending, running, or parked-in-backoff) job in the slab.
 struct LiveJob {
     spec: Arc<JobSpec>,
     /// Arrival sequence number: ties on the event heap break toward the
@@ -141,6 +197,20 @@ struct LiveJob {
     seq: u64,
     arrival: SimTime,
     run: Option<RunState>,
+    /// Integer instant the job last (re-)entered the queue: arrival, a
+    /// fault's interrupt instant, or a retry's due time. Backoff chains are
+    /// pure u64 arithmetic from this anchor — never through the f64 clock.
+    anchor_int: u64,
+    /// Iterations banked at the last checkpoint fold (0 fault-free).
+    iters_done: u32,
+    /// Backoff attempts since the last successful (re-)admission.
+    attempts: u32,
+    wasted_iters: u64,
+    /// Queued again after an interruption (its next grant is a restart).
+    pending_restart: bool,
+    /// Frozen original grant for byte-exact restarts; `Some` for every job
+    /// granted while a fault plan is installed, `None` otherwise.
+    resume: Option<ResumePlan>,
 }
 
 /// Execution state of a running gang (see the module docs on lazy
@@ -155,20 +225,70 @@ struct RunState {
     /// Bumped on every re-anchor; heap entries carrying an older generation
     /// are stale and discarded on pop.
     gen: u64,
+    /// One iteration's solo duration (checkpoint folds divide by this).
+    step_ns: f64,
+    /// Iterations this run covers (`spec.iterations − iters_done` at grant
+    /// time).
+    iters_this_run: u32,
+}
+
+/// A grant frozen for byte-exact restarts: the preset plus the per-replica
+/// `(budget, predicted peak)` pairs sorted descending. Restart re-admission
+/// compiles each replica at **exactly** its original budget, so the
+/// profiler's plan memo returns the identical prediction — restarted peaks
+/// are byte-identical to the original plan on any device of the same spec.
+#[derive(Clone)]
+struct ResumePlan {
+    preset: PolicyPreset,
+    budgets: Vec<u64>,
+    peaks: Vec<u64>,
+}
+
+fn resume_plan_of(grant: &Grant) -> ResumePlan {
+    let mut pairs: Vec<(u64, u64)> = grant
+        .placements
+        .iter()
+        .map(|p| (p.budget, p.prediction.peak_bytes))
+        .collect();
+    pairs.sort_unstable_by(|a, b| b.cmp(a));
+    ResumePlan {
+        preset: grant.preset,
+        budgets: pairs.iter().map(|(b, _)| *b).collect(),
+        peaks: pairs.iter().map(|(_, p)| *p).collect(),
+    }
+}
+
+/// Whole iterations completed by this run as of `now_ns`, under the lazy
+/// anchor/remaining representation. Pure read — the caller decides what the
+/// checkpoint policy keeps.
+fn fold_done_iterations(run: &RunState, now_ns: f64) -> u32 {
+    if run.iters_this_run == 0 || run.step_ns <= 0.0 {
+        return run.iters_this_run; // degenerate zero-work run: all done
+    }
+    let work_total = run.step_ns * run.iters_this_run as f64;
+    let elapsed = ((now_ns - run.anchor_ns) / run.slowdown).max(0.0);
+    let executed = (work_total - run.remaining_ns + elapsed).clamp(0.0, work_total);
+    ((executed / run.step_ns) as u32).min(run.iters_this_run)
 }
 
 enum EventKind {
     /// Projected gang completion. Stale if the job is gone (slot freed or
     /// reused) or re-anchored since (`gen` mismatch).
     Completion { key: SlotKey, gen: u64 },
+    /// A parked job's backoff expires; `due_ns` carries the exact integer
+    /// instant (the f64 heap time is only a projection of it).
+    Retry { key: SlotKey, due_ns: u64 },
     /// The next pulled-but-unprocessed arrival is due.
     Arrival,
+    /// The next batch of injected fault events is due.
+    FaultDue,
 }
 
 struct QueuedEvent {
     t_ns: f64,
-    /// Tiebreak at equal times: completions by arrival sequence (the
-    /// reference loop's job-index order), the arrival marker last.
+    /// Tiebreak at equal times: completions and retries by arrival sequence
+    /// (the reference loop's job-index order), then faults, then the
+    /// arrival marker last.
     order: u64,
     kind: EventKind,
 }
@@ -204,6 +324,30 @@ trait Recorder {
     fn on_admit(&mut self, sim: &ClusterSim, job: &LiveJob, grant: &Grant, t_ns: u64);
     fn on_reject(&mut self, sim: &ClusterSim, job: &LiveJob, reason: &RejectReason, t_ns: u64);
     fn on_complete(&mut self, sim: &ClusterSim, job: &LiveJob, t_ns: u64);
+    // Fault/recovery hooks, only reached when a fault plan is installed.
+    // Default no-ops keep the streaming recorder O(1): aggregates for these
+    // flow through [`CoreOutcome`] and the metrics registry instead.
+    fn on_fault(&mut self, _sim: &ClusterSim, _event: &FaultEvent, _t_ns: u64) {}
+    fn on_interrupt(&mut self, _sim: &ClusterSim, _job: &LiveJob, _device: usize, _t_ns: u64) {}
+    fn on_restart(
+        &mut self,
+        _sim: &ClusterSim,
+        _job: &LiveJob,
+        _grant: &Grant,
+        _exact: bool,
+        _t_ns: u64,
+    ) {
+    }
+    fn on_downgrade(
+        &mut self,
+        _sim: &ClusterSim,
+        _job: &LiveJob,
+        _from: PolicyPreset,
+        _grant: &Grant,
+        _t_ns: u64,
+    ) {
+    }
+    fn on_fail(&mut self, _sim: &ClusterSim, _job: &LiveJob, _why: &str, _t_ns: u64) {}
 }
 
 /// Full per-job recording: byte-identical to what the pre-indexed loop
@@ -215,20 +359,29 @@ struct FullRecorder {
     trace: Vec<TraceEvent>,
     tracks: Vec<TrackId>,
     tracing: bool,
+    /// Lazily-created fleet-level track for fault instants (faults belong
+    /// to no tenant).
+    fleet_track: Option<TrackId>,
 }
 
 impl Recorder for FullRecorder {
     fn on_arrive(&mut self, sim: &ClusterSim, job: &LiveJob, t_ns: u64) {
         debug_assert_eq!(self.outcomes.len() as u64, job.seq);
-        self.outcomes.push(JobOutcome::pending(&job.spec, job.arrival));
+        self.outcomes
+            .push(JobOutcome::pending(&job.spec, job.arrival));
         self.trace.push(TraceEvent {
             t_ns,
             job: job.spec.name.clone(),
             kind: TraceKind::Arrive,
         });
         if self.tracing {
-            sim.sink
-                .instant(self.tracks[job.seq as usize], "arrive", "cluster", t_ns, Vec::new());
+            sim.sink.instant(
+                self.tracks[job.seq as usize],
+                "arrive",
+                "cluster",
+                t_ns,
+                Vec::new(),
+            );
         }
         if let Some(m) = &sim.metrics {
             m.submitted.inc();
@@ -330,6 +483,144 @@ impl Recorder for FullRecorder {
             }
         }
     }
+
+    fn on_fault(&mut self, sim: &ClusterSim, event: &FaultEvent, t_ns: u64) {
+        let desc = event.describe();
+        self.trace.push(TraceEvent {
+            t_ns,
+            job: "fleet".to_string(),
+            kind: TraceKind::Fault { desc: desc.clone() },
+        });
+        if self.tracing {
+            let track = *self
+                .fleet_track
+                .get_or_insert_with(|| sim.sink.track("cluster", "faults"));
+            sim.sink
+                .instant(track, "fault", "cluster", t_ns, vec![("what", desc.into())]);
+        }
+    }
+
+    fn on_interrupt(&mut self, sim: &ClusterSim, job: &LiveJob, device: usize, t_ns: u64) {
+        let idx = job.seq as usize;
+        self.outcomes[idx].wasted_iterations = job.wasted_iters;
+        self.trace.push(TraceEvent {
+            t_ns,
+            job: job.spec.name.clone(),
+            kind: TraceKind::Interrupt { device },
+        });
+        if self.tracing {
+            sim.sink.instant(
+                self.tracks[idx],
+                "interrupt",
+                "cluster",
+                t_ns,
+                vec![("device", device.into())],
+            );
+        }
+    }
+
+    fn on_restart(
+        &mut self,
+        sim: &ClusterSim,
+        job: &LiveJob,
+        grant: &Grant,
+        exact: bool,
+        t_ns: u64,
+    ) {
+        let idx = job.seq as usize;
+        let out = &mut self.outcomes[idx];
+        out.granted = Some(grant.preset);
+        out.devices = grant.placements.iter().map(|p| p.device).collect();
+        out.reservations = grant
+            .placements
+            .iter()
+            .map(|p| p.prediction.peak_bytes)
+            .collect();
+        out.restarts += 1;
+        out.restart_peak_exact &= exact;
+        out.wasted_iterations = job.wasted_iters;
+        self.trace.push(TraceEvent {
+            t_ns,
+            job: job.spec.name.clone(),
+            kind: TraceKind::Restart {
+                preset: grant.preset,
+                devices: self.outcomes[idx].devices.clone(),
+                reservations: self.outcomes[idx].reservations.clone(),
+                from_iteration: job.iters_done,
+            },
+        });
+        if self.tracing {
+            sim.sink.instant(
+                self.tracks[idx],
+                "restart",
+                "cluster",
+                t_ns,
+                vec![
+                    ("from_iter", job.iters_done.into()),
+                    ("exact", exact.into()),
+                ],
+            );
+        }
+    }
+
+    fn on_downgrade(
+        &mut self,
+        sim: &ClusterSim,
+        job: &LiveJob,
+        from: PolicyPreset,
+        grant: &Grant,
+        t_ns: u64,
+    ) {
+        let idx = job.seq as usize;
+        let out = &mut self.outcomes[idx];
+        out.granted = Some(grant.preset);
+        out.reservations = grant
+            .placements
+            .iter()
+            .map(|p| p.prediction.peak_bytes)
+            .collect();
+        out.wasted_iterations = job.wasted_iters;
+        self.trace.push(TraceEvent {
+            t_ns,
+            job: job.spec.name.clone(),
+            kind: TraceKind::Downgrade {
+                from,
+                to: grant.preset,
+                reservations: self.outcomes[idx].reservations.clone(),
+            },
+        });
+        if self.tracing {
+            sim.sink.instant(
+                self.tracks[idx],
+                "downgrade",
+                "cluster",
+                t_ns,
+                vec![("to", grant.preset.name().into())],
+            );
+        }
+    }
+
+    fn on_fail(&mut self, sim: &ClusterSim, job: &LiveJob, why: &str, t_ns: u64) {
+        let idx = job.seq as usize;
+        self.outcomes[idx].failed = Some(why.to_string());
+        self.outcomes[idx].wasted_iterations = job.wasted_iters;
+        self.trace.push(TraceEvent {
+            t_ns,
+            job: job.spec.name.clone(),
+            kind: TraceKind::Fail {
+                why: why.to_string(),
+            },
+        });
+        if self.tracing {
+            sim.sink.instant(
+                self.tracks[idx],
+                "fail",
+                "cluster",
+                t_ns,
+                vec![("why", why.into())],
+            );
+        }
+    }
 }
 
 /// Aggregate-only recording for streaming runs: a fixed-size latency sketch
@@ -393,6 +684,14 @@ struct AdmitMemo {
     /// that was the single hottest path in the whole loop (it takes
     /// several mutex-guarded profiler lookups per device per ladder rung).
     feasible: FxHashMap<ShapeKey, bool>,
+    /// Epoch of the fault state `feasible` was computed against: in fault
+    /// mode entries answer "feasible on the currently-*live* subset", which
+    /// changes whenever a device fails or recovers. Fault-free the epoch
+    /// never moves and the map behaves exactly as before.
+    feasible_epoch: u64,
+    /// Full-(idle-)fleet feasibility per shape, fault mode only: the
+    /// discriminator between "wait out the outage" and "reject outright".
+    feasible_full: FxHashMap<ShapeKey, bool>,
     /// The reservation vector is rebuilt (and re-hashed) only when
     /// `state_version` moves, not once per queued job.
     last_version: Option<u64>,
@@ -432,6 +731,13 @@ struct CoreOutcome {
     submitted: u64,
     completed: u64,
     rejected: u64,
+    // Fault/recovery aggregates (all zero on fault-free runs).
+    failed: u64,
+    interrupted: u64,
+    restarts: u64,
+    still_queued: u64,
+    useful_iters: u64,
+    wasted_iters: u64,
 }
 
 /// The cluster scheduler: a fleet, a placement policy, and a memoizing
@@ -442,6 +748,8 @@ pub struct ClusterSim {
     pub(crate) profiler: Profiler,
     pub(crate) sink: TraceSink,
     pub(crate) metrics: Option<ClusterMetrics>,
+    faults: Option<FaultPlan>,
+    recovery: RecoveryPolicy,
 }
 
 impl ClusterSim {
@@ -453,7 +761,18 @@ impl ClusterSim {
             profiler: Profiler::new(),
             sink: TraceSink::off(),
             metrics: None,
+            faults: None,
+            recovery: RecoveryPolicy::default(),
         }
+    }
+
+    /// Install a fault plan and the recovery policy applied to the tenants
+    /// it interrupts. Without this call the simulator is fault-free and its
+    /// behavior is bit-identical to the pre-fault loop — the differential
+    /// suite pins that.
+    pub fn enable_faults(&mut self, plan: FaultPlan, recovery: RecoveryPolicy) {
+        self.faults = Some(plan);
+        self.recovery = recovery;
     }
 
     /// Emit per-tenant scheduling tracks into `sink`: every job gets one
@@ -515,7 +834,7 @@ impl ClusterSim {
             // stronger preset is only consulted when the weaker one cannot
             // place the gang.
             let eval = |idx: usize, spec: &sn_sim::DeviceSpec| {
-                let free = spec.dram_bytes.saturating_sub(devices[idx].reserved);
+                let free = devices[idx].free_bytes(spec);
                 let budget = crate::admission::quantized_budget(spec, free);
                 if budget == 0 {
                     return None;
@@ -525,14 +844,14 @@ impl ClusterSim {
                     .map(|p| Candidate {
                         device: idx,
                         free,
-                        reserved: devices[idx].reserved,
+                        reserved: devices[idx].reserved.saturating_add(devices[idx].spike),
                         budget,
                         prediction: p,
                     })
             };
             let any_cold = rayon::current_num_threads() > 1
                 && indexed.iter().any(|(idx, spec)| {
-                    let free = spec.dram_bytes.saturating_sub(devices[*idx].reserved);
+                    let free = devices[*idx].free_bytes(spec);
                     let budget = crate::admission::quantized_budget(spec, free);
                     budget > 0
                         && !self.profiler.is_cached(
@@ -573,7 +892,16 @@ impl ClusterSim {
     ) -> Option<Grant> {
         if memo.last_version != Some(state_version) {
             memo.last_key.clear();
-            memo.last_key.extend(devices.iter().map(|d| d.reserved));
+            // Effective occupancy: failed devices are saturated, pressure
+            // spikes count as reserved. Fault-free this is exactly the raw
+            // reservation vector.
+            memo.last_key.extend(devices.iter().map(|d| {
+                if d.failed {
+                    u64::MAX
+                } else {
+                    d.reserved.saturating_add(d.spike)
+                }
+            }));
             memo.last_version = Some(state_version);
         }
         let shape = shape_key(job);
@@ -593,6 +921,186 @@ impl ClusterSim {
             .or_default()
             .insert(shape, result.clone());
         result
+    }
+
+    /// Constrained re-admission for an interrupted job: keep the original
+    /// preset and compile each replica at **exactly** its original budget
+    /// (largest first), first-fit onto distinct live devices with at least
+    /// that much free. The profiler's plan memo makes each peak
+    /// byte-identical to the original grant's; a resume that cannot place
+    /// yet stays queued — it never silently replans at a different budget.
+    fn try_admit_resume(
+        &self,
+        devices: &[DeviceState],
+        job: &JobSpec,
+        resume: &ResumePlan,
+    ) -> Option<Grant> {
+        debug_assert_eq!(resume.budgets.len(), job.replicas);
+        let mut used = vec![false; self.fleet.len()];
+        let mut placements = Vec::with_capacity(resume.budgets.len());
+        for &budget in &resume.budgets {
+            let mut found = None;
+            for (idx, spec) in self.fleet.devices.iter().enumerate() {
+                if used[idx] || devices[idx].free_bytes(spec) < budget {
+                    continue;
+                }
+                if let Some(prediction) = self.profiler.profile_kind(
+                    job.workload,
+                    job.batch,
+                    resume.preset,
+                    job.kind,
+                    spec,
+                    budget,
+                ) {
+                    found = Some((idx, prediction));
+                    break;
+                }
+            }
+            let (idx, prediction) = found?;
+            used[idx] = true;
+            placements.push(Placement {
+                device: idx,
+                budget,
+                prediction,
+            });
+        }
+        Some(Grant {
+            preset: resume.preset,
+            placements,
+        })
+    }
+
+    /// Plan an elastic rescue for a blocked `job`: repeatedly live-downgrade
+    /// the running tenant whose next preset rung frees the most reserved
+    /// bytes (ties toward the earliest arrival), on a scratch copy of the
+    /// device states, until the blocked job admits or no tenant can move.
+    /// Pure planning — the caller commits the returned downgrades and the
+    /// final grant, in order.
+    #[allow(clippy::type_complexity)]
+    fn plan_elastic(
+        &self,
+        devices: &[DeviceState],
+        jobs: &Slab<LiveJob>,
+        tenants_on: &[Vec<SlotKey>],
+        job: &JobSpec,
+        resume: Option<&ResumePlan>,
+    ) -> Option<(Vec<(SlotKey, Grant)>, Grant)> {
+        struct Tenant {
+            key: SlotKey,
+            seq: u64,
+            spec: Arc<JobSpec>,
+            preset: PolicyPreset,
+            placements: Vec<Placement>,
+        }
+        // Snapshot running tenants, earliest arrival first (each gang
+        // appears once per device; dedup by sequence).
+        let mut seen: Vec<(u64, SlotKey)> = tenants_on
+            .iter()
+            .flatten()
+            .filter_map(|&k| jobs.get(k).map(|j| (j.seq, k)))
+            .collect();
+        seen.sort_unstable_by_key(|&(seq, _)| seq);
+        seen.dedup_by_key(|&mut (seq, _)| seq);
+        let mut tenants: Vec<Tenant> = seen
+            .into_iter()
+            .filter_map(|(seq, key)| {
+                let j = jobs.get(key)?;
+                let run = j.run.as_ref()?;
+                Some(Tenant {
+                    key,
+                    seq,
+                    spec: Arc::clone(&j.spec),
+                    preset: run.grant.preset,
+                    placements: run.grant.placements.clone(),
+                })
+            })
+            .collect();
+        let mut vdev = devices.to_vec();
+        let mut downgrades: Vec<(SlotKey, Grant)> = Vec::new();
+        const ELASTIC_MAX_ROUNDS: usize = 16;
+        for _ in 0..ELASTIC_MAX_ROUNDS {
+            let mut best: Option<(u64, u64, usize, Grant)> = None;
+            for (ti, t) in tenants.iter().enumerate() {
+                if !t.spec.allow_downgrade {
+                    continue;
+                }
+                let Some(next) = t.preset.next_stronger() else {
+                    continue;
+                };
+                // Recompile every replica one rung stronger, at the budget
+                // its own freed reservation re-opens.
+                let mut new_placements = Vec::with_capacity(t.placements.len());
+                let mut freed = 0u64;
+                let mut ok = true;
+                for p in &t.placements {
+                    let spec_d = &self.fleet.devices[p.device];
+                    let headroom = vdev[p.device]
+                        .free_bytes(spec_d)
+                        .saturating_add(p.prediction.peak_bytes);
+                    let budget = crate::admission::quantized_budget(spec_d, headroom);
+                    let pred = (budget > 0)
+                        .then(|| {
+                            self.profiler.profile_kind(
+                                t.spec.workload,
+                                t.spec.batch,
+                                next,
+                                t.spec.kind,
+                                spec_d,
+                                budget,
+                            )
+                        })
+                        .flatten();
+                    let Some(pred) = pred else {
+                        ok = false;
+                        break;
+                    };
+                    if pred.peak_bytes >= p.prediction.peak_bytes {
+                        ok = false; // must strictly shrink to be a rescue
+                        break;
+                    }
+                    freed += p.prediction.peak_bytes - pred.peak_bytes;
+                    new_placements.push(Placement {
+                        device: p.device,
+                        budget,
+                        prediction: pred,
+                    });
+                }
+                if !ok || freed == 0 {
+                    continue;
+                }
+                let better = match &best {
+                    None => true,
+                    Some((bf, bs, ..)) => freed > *bf || (freed == *bf && t.seq < *bs),
+                };
+                if better {
+                    best = Some((
+                        freed,
+                        t.seq,
+                        ti,
+                        Grant {
+                            preset: next,
+                            placements: new_placements,
+                        },
+                    ));
+                }
+            }
+            let (_, _, ti, new_grant) = best?;
+            for (old_p, new_p) in tenants[ti].placements.iter().zip(&new_grant.placements) {
+                let d = &mut vdev[old_p.device];
+                d.reserved = d.reserved - old_p.prediction.peak_bytes + new_p.prediction.peak_bytes;
+            }
+            tenants[ti].preset = new_grant.preset;
+            tenants[ti].placements = new_grant.placements.clone();
+            downgrades.push((tenants[ti].key, new_grant));
+            let admit = match resume {
+                Some(rp) => self.try_admit_resume(&vdev, job, rp),
+                None => self.try_admit(&vdev, job),
+            };
+            if let Some(grant) = admit {
+                return Some((downgrades, grant));
+            }
+        }
+        None
     }
 
     /// One gang iteration's solo duration. Gangs (`replicas > 1`) no longer
@@ -658,6 +1166,7 @@ impl ClusterSim {
             trace: Vec::new(),
             tracks,
             tracing,
+            fleet_track: None,
         };
         let mut stream = ReplayStream::new(arrivals);
         let core = self.run_core(&mut stream, &mut rec);
@@ -701,7 +1210,11 @@ impl ClusterSim {
         let span_ns = makespan.0.max(1) as f64;
         let compute_utilization = core.devices.iter().map(|d| d.busy_ns).sum::<f64>()
             / (span_ns * self.fleet.len().max(1) as f64);
-        let memory_utilization = core.devices.iter().map(|d| d.reserved_integral).sum::<f64>()
+        let memory_utilization = core
+            .devices
+            .iter()
+            .map(|d| d.reserved_integral)
+            .sum::<f64>()
             / (span_ns * self.fleet.total_dram().max(1) as f64);
         let mean_queueing = if rec.queue_count == 0 {
             SimTime::ZERO
@@ -714,6 +1227,17 @@ impl ClusterSim {
             submitted: core.submitted,
             completed: core.completed,
             rejected: core.rejected,
+            failed: core.failed,
+            still_queued: core.still_queued,
+            interrupted: core.interrupted,
+            restarts: core.restarts,
+            useful_iterations: core.useful_iters,
+            wasted_iterations: core.wasted_iters,
+            goodput_iters_per_sec: crate::report::safe_rate(core.useful_iters, makespan),
+            raw_iters_per_sec: crate::report::safe_rate(
+                core.useful_iters + core.wasted_iters,
+                makespan,
+            ),
             events: core.events,
             makespan,
             jobs_per_sec: core.completed as f64 / makespan.as_secs_f64().max(f64::MIN_POSITIVE),
@@ -749,6 +1273,43 @@ impl ClusterSim {
         let mut submitted = 0u64;
         let mut completed = 0u64;
         let mut rejected = 0u64;
+        let mut failed = 0u64;
+        let mut interrupted = 0u64;
+        let mut restarts = 0u64;
+        let mut useful_iters = 0u64;
+        let mut wasted_iters = 0u64;
+        // Jobs parked in backoff: live slab slots that are neither queued
+        // nor running until their retry fires.
+        let mut backoff_count = 0usize;
+
+        // Fault state. `fault_mode` gates every new branch below: with no
+        // plan installed the loop executes the exact float-op/branch
+        // sequence the no-fault differential suite pins.
+        let fault_mode = self.faults.is_some();
+        let faults: Vec<(SimTime, FaultEvent)> = self
+            .faults
+            .clone()
+            .map(|p| p.into_events())
+            .unwrap_or_default();
+        let mut next_fault = 0usize;
+        let mut link_permille: u32 = 1000;
+        // Bumped on every fail/recover: scopes the live-subset feasibility
+        // memo.
+        let mut fault_epoch = 0u64;
+        let mut fail_since: Vec<Option<u64>> = vec![None; self.fleet.len()];
+        // Monotone integer stamp clock. Faults, retries, and arrivals carry
+        // exact integer instants whose f64 projections can round *down* past
+        // 2^53 ns; stamps derived from the rounded f64 clock are clamped to
+        // this so the trace never runs backwards. Fault-gated: fault-free
+        // stamps stay bit-identical to the reference loop.
+        let mut clock_int: u64 = 0;
+        if let Some((t, _)) = faults.first() {
+            heap.push(QueuedEvent {
+                t_ns: t.0 as f64,
+                order: u64::MAX - 1,
+                kind: EventKind::FaultDue,
+            });
+        }
 
         // Reservation-state version, bumped on every reserve/release.
         // `pass_version` is the version every *currently queued* job was
@@ -790,7 +1351,12 @@ impl ClusterSim {
                 }
             };
             if t_next.is_infinite() {
-                debug_assert!(pending.is_empty(), "queued jobs with no future events");
+                // In fault mode a job can terminally wait out a pressure
+                // spike that never lifts; it is reported as still queued.
+                debug_assert!(
+                    fault_mode || pending.is_empty(),
+                    "queued jobs with no future events"
+                );
                 break;
             }
 
@@ -799,7 +1365,9 @@ impl ClusterSim {
             // past 2^53 ns, zero-dt re-projections) belong to the next
             // iteration, exactly like the reference loop's dt=0 follow-ups.
             let mut completions: Vec<SlotKey> = Vec::new();
+            let mut retries: Vec<(u64, SlotKey)> = Vec::new();
             let mut arrival_due = false;
+            let mut fault_due = false;
             while let Some(ev) = heap.peek() {
                 if ev.t_ns != t_next {
                     break;
@@ -815,7 +1383,9 @@ impl ClusterSim {
                             completions.push(key);
                         }
                     }
+                    EventKind::Retry { key, due_ns } => retries.push((due_ns, key)),
                     EventKind::Arrival => arrival_due = true,
+                    EventKind::FaultDue => fault_due = true,
                 }
             }
             // Heap pops at equal times ascend by `order`, i.e. by arrival
@@ -864,8 +1434,215 @@ impl ClusterSim {
                 state_version += 1;
                 running_count -= 1;
                 completed += 1;
+                useful_iters += u64::from(job.spec.iterations);
                 events += 1;
-                rec.on_complete(self, &job, now_ns.round() as u64);
+                let t_done = if fault_mode {
+                    clock_int = clock_int.max(now_ns.round() as u64);
+                    clock_int
+                } else {
+                    now_ns.round() as u64
+                };
+                rec.on_complete(self, &job, t_done);
+            }
+
+            // Injected faults at this instant, in plan order. Matched on the
+            // *integer* nanosecond timestamp (like arrivals below) so plans
+            // past 2^53 ns cannot merge or drop instants under `as f64`.
+            if fault_due {
+                let t_int = faults[next_fault].0 .0;
+                clock_int = clock_int.max(t_int);
+                while next_fault < faults.len() && faults[next_fault].0 .0 == t_int {
+                    let ev = faults[next_fault].1;
+                    next_fault += 1;
+                    match ev {
+                        FaultEvent::DeviceFail { device } if device < devices.len() => {
+                            if devices[device].failed {
+                                continue; // already down
+                            }
+                            devices[device].failed = true;
+                            fail_since[device] = Some(t_int);
+                            state_version += 1;
+                            fault_epoch += 1;
+                            events += 1;
+                            rec.on_fault(self, &ev, t_int);
+                            if let Some(m) = &self.metrics {
+                                m.device_failures.inc();
+                            }
+                            // Interrupt every gang with a replica here —
+                            // atomically: ALL replicas' reservations and
+                            // tenant slots release, not just this device's.
+                            let victims: Vec<SlotKey> = tenants_on[device].clone();
+                            for vkey in victims {
+                                let (seq, kind, total_done) = {
+                                    let vjob =
+                                        jobs.get_mut(vkey).expect("tenant lists track live jobs");
+                                    let run = vjob.run.take().expect("listed tenants are running");
+                                    let done = fold_done_iterations(&run, now_ns);
+                                    for p in &run.grant.placements {
+                                        devices[p.device].reserved -= p.prediction.peak_bytes;
+                                        devices[p.device].tenants -= 1;
+                                        let list = &mut tenants_on[p.device];
+                                        let pos = list
+                                            .iter()
+                                            .position(|k| *k == vkey)
+                                            .expect("tenant listed");
+                                        list.swap_remove(pos);
+                                        affected.push(p.device);
+                                    }
+                                    (vjob.seq, vjob.spec.kind, vjob.iters_done + done)
+                                };
+                                state_version += 1;
+                                running_count -= 1;
+                                interrupted += 1;
+                                events += 1;
+                                if let Some(m) = &self.metrics {
+                                    m.jobs_interrupted.inc();
+                                }
+                                let permanent = match self.recovery.mode {
+                                    RecoveryMode::NoRecovery => {
+                                        Some(format!("device {device} failed (no recovery)"))
+                                    }
+                                    _ if jobs.get(vkey).unwrap().attempts
+                                        >= self.recovery.max_retries =>
+                                    {
+                                        Some(format!(
+                                            "device {device} failed after {} retries",
+                                            self.recovery.max_retries
+                                        ))
+                                    }
+                                    _ => None,
+                                };
+                                match permanent {
+                                    Some(why) => {
+                                        let waste = {
+                                            let vjob = jobs.get_mut(vkey).unwrap();
+                                            let w = u64::from(total_done);
+                                            vjob.wasted_iters += w;
+                                            w
+                                        };
+                                        wasted_iters += waste;
+                                        if let Some(m) = &self.metrics {
+                                            m.wasted_iterations.add(waste);
+                                            m.jobs_failed.inc();
+                                        }
+                                        rec.on_interrupt(
+                                            self,
+                                            jobs.get(vkey).unwrap(),
+                                            device,
+                                            t_int,
+                                        );
+                                        rec.on_fail(self, jobs.get(vkey).unwrap(), &why, t_int);
+                                        jobs.remove(vkey);
+                                        failed += 1;
+                                        events += 1;
+                                    }
+                                    None => {
+                                        // Fold to the checkpoint, park in
+                                        // backoff: pure u64 timer chains.
+                                        let attempt = {
+                                            let vjob = jobs.get_mut(vkey).unwrap();
+                                            let kept = self.recovery.checkpointed(kind, total_done);
+                                            let waste = u64::from(total_done - kept);
+                                            vjob.iters_done = kept;
+                                            vjob.wasted_iters += waste;
+                                            wasted_iters += waste;
+                                            if let Some(m) = &self.metrics {
+                                                m.wasted_iterations.add(waste);
+                                            }
+                                            vjob.pending_restart = true;
+                                            let a = vjob.attempts;
+                                            vjob.attempts += 1;
+                                            a
+                                        };
+                                        let delay = self.recovery.backoff_delay(attempt, seq);
+                                        let due = t_int.saturating_add(delay.0);
+                                        {
+                                            let vjob = jobs.get_mut(vkey).unwrap();
+                                            vjob.anchor_int = due;
+                                        }
+                                        heap.push(QueuedEvent {
+                                            t_ns: due as f64,
+                                            order: seq,
+                                            kind: EventKind::Retry {
+                                                key: vkey,
+                                                due_ns: due,
+                                            },
+                                        });
+                                        backoff_count += 1;
+                                        if let Some(m) = &self.metrics {
+                                            m.retries_scheduled.inc();
+                                            m.backoff_ns.record(delay.0);
+                                        }
+                                        rec.on_interrupt(
+                                            self,
+                                            jobs.get(vkey).unwrap(),
+                                            device,
+                                            t_int,
+                                        );
+                                    }
+                                }
+                            }
+                        }
+                        FaultEvent::DeviceRecover { device } if device < devices.len() => {
+                            if !devices[device].failed {
+                                continue;
+                            }
+                            devices[device].failed = false;
+                            state_version += 1;
+                            fault_epoch += 1;
+                            events += 1;
+                            rec.on_fault(self, &ev, t_int);
+                            let since = fail_since[device].take();
+                            if let Some(m) = &self.metrics {
+                                m.device_recoveries.inc();
+                                if let Some(t0) = since {
+                                    m.mttr_ns.record(t_int.saturating_sub(t0));
+                                }
+                            }
+                        }
+                        FaultEvent::LinkDegrade { permille } => {
+                            let p = permille.max(1);
+                            if p == link_permille {
+                                continue;
+                            }
+                            link_permille = p;
+                            events += 1;
+                            rec.on_fault(self, &ev, t_int);
+                            // Every running gang may re-pace.
+                            affected.extend(0..devices.len());
+                        }
+                        FaultEvent::LinkRestore => {
+                            if link_permille == 1000 {
+                                continue;
+                            }
+                            link_permille = 1000;
+                            events += 1;
+                            rec.on_fault(self, &ev, t_int);
+                            affected.extend(0..devices.len());
+                        }
+                        FaultEvent::PressureSpike { device, bytes } if device < devices.len() => {
+                            devices[device].spike = devices[device].spike.saturating_add(bytes);
+                            state_version += 1;
+                            events += 1;
+                            rec.on_fault(self, &ev, t_int);
+                        }
+                        FaultEvent::PressureRelease { device, bytes } if device < devices.len() => {
+                            devices[device].spike = devices[device].spike.saturating_sub(bytes);
+                            state_version += 1;
+                            events += 1;
+                            rec.on_fault(self, &ev, t_int);
+                        }
+                        _ => {} // out-of-range device index: ignore
+                    }
+                }
+                if let Some((t, _)) = faults.get(next_fault) {
+                    debug_assert!(t.0 >= t_int, "fault plans are normalized");
+                    heap.push(QueuedEvent {
+                        t_ns: t.0 as f64,
+                        order: u64::MAX - 1,
+                        kind: EventKind::FaultDue,
+                    });
+                }
             }
 
             // Arrivals at this instant join the queue in pull order. Match
@@ -874,9 +1651,30 @@ impl ClusterSim {
             // and a float-equality match would drop (or spuriously merge)
             // coincident arrivals.
             let fresh_start = pending.len();
+            // Parked jobs whose backoff expired re-enter the queue ahead of
+            // fresh arrivals at the same instant (they arrived earlier),
+            // ordered by (due instant, arrival sequence). They sit at or
+            // past `fresh_start`, so even a memoized (non-full) pass
+            // re-evaluates them.
+            if !retries.is_empty() {
+                retries.sort_unstable_by_key(|&(due, key)| {
+                    (due, jobs.get(key).map(|j| j.seq).unwrap_or(u64::MAX))
+                });
+                for (due, key) in retries {
+                    let job = jobs.get_mut(key).expect("parked jobs stay live");
+                    debug_assert!(job.run.is_none(), "parked jobs cannot be running");
+                    job.anchor_int = job.anchor_int.max(due);
+                    clock_int = clock_int.max(due);
+                    pending.push(key);
+                    backoff_count -= 1;
+                }
+            }
             if arrival_due {
                 let (t0, first) = pending_arrival.take().expect("arrival marker without job");
                 let t_int = t0.0;
+                if fault_mode {
+                    clock_int = clock_int.max(t_int);
+                }
                 let mut cur = Some((t0, first));
                 loop {
                     match cur.take() {
@@ -888,6 +1686,12 @@ impl ClusterSim {
                                 seq,
                                 arrival: t,
                                 run: None,
+                                anchor_int: t_int,
+                                iters_done: 0,
+                                attempts: 0,
+                                wasted_iters: 0,
+                                pending_restart: false,
+                                resume: None,
                             });
                             pending.push(key);
                             submitted += 1;
@@ -917,17 +1721,141 @@ impl ClusterSim {
             // When reservations haven't changed since the queue was last
             // evaluated, only this event's fresh arrivals are worth asking
             // about (see `pass_version` above).
+            // Integer stamp for this instant's pass: runs logically after
+            // the integer-stamped faults/retries/arrivals above, so it is
+            // clamped to never sit behind them.
+            let now_int = if fault_mode {
+                clock_int = clock_int.max(now_ns.round() as u64);
+                clock_int
+            } else {
+                now_ns.round() as u64
+            };
             let full_pass = state_version != pass_version;
             let start = if full_pass { 0 } else { fresh_start };
             let version_at_pass_start = state_version;
             let mut kept: Vec<SlotKey> = Vec::new();
-            for i in start..pending.len() {
-                let key = pending[i];
-                let spec = Arc::clone(&jobs.get(key).expect("pending jobs are live").spec);
-                match self.try_admit_memo(&devices, &spec, &mut memo, state_version) {
+            for &key in pending.iter().skip(start) {
+                let (spec, resume, restarting) = {
+                    let j = jobs.get(key).expect("pending jobs are live");
+                    (Arc::clone(&j.spec), j.resume.clone(), j.pending_restart)
+                };
+                let mut grant_opt = match &resume {
+                    // A job granted before carries its frozen plan: restart
+                    // re-admission is budget-exact, never a fresh search.
+                    Some(rp) => self.try_admit_resume(&devices, &spec, rp),
+                    None => self.try_admit_memo(&devices, &spec, &mut memo, state_version),
+                };
+                // Elastic rescue: make room by live-downgrading running
+                // tenants one preset rung (strictly smaller reserved peak),
+                // through the same plan memo admission uses.
+                let mut rescue: Option<Vec<(SlotKey, Grant)>> = None;
+                if grant_opt.is_none()
+                    && fault_mode
+                    && self.recovery.mode == RecoveryMode::RestartElastic
+                {
+                    if let Some((downgrades, admit)) =
+                        self.plan_elastic(&devices, &jobs, &tenants_on, &spec, resume.as_ref())
+                    {
+                        rescue = Some(downgrades);
+                        grant_opt = Some(admit);
+                    }
+                }
+                match grant_opt {
                     Some(grant) => {
+                        // Commit planned downgrades first — they free the
+                        // room the grant below relies on.
+                        if let Some(downgrades) = rescue {
+                            for (tkey, new_grant) in downgrades {
+                                let (tseq, from, old_grant) = {
+                                    let tjob =
+                                        jobs.get_mut(tkey).expect("planned tenants are live");
+                                    let trun =
+                                        tjob.run.as_mut().expect("planned tenants are running");
+                                    // The downgraded plan restarts the
+                                    // remaining iterations from the last
+                                    // checkpoint; the fold's loss is wasted
+                                    // work.
+                                    let done = fold_done_iterations(trun, now_ns);
+                                    let total_done = tjob.iters_done + done;
+                                    let kept_iters =
+                                        self.recovery.checkpointed(tjob.spec.kind, total_done);
+                                    let waste = u64::from(total_done - kept_iters);
+                                    tjob.iters_done = kept_iters;
+                                    tjob.wasted_iters += waste;
+                                    wasted_iters += waste;
+                                    if let Some(m) = &self.metrics {
+                                        m.wasted_iterations.add(waste);
+                                    }
+                                    let from = trun.grant.preset;
+                                    let old = std::mem::replace(&mut trun.grant, new_grant.clone());
+                                    (tjob.seq, from, old)
+                                };
+                                for p in &old_grant.placements {
+                                    devices[p.device].reserved -= p.prediction.peak_bytes;
+                                }
+                                for p in &new_grant.placements {
+                                    let d = p.device;
+                                    devices[d].reserved += p.prediction.peak_bytes;
+                                    devices[d].peak_reserved =
+                                        devices[d].peak_reserved.max(devices[d].reserved);
+                                    debug_assert!(
+                                        devices[d].reserved <= self.fleet.devices[d].dram_bytes,
+                                        "downgrade reservation exceeds device {d} DRAM"
+                                    );
+                                    affected.push(d);
+                                }
+                                state_version += 1;
+                                let (tspec, titers_left) = {
+                                    let tjob = jobs.get(tkey).expect("planned tenants are live");
+                                    (
+                                        Arc::clone(&tjob.spec),
+                                        tjob.spec.iterations - tjob.iters_done,
+                                    )
+                                };
+                                let tstep = self.step_time(&tspec, &new_grant);
+                                let tslow = apply_link(
+                                    gang_slowdown(&devices, &new_grant),
+                                    tspec.replicas,
+                                    link_permille,
+                                );
+                                {
+                                    let tjob =
+                                        jobs.get_mut(tkey).expect("planned tenants are live");
+                                    tjob.resume = Some(resume_plan_of(&new_grant));
+                                    let trun =
+                                        tjob.run.as_mut().expect("planned tenants are running");
+                                    trun.step_ns = tstep.0 as f64;
+                                    trun.iters_this_run = titers_left;
+                                    trun.remaining_ns = tstep.0 as f64 * titers_left as f64;
+                                    trun.anchor_ns = now_ns;
+                                    trun.slowdown = tslow;
+                                    trun.gen += 1;
+                                    heap.push(QueuedEvent {
+                                        t_ns: now_ns + trun.remaining_ns * tslow,
+                                        order: tseq,
+                                        kind: EventKind::Completion {
+                                            key: tkey,
+                                            gen: trun.gen,
+                                        },
+                                    });
+                                }
+                                rec.on_downgrade(
+                                    self,
+                                    jobs.get(tkey).expect("planned tenants are live"),
+                                    from,
+                                    &new_grant,
+                                    now_int,
+                                );
+                                events += 1;
+                                if let Some(m) = &self.metrics {
+                                    m.jobs_downgraded.inc();
+                                }
+                            }
+                        }
+                        let iters_left = spec.iterations
+                            - jobs.get(key).expect("pending jobs are live").iters_done;
                         let step = self.step_time(&spec, &grant);
-                        let work_ns = step.0 as f64 * spec.iterations as f64;
+                        let work_ns = step.0 as f64 * iters_left as f64;
                         for p in &grant.placements {
                             let d = p.device;
                             devices[d].reserved += p.prediction.peak_bytes;
@@ -944,17 +1872,55 @@ impl ClusterSim {
                             affected.push(d);
                         }
                         state_version += 1;
-                        rec.on_admit(
-                            self,
-                            jobs.get(key).expect("pending jobs are live"),
-                            &grant,
-                            now_ns.round() as u64,
-                        );
+                        if restarting {
+                            // Gate: the re-admitted plan must be
+                            // byte-identical to the original — same sorted
+                            // (budget, peak) vector, peaks straight from
+                            // the shared plan memo.
+                            let exact = resume.as_ref().is_some_and(|rp| {
+                                let mut got: Vec<(u64, u64)> = grant
+                                    .placements
+                                    .iter()
+                                    .map(|p| (p.budget, p.prediction.peak_bytes))
+                                    .collect();
+                                got.sort_unstable_by(|a, b| b.cmp(a));
+                                got.iter().map(|g| g.0).eq(rp.budgets.iter().copied())
+                                    && got.iter().map(|g| g.1).eq(rp.peaks.iter().copied())
+                            });
+                            restarts += 1;
+                            if let Some(m) = &self.metrics {
+                                m.jobs_restarted.inc();
+                            }
+                            rec.on_restart(
+                                self,
+                                jobs.get(key).expect("pending jobs are live"),
+                                &grant,
+                                exact,
+                                now_int,
+                            );
+                        } else {
+                            rec.on_admit(
+                                self,
+                                jobs.get(key).expect("pending jobs are live"),
+                                &grant,
+                                now_int,
+                            );
+                        }
+                        if fault_mode {
+                            let j = jobs.get_mut(key).expect("pending jobs are live");
+                            j.pending_restart = false;
+                            j.attempts = 0;
+                            j.resume = Some(resume_plan_of(&grant));
+                        }
                         // The gang's slowdown is read *after* its own
                         // reservations landed; if a later same-pass
                         // admission changes it, the sweep below folds that
                         // in (a zero-dt, bit-safe re-anchor).
-                        let slowdown = gang_slowdown(&devices, &grant);
+                        let slowdown = apply_link(
+                            gang_slowdown(&devices, &grant),
+                            spec.replicas,
+                            link_permille,
+                        );
                         let seq = {
                             let job = jobs.get_mut(key).expect("pending jobs are live");
                             job.run = Some(RunState {
@@ -963,6 +1929,8 @@ impl ClusterSim {
                                 anchor_ns: now_ns,
                                 slowdown,
                                 gen: 0,
+                                step_ns: step.0 as f64,
+                                iters_this_run: iters_left,
                             });
                             job.seq
                         };
@@ -974,14 +1942,12 @@ impl ClusterSim {
                         running_count += 1;
                         events += 1;
                     }
-                    None => {
+                    None if !fault_mode => {
                         // Idle-fleet feasibility depends only on the job
                         // shape, so a queued shape is checked once per run,
                         // not once per pass.
-                        let feasible = *memo
-                            .feasible
-                            .entry(shape_key(&spec))
-                            .or_insert_with(|| {
+                        let feasible =
+                            *memo.feasible.entry(shape_key(&spec)).or_insert_with(|| {
                                 feasible_on_idle_fleet(&self.profiler, &self.fleet, &spec)
                             });
                         if feasible {
@@ -996,21 +1962,119 @@ impl ClusterSim {
                                 }
                             } else {
                                 RejectReason::PeakExceedsCapacity {
-                                    presets: ladder_for(&spec)
-                                        .iter()
-                                        .map(|p| p.name())
-                                        .collect(),
+                                    presets: ladder_for(&spec).iter().map(|p| p.name()).collect(),
                                 }
                             };
                             rec.on_reject(
                                 self,
                                 jobs.get(key).expect("pending jobs are live"),
                                 &reason,
-                                now_ns.round() as u64,
+                                now_int,
                             );
                             jobs.remove(key);
                             rejected += 1;
                             events += 1;
+                        }
+                    }
+                    None => {
+                        // Fault mode: three-way — wait (feasible on the
+                        // live subset), back off (only the outage blocks
+                        // it), or reject/fail.
+                        if memo.feasible_epoch != fault_epoch {
+                            memo.feasible.clear();
+                            memo.feasible_epoch = fault_epoch;
+                        }
+                        let shape = shape_key(&spec);
+                        let feasible_live = *memo.feasible.entry(shape).or_insert_with(|| {
+                            let live: Vec<&sn_sim::DeviceSpec> = self
+                                .fleet
+                                .devices
+                                .iter()
+                                .zip(devices.iter())
+                                .filter(|(_, d)| !d.failed)
+                                .map(|(s, _)| s)
+                                .collect();
+                            feasible_on_device_subset(&self.profiler, &live, &spec)
+                        });
+                        if feasible_live {
+                            kept.push(key); // wait for capacity
+                        } else {
+                            let feasible_full =
+                                *memo.feasible_full.entry(shape).or_insert_with(|| {
+                                    feasible_on_idle_fleet(&self.profiler, &self.fleet, &spec)
+                                });
+                            if !feasible_full {
+                                // It would never fit even on a healthy idle
+                                // fleet: the classic reject reasons apply.
+                                let reason = if spec.replicas == 0 {
+                                    RejectReason::EmptyGang
+                                } else if spec.replicas > self.fleet.len() {
+                                    RejectReason::FleetTooSmall {
+                                        replicas: spec.replicas,
+                                        fleet: self.fleet.len(),
+                                    }
+                                } else {
+                                    RejectReason::PeakExceedsCapacity {
+                                        presets: ladder_for(&spec)
+                                            .iter()
+                                            .map(|p| p.name())
+                                            .collect(),
+                                    }
+                                };
+                                rec.on_reject(
+                                    self,
+                                    jobs.get(key).expect("pending jobs are live"),
+                                    &reason,
+                                    now_int,
+                                );
+                                jobs.remove(key);
+                                rejected += 1;
+                                events += 1;
+                            } else if self.recovery.mode == RecoveryMode::NoRecovery {
+                                kept.push(key); // wait for the fleet to heal
+                            } else {
+                                let (seq, attempt, base) = {
+                                    let j = jobs.get(key).expect("pending jobs are live");
+                                    (j.seq, j.attempts, j.anchor_int)
+                                };
+                                if attempt >= self.recovery.max_retries {
+                                    let why = format!("no live placement after {attempt} retries");
+                                    rec.on_fail(
+                                        self,
+                                        jobs.get(key).expect("pending jobs are live"),
+                                        &why,
+                                        now_int,
+                                    );
+                                    jobs.remove(key);
+                                    failed += 1;
+                                    events += 1;
+                                    if let Some(m) = &self.metrics {
+                                        m.jobs_failed.inc();
+                                    }
+                                } else {
+                                    // Capped exponential backoff on the
+                                    // integer timeline: the due instant
+                                    // chains from `anchor_int`, never from
+                                    // the f64 clock.
+                                    let delay = self.recovery.backoff_delay(attempt, seq);
+                                    let due = base.max(now_int).saturating_add(delay.0);
+                                    {
+                                        let j = jobs.get_mut(key).expect("pending jobs are live");
+                                        j.attempts += 1;
+                                        j.anchor_int = due;
+                                    }
+                                    heap.push(QueuedEvent {
+                                        t_ns: due as f64,
+                                        order: seq,
+                                        kind: EventKind::Retry { key, due_ns: due },
+                                    });
+                                    backoff_count += 1;
+                                    if let Some(m) = &self.metrics {
+                                        m.retries_scheduled.inc();
+                                        m.backoff_ns.record(delay.0);
+                                    }
+                                }
+                            }
                         }
                     }
                 }
@@ -1024,8 +2088,9 @@ impl ClusterSim {
                 pass_version = version_at_pass_start;
             }
             peak_concurrent = peak_concurrent.max(running_count);
-            // Every live slot is exactly one queued or one running job.
-            debug_assert_eq!(jobs.len(), pending.len() + running_count);
+            // Every live slot is exactly one queued, running, or
+            // backoff-parked job.
+            debug_assert_eq!(jobs.len(), pending.len() + running_count + backoff_count);
 
             // Re-anchor sweep: exactly the gangs sharing a device whose
             // tenant count changed this event. Fold their progress forward
@@ -1041,8 +2106,10 @@ impl ClusterSim {
                 for &key in &tenants_on[d] {
                     let job = jobs.get_mut(key).expect("tenant lists track live jobs");
                     let seq = job.seq;
+                    let replicas = job.spec.replicas;
                     let run = job.run.as_mut().expect("listed tenants are running");
-                    let s = gang_slowdown(&devices, &run.grant);
+                    let s =
+                        apply_link(gang_slowdown(&devices, &run.grant), replicas, link_permille);
                     if s != run.slowdown {
                         run.remaining_ns -= (now_ns - run.anchor_ns) / run.slowdown;
                         run.anchor_ns = now_ns;
@@ -1067,6 +2134,12 @@ impl ClusterSim {
             submitted,
             completed,
             rejected,
+            failed,
+            interrupted,
+            restarts,
+            still_queued: pending.len() as u64,
+            useful_iters,
+            wasted_iters,
         }
     }
 }

@@ -58,10 +58,7 @@ impl<T> Slab<T> {
             let slot = &mut self.slots[idx as usize];
             debug_assert!(slot.value.is_none());
             slot.value = Some(value);
-            SlotKey {
-                idx,
-                gen: slot.gen,
-            }
+            SlotKey { idx, gen: slot.gen }
         } else {
             let idx = u32::try_from(self.slots.len()).expect("slab exceeds u32 slots");
             self.slots.push(Slot {

@@ -174,7 +174,7 @@ impl PoissonStream {
             );
         }
         PoissonStream {
-            rng: SmallRng::seed_from_u64(seed ^ 0x5eed_ab1e_0f_u64),
+            rng: SmallRng::seed_from_u64(seed ^ 0x005e_edab_1e0f_u64),
             remaining: n,
             t_ns: 0,
             mean_gap_ns: mean_gap.0 as f64,

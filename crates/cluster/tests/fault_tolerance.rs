@@ -1,0 +1,401 @@
+//! Fault-injection and recovery contract of the cluster scheduler:
+//!
+//! 1. **Opt-in** — an *empty* fault plan (fault mode on, no events) leaves
+//!    the schedule byte-identical to a fault-free run and to the retained
+//!    reference loop.
+//! 2. **Gang atomicity under failure** — one replica's device dying fails
+//!    or interrupts the whole gang, releasing every replica's reservation
+//!    and budget at the same instant.
+//! 3. **Checkpoint/restart** — interrupted training jobs resume from their
+//!    last checkpoint, and every restarted grant's (budget, peak) vector is
+//!    byte-identical to the original plan (the shared plan memo guarantees
+//!    it on a homogeneous fleet).
+//! 4. **Integer timers** — backoff/retry instants chain in u64 nanoseconds;
+//!    streams anchored past 2^53 ns (where `as f64` collapses neighboring
+//!    integers) still recover and replay deterministically.
+//! 5. **Elastic pressure response** — under `RestartElastic`, a blocked
+//!    admission live-downgrades running tenants through the plan memo;
+//!    under plain `Restart` it never does.
+//! 6. **Replay determinism** — identical `FaultPlan` seeds yield
+//!    byte-identical `ClusterReport`s and `ServiceReport`s (proptest).
+
+use proptest::prelude::*;
+use sn_cluster::{
+    synthetic_stream, ClusterSim, FaultPlan, Fleet, JobSpec, PlacementPolicy, PolicyPreset,
+    RecoveryMode, RecoveryPolicy, ReplayStream, TraceKind, Workload,
+};
+use sn_runtime::Interconnect;
+use sn_sim::{DeviceSpec, SimTime};
+
+const MB: u64 = 1 << 20;
+
+fn fleet_n(n: usize, dram: u64) -> Fleet {
+    Fleet::homogeneous(n, DeviceSpec::k40c().with_dram(dram), Interconnect::pcie())
+}
+
+fn fleet8(dram: u64) -> Fleet {
+    fleet_n(8, dram)
+}
+
+/// Fault-free makespan of `arrivals` on a fresh sim — used to aim fault
+/// instants at the middle of a run instead of guessing step times.
+fn probe_makespan(fleet: &Fleet, arrivals: &[(SimTime, JobSpec)]) -> u64 {
+    let mut sim = ClusterSim::new(fleet.clone(), PlacementPolicy::FirstFit);
+    sim.run(arrivals.to_vec()).makespan.0
+}
+
+#[test]
+fn empty_fault_plan_is_bit_identical_to_fault_free_run() {
+    let arrivals = synthetic_stream(40, 11, PolicyPreset::Superneurons, true);
+    let baseline = ClusterSim::new(fleet8(96 * MB), PlacementPolicy::BestFit).run(arrivals.clone());
+    let mut armed = ClusterSim::new(fleet8(96 * MB), PlacementPolicy::BestFit);
+    armed.enable_faults(FaultPlan::new(), RecoveryPolicy::default());
+    let report = armed.run(arrivals.clone());
+    assert!(
+        report.bit_identical(&baseline),
+        "fault mode with no events must not perturb the schedule"
+    );
+    let reference =
+        ClusterSim::new(fleet8(96 * MB), PlacementPolicy::BestFit).run_reference(arrivals);
+    assert!(report.bit_identical(&reference));
+    assert!(report.conservation_holds());
+    assert_eq!(report.restarts, 0);
+    assert_eq!(report.wasted_iterations, 0);
+}
+
+#[test]
+fn gang_failure_is_atomic_across_all_replicas() {
+    // Size the gang so one replica fills well over half a device: any stale
+    // replica reservation left behind by a non-atomic failure would make
+    // the identical probe gang unplaceable.
+    let w = Workload::Synthetic {
+        width: 32,
+        depth: 6,
+    };
+    let gang = |name: &str| {
+        JobSpec::new(name, w, 16)
+            .with_preset(PolicyPreset::Baseline)
+            .with_downgrade(false)
+            .with_replicas(3)
+            .with_iterations(400)
+    };
+    let peak = {
+        let mut sim = ClusterSim::new(fleet_n(3, 1 << 30), PlacementPolicy::FirstFit);
+        let r = sim.run(vec![(SimTime::ZERO, gang("probe"))]);
+        r.jobs[0].reservations[0]
+    };
+    let dram = peak + peak / 2; // fits one replica, never two
+    let fleet = fleet_n(3, dram);
+    let makespan = probe_makespan(&fleet, &[(SimTime::ZERO, gang("solo"))]);
+    assert!(makespan > 4, "gang run too short to interrupt");
+
+    let t_kill = SimTime(makespan / 2);
+    let t_recover = t_kill + SimTime::from_us(10);
+    let mut sim = ClusterSim::new(fleet, PlacementPolicy::FirstFit);
+    sim.enable_faults(
+        FaultPlan::new().kill(t_kill, 0).recover(t_recover, 0),
+        RecoveryPolicy::default().with_mode(RecoveryMode::NoRecovery),
+    );
+    let report = sim.run(vec![
+        (SimTime::ZERO, gang("victim")),
+        // Arrives after the recovery: admits only if ALL THREE of the
+        // victim's reservations (devices 0, 1, 2) were released.
+        (t_recover + SimTime::from_us(10), gang("aftermath")),
+    ]);
+
+    let victim = report.jobs.iter().find(|j| j.name == "victim").unwrap();
+    assert!(
+        victim.failed.is_some(),
+        "no-recovery victim must fail permanently"
+    );
+    assert!(victim.completion.is_none());
+    assert!(
+        victim.wasted_iterations > 0,
+        "interrupted progress is wasted work"
+    );
+    let interrupts = report
+        .trace
+        .iter()
+        .filter(|e| matches!(e.kind, TraceKind::Interrupt { .. }))
+        .count();
+    assert_eq!(interrupts, 1, "one gang, one atomic interruption");
+
+    let aftermath = report.jobs.iter().find(|j| j.name == "aftermath").unwrap();
+    assert!(
+        aftermath.completion.is_some(),
+        "stale gang reservations blocked the aftermath gang: release was not atomic"
+    );
+    assert!(report.conservation_holds());
+    assert_eq!(report.failed, 1);
+    assert_eq!(report.completed, 1);
+}
+
+#[test]
+fn checkpoint_restart_resumes_with_byte_exact_peaks() {
+    let arrivals = synthetic_stream(24, 7, PolicyPreset::Superneurons, true);
+    let fleet = fleet8(96 * MB);
+    let makespan = probe_makespan(&fleet, &arrivals);
+
+    // Knock out two devices mid-run, recover them later.
+    let plan = FaultPlan::new()
+        .outage(SimTime(makespan / 4), 0, SimTime(makespan / 4))
+        .outage(SimTime(makespan / 3), 5, SimTime(makespan / 5));
+    let policy = RecoveryPolicy::default()
+        .with_checkpoint_interval(2)
+        .with_backoff(SimTime::from_us(50), SimTime::from_ms(2));
+    let mut sim = ClusterSim::new(fleet, PlacementPolicy::FirstFit);
+    sim.enable_faults(plan, policy);
+    let report = sim.run(arrivals);
+
+    assert!(report.conservation_holds(), "job conservation violated");
+    assert!(report.restarts > 0, "the outages must interrupt someone");
+    assert!(report.wasted_iterations > 0);
+    for job in &report.jobs {
+        assert!(
+            job.restart_peak_exact,
+            "job {} restarted with a different (budget, peak) vector",
+            job.name
+        );
+        if job.restarts > 0 {
+            assert!(
+                job.completion.is_some(),
+                "restarted job {} never finished",
+                job.name
+            );
+        }
+    }
+    // Goodput accounting: useful iterations are exactly the completed
+    // jobs' totals; raw throughput adds the wasted ones on top.
+    let expect_useful: u64 = report
+        .jobs
+        .iter()
+        .filter(|j| j.completion.is_some())
+        .map(|j| u64::from(j.iterations))
+        .sum();
+    assert_eq!(report.useful_iterations, expect_useful);
+    assert!(report.raw_iters_per_sec >= report.goodput_iters_per_sec);
+    assert!(report.goodput_iters_per_sec.is_finite());
+}
+
+#[test]
+fn recovery_timers_survive_the_f64_collapse_past_2p53() {
+    // Anchor the whole run past 2^53 ns, where neighboring integer instants
+    // collapse under `as f64` (the PR-2 bug class). Retry backoff chains in
+    // u64, so the lone-device outage below must still be ridden out.
+    let base = 1u64 << 53;
+    let w = Workload::Synthetic { width: 8, depth: 2 };
+    let arrivals = vec![
+        (SimTime(base), JobSpec::new("a", w, 8).with_iterations(200)),
+        (
+            SimTime(base + 1),
+            JobSpec::new("b", w, 8).with_iterations(50),
+        ),
+    ];
+    let fleet = fleet_n(1, 96 * MB);
+    let makespan = probe_makespan(&fleet, &arrivals);
+    let t_kill = SimTime(base + (makespan - base) / 3);
+    let outage = SimTime::from_us(200);
+
+    let run = || {
+        let mut sim = ClusterSim::new(fleet.clone(), PlacementPolicy::FirstFit);
+        sim.enable_faults(
+            FaultPlan::new().outage(t_kill, 0, outage),
+            // With the only device down, interrupted jobs ride pure-u64
+            // backoff: delays small enough to probe the outage repeatedly.
+            RecoveryPolicy::default()
+                .with_backoff(SimTime::from_us(20), SimTime::from_us(50))
+                .with_max_retries(32),
+        );
+        sim.run(arrivals.clone())
+    };
+    let report = run();
+    assert!(report.conservation_holds());
+    assert_eq!(report.completed, 2, "both jobs must ride out the outage");
+    assert!(report.restarts > 0);
+    for job in &report.jobs {
+        assert!(job.restart_peak_exact);
+    }
+    // Trace instants are integer ns and must never run backwards, even
+    // where their f64 projections are equal.
+    for w in report.trace.windows(2) {
+        assert!(w[1].t_ns >= w[0].t_ns, "trace time ran backwards");
+    }
+    // Same plan, same stream → byte-identical replay.
+    assert!(report.bit_identical(&run()));
+}
+
+#[test]
+fn elastic_mode_downgrades_running_tenants_restart_mode_does_not() {
+    let w = Workload::Synthetic {
+        width: 48,
+        depth: 8,
+    };
+    // Probe per-preset peaks on a huge device.
+    let peak_of = |preset: PolicyPreset| {
+        let mut sim = ClusterSim::new(fleet_n(1, 1 << 30), PlacementPolicy::FirstFit);
+        let r = sim.run(vec![(
+            SimTime::ZERO,
+            JobSpec::new("probe", w, 16)
+                .with_preset(preset)
+                .with_downgrade(false),
+        )]);
+        r.jobs[0].reservations[0]
+    };
+    let p_base = peak_of(PolicyPreset::Baseline);
+    let p_liveness = peak_of(PolicyPreset::LivenessOnly);
+    assert!(
+        p_liveness + 5 * MB < p_base,
+        "test premise: ladder must free real memory (baseline {p_base}, liveness {p_liveness})"
+    );
+    // One device sized so the baseline resident fits alone, a second
+    // baseline tenant is blocked (baseline's peak is budget-independent, so
+    // it cannot squeeze itself in), and both fit once the resident moves at
+    // least one rung down the ladder.
+    let dram = p_base + p_liveness + 4 * MB;
+    assert!(dram < 2 * p_base, "newcomer must be blocked at baseline");
+    let arrivals = vec![
+        (
+            SimTime::ZERO,
+            JobSpec::new("resident", w, 16)
+                .with_preset(PolicyPreset::Baseline)
+                .with_downgrade(true)
+                .with_iterations(60),
+        ),
+        (
+            SimTime::from_us(50),
+            JobSpec::new("newcomer", w, 16)
+                .with_preset(PolicyPreset::Baseline)
+                .with_downgrade(false)
+                .with_iterations(5),
+        ),
+    ];
+    let run = |mode: RecoveryMode| {
+        let mut sim = ClusterSim::new(fleet_n(1, dram), PlacementPolicy::FirstFit);
+        // Fault mode armed with an empty plan: recovery machinery on, no
+        // injected events — pressure comes purely from the arrival.
+        sim.enable_faults(FaultPlan::new(), RecoveryPolicy::default().with_mode(mode));
+        sim.run(arrivals.clone())
+    };
+
+    let elastic = run(RecoveryMode::RestartElastic);
+    let restart = run(RecoveryMode::Restart);
+    assert!(elastic.conservation_holds() && restart.conservation_holds());
+    assert_eq!(elastic.completed, 2);
+    assert_eq!(restart.completed, 2);
+
+    let downgrades = |r: &sn_cluster::ClusterReport| {
+        r.trace
+            .iter()
+            .filter(|e| matches!(e.kind, TraceKind::Downgrade { .. }))
+            .count()
+    };
+    assert!(
+        downgrades(&elastic) > 0,
+        "elastic mode must live-downgrade the resident"
+    );
+    assert_eq!(
+        downgrades(&restart),
+        0,
+        "plain restart must never touch running tenants"
+    );
+    let resident = elastic.jobs.iter().find(|j| j.name == "resident").unwrap();
+    assert!(
+        resident.granted.unwrap() > PolicyPreset::Baseline,
+        "resident must end on a stronger preset"
+    );
+    // The squeeze pays off: the newcomer starts strictly earlier than under
+    // plain restart (which waits for the resident to finish).
+    let started = |r: &sn_cluster::ClusterReport| {
+        r.jobs
+            .iter()
+            .find(|j| j.name == "newcomer")
+            .unwrap()
+            .started
+            .expect("newcomer must start")
+    };
+    assert!(started(&elastic) < started(&restart));
+}
+
+#[test]
+fn streaming_loop_reports_fault_aggregates() {
+    let arrivals = synthetic_stream(30, 3, PolicyPreset::Superneurons, true);
+    let fleet = fleet8(96 * MB);
+    let makespan = probe_makespan(&fleet, &arrivals);
+    let plan = FaultPlan::new().outage(SimTime(makespan / 3), 2, SimTime(makespan / 4));
+
+    let mut svc = ClusterSim::new(fleet.clone(), PlacementPolicy::FirstFit);
+    svc.enable_faults(plan.clone(), RecoveryPolicy::default());
+    let service = svc.run_stream(&mut ReplayStream::new(arrivals.clone()));
+
+    let mut full = ClusterSim::new(fleet, PlacementPolicy::FirstFit);
+    full.enable_faults(plan, RecoveryPolicy::default());
+    let report = full.run(arrivals);
+
+    // Both recorders run the same core: the aggregates must agree exactly.
+    assert!(service.conservation_holds());
+    assert_eq!(service.submitted, report.jobs.len() as u64);
+    assert_eq!(service.completed, report.completed as u64);
+    assert_eq!(service.failed, report.failed as u64);
+    assert_eq!(service.still_queued, report.still_queued as u64);
+    assert_eq!(service.restarts, report.restarts);
+    assert_eq!(service.useful_iterations, report.useful_iterations);
+    assert_eq!(service.wasted_iterations, report.wasted_iterations);
+    assert_eq!(
+        service.goodput_iters_per_sec.to_bits(),
+        report.goodput_iters_per_sec.to_bits()
+    );
+    assert!(service.goodput_iters_per_sec.is_finite());
+    assert!(service.raw_iters_per_sec.is_finite());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn identical_fault_seeds_replay_byte_identically(
+        seed in 0u64..1_000,
+        n in 10usize..40,
+        mtbf_us in 200u64..2_000,
+    ) {
+        let arrivals = synthetic_stream(n, seed, PolicyPreset::Superneurons, true);
+        let horizon = SimTime::from_ms(20);
+        let plan = FaultPlan::seeded_random(
+            seed,
+            8,
+            horizon,
+            SimTime::from_us(mtbf_us),
+            SimTime::from_us(mtbf_us / 4),
+        );
+        prop_assert_eq!(
+            &plan,
+            &FaultPlan::seeded_random(
+                seed,
+                8,
+                horizon,
+                SimTime::from_us(mtbf_us),
+                SimTime::from_us(mtbf_us / 4),
+            ),
+            "seeded plans must be pure functions of the seed"
+        );
+        let run = || {
+            let mut sim = ClusterSim::new(fleet8(96 * MB), PlacementPolicy::FirstFit);
+            sim.enable_faults(plan.clone(), RecoveryPolicy::default());
+            sim.run(arrivals.clone())
+        };
+        let a = run();
+        let b = run();
+        prop_assert!(a.conservation_holds(), "seed={} n={} conservation", seed, n);
+        prop_assert!(
+            a.bit_identical(&b),
+            "seed={} n={} mtbf={}us: fault replay diverged",
+            seed, n, mtbf_us
+        );
+        // The streaming loop replays identically too (JSON is byte-built).
+        let stream_run = || {
+            let mut sim = ClusterSim::new(fleet8(96 * MB), PlacementPolicy::FirstFit);
+            sim.enable_faults(plan.clone(), RecoveryPolicy::default());
+            sim.run_stream(&mut ReplayStream::new(arrivals.clone())).to_json()
+        };
+        prop_assert_eq!(stream_run(), stream_run());
+    }
+}

@@ -122,7 +122,8 @@ fn completion_superseded_by_same_instant_arrival_keeps_reference_order() {
     // reach the same completions in the same order via generation
     // invalidation.
     let base = synthetic_stream(40, 7, PolicyPreset::Superneurons, true);
-    let probe = ClusterSim::new(fleet8(96 * MB), PlacementPolicy::FirstFit).run_reference(base.clone());
+    let probe =
+        ClusterSim::new(fleet8(96 * MB), PlacementPolicy::FirstFit).run_reference(base.clone());
     // Pick a mid-run completion instant and inject arrivals exactly there.
     let t_hit = probe
         .trace
@@ -144,8 +145,7 @@ fn completion_superseded_by_same_instant_arrival_keeps_reference_order() {
     jobs.sort_by_key(|(t, _)| *t);
 
     let indexed = ClusterSim::new(fleet8(96 * MB), PlacementPolicy::FirstFit).run(jobs.clone());
-    let reference =
-        ClusterSim::new(fleet8(96 * MB), PlacementPolicy::FirstFit).run_reference(jobs);
+    let reference = ClusterSim::new(fleet8(96 * MB), PlacementPolicy::FirstFit).run_reference(jobs);
     assert!(
         indexed.bit_identical(&reference),
         "same-instant sniper arrival diverged"
@@ -217,12 +217,8 @@ fn streaming_memory_is_bounded_by_concurrency_not_stream_length() {
     // Sub-critical load (the fleet's capacity gap is ~1.2 ms/job, so a
     // 5 ms mean gap is ρ ≈ 0.25): the queue stays shallow and the live-job
     // slab high-water must track concurrency, not the 10k stream length.
-    let mut stream = PoissonStream::new(
-        10_000,
-        42,
-        SimTime::from_ms(5),
-        PolicyPreset::Superneurons,
-    );
+    let mut stream =
+        PoissonStream::new(10_000, 42, SimTime::from_ms(5), PolicyPreset::Superneurons);
     let mut sim = ClusterSim::new(fleet8(96 * MB), PlacementPolicy::BestFit);
     let svc = sim.run_stream(&mut stream);
     assert_eq!(svc.submitted, 10_000);
