@@ -44,12 +44,13 @@ fn main() {
             "trace" => sn_bench::trace(quick),
             "service" => sn_bench::service(quick),
             "faults" => sn_bench::faults(quick),
+            "tune" => sn_bench::tune(quick),
             "all" => sn_bench::run_all(quick),
             other => {
                 eprintln!(
                     "unknown experiment '{other}'; known: fig2 fig8 fig10 table1 table2 table3 \
                      fig11 fig12 table4 table5 fig13 fig14 ablation overlap cluster plan compile \
-                     dataparallel precision trace service faults all  (flag: --quick)"
+                     dataparallel precision trace service faults tune all  (flag: --quick)"
                 );
                 std::process::exit(2);
             }

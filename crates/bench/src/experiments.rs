@@ -565,6 +565,7 @@ pub fn run_all(quick: bool) -> String {
         ("trace", crate::trace::trace(quick)),
         ("service", crate::service::service(quick)),
         ("faults", crate::faults::faults(quick)),
+        ("tune", crate::tune::tune(quick)),
     ] {
         out.push_str(&format!(
             "\n==================== {id} ====================\n"

@@ -21,6 +21,7 @@ pub mod precision;
 pub mod service;
 pub mod table;
 pub mod trace;
+pub mod tune;
 
 pub use ablation::run_ablations;
 pub use cluster::cluster;
@@ -33,3 +34,4 @@ pub use plan::plan;
 pub use precision::precision;
 pub use service::service;
 pub use trace::trace;
+pub use tune::tune;

@@ -1,0 +1,424 @@
+//! The `tune` experiment: the closed planner loop, measured.
+//!
+//! Four claims of the policy-autotuning pass, checked end to end over a
+//! matrix of CNNs + a transformer × devices × replica counts:
+//!
+//! 1. **Tuned is never worse** — on every matrix point the autotuned
+//!    policy's measured warm step time is ≤ the best hand preset's, and on
+//!    at least three points (one in quick mode) it is *strictly* better:
+//!    the search has real levers (prefetch depth, the peer-GPU tier table,
+//!    gang bucket sizing) the hand presets don't pull.
+//! 2. **Peaks are exact** — every tuned winner's executed peak over a
+//!    cold + warm iteration equals its compiled plan peak byte-for-byte.
+//!    Tuning never trades away the planner's exactness contract.
+//! 3. **Seeded determinism** — re-running every search with a different
+//!    `par_map` worker count reproduces the identical `TunedPolicy` and
+//!    the identical rendered trace (compared line by line, plus the
+//!    FxHash trace digest).
+//! 4. **Metrics consistency** — each search's feasibility evaluations equal
+//!    the plan-memo lookups it performed (`memo_lookups == evals`, per
+//!    run), and the `tune.*` registry counters advance by exactly the sum
+//!    over all runs. The registry snapshot is embedded in the artifact.
+//!
+//! The worker-count re-runs double as the parallel measurement: with ≥4
+//! hardware threads the multi-worker sweeps must beat single-worker by
+//! more than 1.2x (below that the speedup is reported but not required —
+//! there is nothing to fan out onto).
+//!
+//! Emits `BENCH_tune.json`; CI greps `tuned_no_worse`, `all_peaks_match`
+//! and `search_deterministic`.
+
+use sn_graph::Net;
+use sn_models as models;
+use sn_runtime::tune::{search, SearchOutcome, TuneConfig};
+use sn_runtime::{plan, Interconnect};
+use sn_sim::spec::GB;
+use sn_sim::DeviceSpec;
+
+use crate::table::TextTable;
+
+/// One matrix point: a network on a device at a gang size.
+struct Point {
+    label: String,
+    net: Net,
+    spec: DeviceSpec,
+    replicas: usize,
+    interconnect: Interconnect,
+}
+
+/// The tuning matrix. Full mode spans both evaluation CNNs, the
+/// transformer workload, both device models, gangs of 1 and 2, and a
+/// DRAM-constrained point where the search must work against a tight
+/// budget rather than a comfortable one.
+fn matrix(quick: bool) -> Vec<Point> {
+    let mut pts = vec![
+        Point {
+            label: "vgg16@16 k40c x1".into(),
+            net: models::vgg16(16),
+            spec: DeviceSpec::k40c(),
+            replicas: 1,
+            interconnect: Interconnect::pcie(),
+        },
+        Point {
+            label: "resnet50@16 titan x2 nvlink".into(),
+            net: models::resnet50(16),
+            spec: DeviceSpec::titan_xp(),
+            replicas: 2,
+            interconnect: Interconnect::nvlink(),
+        },
+        Point {
+            label: "gpt_small@2s128 titan x1".into(),
+            net: models::gpt_small(2, 128),
+            spec: DeviceSpec::titan_xp(),
+            replicas: 1,
+            interconnect: Interconnect::pcie(),
+        },
+    ];
+    if !quick {
+        pts.push(Point {
+            label: "vgg16@16 titan x2 pcie".into(),
+            net: models::vgg16(16),
+            spec: DeviceSpec::titan_xp(),
+            replicas: 2,
+            interconnect: Interconnect::pcie(),
+        });
+        pts.push(Point {
+            label: "resnet50@16 k40c x1".into(),
+            net: models::resnet50(16),
+            spec: DeviceSpec::k40c(),
+            replicas: 1,
+            interconnect: Interconnect::pcie(),
+        });
+        pts.push(Point {
+            label: "gpt_small@8s256 titan x1".into(),
+            net: models::gpt_small(8, 256),
+            spec: DeviceSpec::titan_xp(),
+            replicas: 1,
+            interconnect: Interconnect::pcie(),
+        });
+        pts.push(Point {
+            label: "vgg16@24 k40c(4GB) x1".into(),
+            net: models::vgg16(24),
+            spec: DeviceSpec::k40c().with_dram(4 * GB),
+            replicas: 1,
+            interconnect: Interconnect::pcie(),
+        });
+    }
+    pts
+}
+
+/// One tuned matrix point with its determinism re-run.
+pub struct TunePoint {
+    pub label: String,
+    pub replicas: usize,
+    /// The multi-worker search (workers = hardware parallelism).
+    pub outcome: SearchOutcome,
+    /// Same seed, workers pinned to 1 — must reproduce `outcome` exactly.
+    pub rerun: SearchOutcome,
+}
+
+impl TunePoint {
+    pub fn strict_win(&self) -> bool {
+        self.outcome.tuned.step_time < self.outcome.tuned.hand_step_time
+    }
+
+    pub fn no_worse(&self) -> bool {
+        self.outcome.tuned.step_time <= self.outcome.tuned.hand_step_time
+    }
+
+    pub fn peaks_match(&self) -> bool {
+        self.outcome.tuned.plan_peak_bytes == self.outcome.tuned.executed_peak_bytes
+            && self.rerun.tuned.plan_peak_bytes == self.rerun.tuned.executed_peak_bytes
+    }
+
+    pub fn deterministic(&self) -> bool {
+        self.outcome.tuned == self.rerun.tuned && self.outcome.trace == self.rerun.trace
+    }
+
+    /// Every feasibility evaluation is exactly one plan-memo lookup, in
+    /// both runs.
+    pub fn metrics_consistent(&self) -> bool {
+        self.outcome.memo_lookups == self.outcome.tuned.evals
+            && self.rerun.memo_lookups == self.rerun.tuned.evals
+    }
+}
+
+pub struct TuneReport {
+    pub points: Vec<TunePoint>,
+    pub threads: usize,
+    /// `tune.evals` registry counter delta across the whole experiment.
+    pub evals_delta: u64,
+    /// `tune.memo_lookups` registry counter delta across the experiment.
+    pub lookups_delta: u64,
+    /// Strict wins required for `tuned_no_worse` (3, capped by matrix size
+    /// in quick mode).
+    pub strict_required: usize,
+}
+
+impl TuneReport {
+    pub fn strict_wins(&self) -> usize {
+        self.points.iter().filter(|p| p.strict_win()).count()
+    }
+
+    /// Gate 1: ≤ the best hand preset everywhere, strictly better on
+    /// enough points to prove the search pulls real levers.
+    pub fn tuned_no_worse(&self) -> bool {
+        self.points.iter().all(|p| p.no_worse()) && self.strict_wins() >= self.strict_required
+    }
+
+    /// Gate 2: executed peak == plan peak, byte-exact, every run.
+    pub fn all_peaks_match(&self) -> bool {
+        self.points.iter().all(|p| p.peaks_match())
+    }
+
+    /// Gate 3: same seed ⇒ bit-identical outcome across worker counts.
+    pub fn search_deterministic(&self) -> bool {
+        self.points.iter().all(|p| p.deterministic())
+    }
+
+    /// Gate 4: per-run `memo_lookups == evals`, and the registry counters
+    /// advanced by exactly the evaluations these searches performed.
+    pub fn metrics_consistent(&self) -> bool {
+        let spent: u64 = self
+            .points
+            .iter()
+            .map(|p| p.outcome.tuned.evals + p.rerun.tuned.evals)
+            .sum();
+        self.points.iter().all(|p| p.metrics_consistent())
+            && self.evals_delta == spent
+            && self.lookups_delta == spent
+    }
+
+    pub fn serial_ns(&self) -> u128 {
+        self.points.iter().map(|p| p.rerun.wall.as_nanos()).sum()
+    }
+
+    pub fn parallel_ns(&self) -> u128 {
+        self.points.iter().map(|p| p.outcome.wall.as_nanos()).sum()
+    }
+
+    pub fn parallel_speedup(&self) -> f64 {
+        self.serial_ns() as f64 / self.parallel_ns().max(1) as f64
+    }
+
+    /// The >1.2x bar only applies where there are threads to fan out onto.
+    pub fn parallel_ok(&self) -> bool {
+        self.parallel_vacuous() || self.parallel_speedup() > 1.2
+    }
+
+    pub fn parallel_vacuous(&self) -> bool {
+        self.threads < 4
+    }
+}
+
+/// Compact human-readable signature of a tuned winner for the table/JSON.
+fn describe(t: &sn_runtime::TunedPolicy) -> String {
+    let p = &t.policy;
+    format!(
+        "pfd={} eo={} rc={:?} cp={:?} ws={:?} tiers={} bkt={}M",
+        p.prefetch_depth,
+        p.eager_offload as u8,
+        p.recompute,
+        p.cache_policy,
+        p.workspace,
+        if p.tiers == sn_runtime::TierConfig::default() {
+            "local"
+        } else {
+            "full"
+        },
+        t.bucket_bytes >> 20,
+    )
+}
+
+/// Run the measurements (no I/O).
+pub fn measure(quick: bool) -> TuneReport {
+    let samples = if quick { 10 } else { 24 };
+    let pts = matrix(quick);
+    let strict_required = 3.min(pts.len().saturating_sub(1)).max(1);
+    let before = sn_telemetry::global().snapshot();
+    let mut points = Vec::new();
+    for (i, pt) in pts.into_iter().enumerate() {
+        let cfg = TuneConfig::new(pt.replicas, pt.interconnect)
+            .with_seed(0xB0_5EED ^ (i as u64))
+            .with_samples(samples);
+        // Both runs start from a cold plan memo so their wall times are
+        // comparable (the determinism contract itself is memo-independent).
+        plan::clear_plan_memo();
+        let outcome = search(&pt.net, &pt.spec, &cfg).expect("matrix point must tune");
+        plan::clear_plan_memo();
+        let rerun = search(&pt.net, &pt.spec, &cfg.with_workers(1)).expect("rerun must tune");
+        points.push(TunePoint {
+            label: pt.label,
+            replicas: pt.replicas,
+            outcome,
+            rerun,
+        });
+    }
+    let after = sn_telemetry::global().snapshot();
+    let delta = |name: &str| after.counter(name).unwrap_or(0) - before.counter(name).unwrap_or(0);
+    TuneReport {
+        points,
+        threads: rayon::current_num_threads(),
+        evals_delta: delta("tune.evals"),
+        lookups_delta: delta("tune.memo_lookups"),
+        strict_required,
+    }
+}
+
+/// Run the experiment; also writes `BENCH_tune.json`.
+pub fn tune(quick: bool) -> String {
+    let r = measure(quick);
+
+    let mut out = String::from(
+        "tune: seeded policy autotuning over the memoized compiler — tuned \
+         vs best hand preset, peak exactness, worker-count determinism\n\n",
+    );
+    let mut t = TextTable::new(vec![
+        "point",
+        "hand best",
+        "tuned",
+        "speedup",
+        "strict",
+        "peaks",
+        "det",
+        "winner",
+    ]);
+    for p in &r.points {
+        let tu = &p.outcome.tuned;
+        t.row(vec![
+            p.label.clone(),
+            format!("{} {:.3} ms", tu.hand_name, tu.hand_step_time.as_ms_f64()),
+            format!("{:.3} ms", tu.step_time.as_ms_f64()),
+            format!(
+                "{:.3}x",
+                tu.hand_step_time.as_ns() as f64 / tu.step_time.as_ns().max(1) as f64
+            ),
+            if p.strict_win() { "yes" } else { "tie" }.into(),
+            if p.peaks_match() { "exact" } else { "DRIFT" }.into(),
+            if p.deterministic() { "yes" } else { "NO" }.into(),
+            describe(tu),
+        ]);
+    }
+    out.push_str(&t.render());
+    out.push_str(&format!(
+        "\nstrict wins {}/{} (need {}) | tuned_no_worse: {} | all_peaks_match: {} | \
+         search_deterministic: {} | metrics_consistent: {} | parallel ({} threads, \
+         vacuous <4): {} ({:.2}x)\n",
+        r.strict_wins(),
+        r.points.len(),
+        r.strict_required,
+        r.tuned_no_worse(),
+        r.all_peaks_match(),
+        r.search_deterministic(),
+        r.metrics_consistent(),
+        r.threads,
+        r.parallel_ok(),
+        r.parallel_speedup(),
+    ));
+
+    let rows: Vec<String> = r
+        .points
+        .iter()
+        .map(|p| {
+            let tu = &p.outcome.tuned;
+            format!(
+                "{{\"label\":\"{}\",\"replicas\":{},\"hand\":\"{}\",\"hand_ns\":{},\
+                 \"tuned_ns\":{},\"plan_peak_bytes\":{},\"executed_peak_bytes\":{},\
+                 \"policy\":\"{}\",\"seed\":{},\"evals\":{},\"pruned\":{},\
+                 \"trace_digest\":{},\"strict\":{},\"peaks_match\":{},\
+                 \"deterministic\":{},\"metrics_consistent\":{}}}",
+                p.label,
+                p.replicas,
+                tu.hand_name,
+                tu.hand_step_time.as_ns(),
+                tu.step_time.as_ns(),
+                tu.plan_peak_bytes,
+                tu.executed_peak_bytes,
+                describe(tu),
+                tu.seed,
+                tu.evals,
+                tu.pruned,
+                tu.trace_digest,
+                p.strict_win(),
+                p.peaks_match(),
+                p.deterministic(),
+                p.metrics_consistent(),
+            )
+        })
+        .collect();
+    let metrics = sn_telemetry::global().snapshot();
+    let snap = |n: &str| metrics.counter(n).unwrap_or(0);
+    let wall = metrics
+        .histogram("tune.search_wall_ns")
+        .map(|h| {
+            format!(
+                "{{\"count\":{},\"sum\":{},\"mean\":{:.0}}}",
+                h.count,
+                h.sum,
+                h.mean()
+            )
+        })
+        .unwrap_or_else(|| "null".into());
+    let json = format!(
+        "{{\"experiment\":\"tune\",\"points\":{},\"threads\":{},\
+         \"matrix\":[{}],\
+         \"strict_wins\":{},\"strict_required\":{},\
+         \"tuned_no_worse\":{},\"all_peaks_match\":{},\"search_deterministic\":{},\
+         \"metrics\":{{\"tune.evals\":{},\"tune.pruned\":{},\"tune.memo_hits\":{},\
+         \"tune.memo_lookups\":{},\"tune.search_wall_ns\":{},\
+         \"evals_delta\":{},\"lookups_delta\":{}}},\
+         \"metrics_consistent\":{},\
+         \"parallel\":{{\"serial_ns\":{},\"parallel_ns\":{},\"speedup\":{:.4}}},\
+         \"parallel_ok\":{},\"parallel_vacuous\":{}}}",
+        r.points.len(),
+        r.threads,
+        rows.join(","),
+        r.strict_wins(),
+        r.strict_required,
+        r.tuned_no_worse(),
+        r.all_peaks_match(),
+        r.search_deterministic(),
+        snap("tune.evals"),
+        snap("tune.pruned"),
+        snap("tune.memo_hits"),
+        snap("tune.memo_lookups"),
+        wall,
+        r.evals_delta,
+        r.lookups_delta,
+        r.metrics_consistent(),
+        r.serial_ns(),
+        r.parallel_ns(),
+        r.parallel_speedup(),
+        r.parallel_ok(),
+        r.parallel_vacuous(),
+    );
+    match std::fs::write("BENCH_tune.json", &json) {
+        Ok(()) => out.push_str("wrote BENCH_tune.json\n"),
+        Err(e) => out.push_str(&format!("could not write BENCH_tune.json: {e}\n")),
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tuned_beats_hands_with_exact_peaks_and_deterministic_searches() {
+        let r = measure(true);
+        assert!(
+            r.tuned_no_worse(),
+            "tuned lost to a hand preset (strict wins {}/{})",
+            r.strict_wins(),
+            r.strict_required
+        );
+        assert!(r.all_peaks_match(), "a tuned plan's executed peak drifted");
+        assert!(r.search_deterministic(), "worker count changed a search");
+        assert!(
+            r.metrics_consistent(),
+            "evals {} / lookups {} registry deltas disagree with the searches",
+            r.evals_delta,
+            r.lookups_delta
+        );
+    }
+}

@@ -212,7 +212,9 @@ impl Profiler {
             return *hit;
         }
         let net = workload.build(batch);
-        let cfg = GroupConfig::new(replicas, interconnect);
+        // Tuned presets carry their own all-reduce bucket target; the gang
+        // must be measured with it or the tuned step time would be fiction.
+        let cfg = GroupConfig::new(replicas, interconnect).with_bucket_bytes(preset.bucket_bytes());
         let result = GroupExecutor::new(&net, spec.clone(), preset.policy(), cfg)
             .ok()
             .and_then(|mut gx| {
@@ -509,6 +511,50 @@ mod tests {
             train.peak_bytes
         );
         assert!(infer.iter_time < train.iter_time);
+    }
+
+    #[test]
+    fn tuned_and_hand_presets_never_alias_in_the_memo() {
+        // A tuned bundle whose policy happens to coincide with the full
+        // superneurons stack: the preset rides in the memo key, so the two
+        // predictions must occupy distinct entries (and a later change to
+        // the tuned policy could never be served a stale hand compile).
+        let id = sn_runtime::tune::register(sn_runtime::TunedPolicy {
+            policy: sn_runtime::Policy::superneurons(),
+            bucket_bytes: 8 << 20,
+            step_time: SimTime::from_us(10),
+            plan_peak_bytes: 1,
+            executed_peak_bytes: 1,
+            hand_step_time: SimTime::from_us(12),
+            hand_name: "superneurons",
+            seed: 0,
+            evals: 0,
+            pruned: 0,
+            trace_digest: 0,
+        });
+        let p = Profiler::new();
+        let w = Workload::Synthetic { width: 8, depth: 2 };
+        let spec = DeviceSpec::k40c();
+        let hand = p
+            .profile(w, 8, PolicyPreset::Superneurons, &spec, spec.dram_bytes)
+            .unwrap();
+        let tuned = p
+            .profile(w, 8, PolicyPreset::Tuned(id), &spec, spec.dram_bytes)
+            .unwrap();
+        assert_eq!(hand, tuned, "identical policies predict identically");
+        assert_eq!(p.simulated(), 2, "but they must never share a memo entry");
+        // The gang path must measure tuned gangs with their tuned bucket.
+        assert_eq!(PolicyPreset::Tuned(id).bucket_bytes(), 8 << 20);
+        let step = p.gang_step_time(
+            w,
+            8,
+            PolicyPreset::Tuned(id),
+            2,
+            &spec,
+            Interconnect::pcie(),
+        );
+        assert!(step.is_some());
+        assert_eq!(p.gangs_measured(), 1);
     }
 
     #[test]

@@ -317,6 +317,93 @@ fn elastic_mode_downgrades_running_tenants_restart_mode_does_not() {
 }
 
 #[test]
+fn tuned_rung_downgrades_onto_the_hand_ladder_under_restart_elastic() {
+    let w = Workload::Synthetic {
+        width: 48,
+        depth: 8,
+    };
+    // A "tuned" bundle pinned to the naive baseline policy: maximal peak,
+    // so the elastic planner has real memory to reclaim by walking the
+    // tuned tenant onto the hand ladder (`Tuned` → `FullMemory`).
+    let tuned = PolicyPreset::Tuned(sn_runtime::tune::register(sn_runtime::TunedPolicy {
+        policy: sn_runtime::Policy::baseline(),
+        bucket_bytes: 8 * MB,
+        step_time: SimTime::from_us(10),
+        plan_peak_bytes: 1,
+        executed_peak_bytes: 1,
+        hand_step_time: SimTime::from_us(12),
+        hand_name: "baseline",
+        seed: 0,
+        evals: 0,
+        pruned: 0,
+        trace_digest: 0,
+    }));
+    assert_eq!(tuned.next_stronger(), Some(PolicyPreset::FullMemory));
+    let peak_of = |preset: PolicyPreset| {
+        let mut sim = ClusterSim::new(fleet_n(1, 1 << 30), PlacementPolicy::FirstFit);
+        let r = sim.run(vec![(
+            SimTime::ZERO,
+            JobSpec::new("probe", w, 16)
+                .with_preset(preset)
+                .with_downgrade(false),
+        )]);
+        r.jobs[0].reservations[0]
+    };
+    let p_tuned = peak_of(tuned);
+    let p_full = peak_of(PolicyPreset::FullMemory);
+    assert!(
+        p_full + 5 * MB < p_tuned,
+        "test premise: the hand rung above Tuned must free real memory \
+         (tuned {p_tuned}, full_memory {p_full})"
+    );
+    // Resident tuned tenant fills the device; an identical no-downgrade
+    // newcomer is blocked (the baseline-pinned policy cannot adapt to a
+    // budget) until elastic recovery moves the resident one rung up.
+    let dram = p_tuned + p_full + 4 * MB;
+    assert!(dram < 2 * p_tuned, "newcomer must be blocked at Tuned");
+    let arrivals = vec![
+        (
+            SimTime::ZERO,
+            JobSpec::new("resident", w, 16)
+                .with_preset(tuned)
+                .with_downgrade(true)
+                .with_iterations(60),
+        ),
+        (
+            SimTime::from_us(50),
+            JobSpec::new("newcomer", w, 16)
+                .with_preset(tuned)
+                .with_downgrade(false)
+                .with_iterations(5),
+        ),
+    ];
+    let mut sim = ClusterSim::new(fleet_n(1, dram), PlacementPolicy::FirstFit);
+    sim.enable_faults(
+        FaultPlan::new(),
+        RecoveryPolicy::default().with_mode(RecoveryMode::RestartElastic),
+    );
+    let report = sim.run(arrivals);
+    assert!(report.conservation_holds());
+    assert_eq!(report.completed, 2, "both tuned jobs must complete");
+    let downgrades = report
+        .trace
+        .iter()
+        .filter(|e| matches!(e.kind, TraceKind::Downgrade { .. }))
+        .count();
+    assert!(downgrades > 0, "elastic mode must downgrade the resident");
+    let resident = report.jobs.iter().find(|j| j.name == "resident").unwrap();
+    let granted = resident.granted.unwrap();
+    assert!(
+        granted > tuned,
+        "resident must end on a hand rung above Tuned, got {granted:?}"
+    );
+    assert!(matches!(
+        granted,
+        PolicyPreset::FullMemory | PolicyPreset::Superneurons
+    ));
+}
+
+#[test]
 fn streaming_loop_reports_fault_aggregates() {
     let arrivals = synthetic_stream(30, 3, PolicyPreset::Superneurons, true);
     let fleet = fleet8(96 * MB);

@@ -52,6 +52,7 @@ pub mod policy;
 pub mod recompute;
 pub mod session;
 pub mod tiers;
+pub mod tune;
 pub mod utp;
 
 pub use convalgo::{select_algo, AlgoChoice, ConvAlgo};
@@ -73,4 +74,5 @@ pub use session::{
     InferenceSession, PeakPrediction, Session, SessionReport,
 };
 pub use tiers::{Tier, TierConfig, TieredPool};
+pub use tune::{SearchOutcome, TuneConfig, TunedId, TunedPolicy};
 pub use utp::{Residence, TensorState, Utp};

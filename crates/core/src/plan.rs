@@ -1034,8 +1034,9 @@ impl<'a> Planner<'a> {
         let route = self.route;
         let liveness = self.liveness;
         let total = route.total_steps();
+        let depth = self.policy.prefetch_depth as usize;
         let mut seen_ckpt = false;
-        for s in (step + 1)..total.min(step + 9) {
+        for s in (step + 1)..total.min(step + 1 + depth) {
             for &t in &liveness.step_inputs[s] {
                 if self.utp.state(t).residence != Residence::Host {
                     continue;

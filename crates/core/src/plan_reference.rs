@@ -338,8 +338,9 @@ impl<'a> Planner<'a> {
 
     fn prefetch_ahead(&mut self, step: usize) {
         let total = self.route.total_steps();
+        let depth = self.policy.prefetch_depth as usize;
         let mut seen_ckpt = false;
-        for s in (step + 1)..total.min(step + 9) {
+        for s in (step + 1)..total.min(step + 1 + depth) {
             // The old per-step input-list clone, preserved.
             let inputs: Vec<TensorId> = self.liveness.step_inputs[s].to_vec();
             for t in inputs {

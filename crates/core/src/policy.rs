@@ -81,6 +81,13 @@ pub struct Policy {
     pub tensor_cache: bool,
     /// Overlapped prefetch of the next checkpoint's tensors during backward.
     pub prefetch: bool,
+    /// Prefetch-ahead window: how many upcoming steps the backward-phase
+    /// prefetcher scans for host-resident inputs (it still stops one step
+    /// past the next offloadable checkpoint's backward, whichever comes
+    /// first). Was a hard-coded `8` inside the planner walk; promoted to a
+    /// policy knob so the autotuner can search it. The default reproduces
+    /// the historical plans byte-identically.
+    pub prefetch_depth: u32,
     /// Pinned host staging (false halves PCIe bandwidth, as the paper notes
     /// for TensorFlow).
     pub pinned_host: bool,
@@ -102,6 +109,11 @@ pub struct Policy {
     pub precision: sn_graph::Precision,
 }
 
+/// The historical prefetch-ahead window the planner walk hard-coded before
+/// it became a [`Policy`] knob. Every preset uses it, so default-policy
+/// plans stay byte-identical.
+pub const DEFAULT_PREFETCH_DEPTH: u32 = 8;
+
 impl Policy {
     /// The naive baseline of §3: one tensor per request, nothing freed,
     /// no offload/recompute/workspace tricks.
@@ -114,6 +126,7 @@ impl Policy {
             eager_offload: false,
             tensor_cache: false,
             prefetch: false,
+            prefetch_depth: DEFAULT_PREFETCH_DEPTH,
             pinned_host: true,
             sync_transfers: false,
             recompute: RecomputeMode::None,
@@ -138,6 +151,40 @@ impl Policy {
             sync_transfers: true,
             ..self
         }
+    }
+
+    /// This policy with the given prefetch-ahead window.
+    pub fn with_prefetch_depth(self, prefetch_depth: u32) -> Policy {
+        Policy {
+            prefetch_depth,
+            ..self
+        }
+    }
+
+    /// Reject contradictory knob combinations before they reach the planner.
+    ///
+    /// The planner itself tolerates these (the dead knob is simply ignored),
+    /// but the autotuner uses this to skip cells of the search lattice that
+    /// would alias an already-evaluated policy under a different key — e.g.
+    /// `prefetch` without `offload` compiles to exactly the no-offload plan,
+    /// so evaluating it is pure waste.
+    pub fn validate(&self) -> Result<(), &'static str> {
+        if self.prefetch && !self.offload {
+            return Err("prefetch requires offload (nothing is ever host-resident)");
+        }
+        if self.eager_offload && !self.offload {
+            return Err("eager_offload requires offload");
+        }
+        if self.prefetch && self.prefetch_depth == 0 {
+            return Err("prefetch requires a nonzero prefetch_depth");
+        }
+        if self.eager_offload && self.tensor_cache {
+            return Err("eager_offload bypasses the tensor_cache pressure policy");
+        }
+        if !self.liveness && self.recompute != RecomputeMode::None {
+            return Err("recomputation requires liveness analysis");
+        }
+        Ok(())
     }
 
     /// Liveness analysis only (Fig. 10a).
@@ -180,6 +227,7 @@ impl Policy {
             eager_offload: false, // cache decides: transfer only under pressure
             tensor_cache: true,
             prefetch: true,
+            prefetch_depth: DEFAULT_PREFETCH_DEPTH,
             pinned_host: true,
             sync_transfers: false,
             recompute: RecomputeMode::CostAware,
@@ -243,6 +291,65 @@ mod tests {
         assert!(sn.tensor_cache && !sn.eager_offload);
         assert_eq!(sn.recompute, RecomputeMode::CostAware);
         assert_eq!(sn.workspace, WorkspacePolicy::Dynamic);
+    }
+
+    #[test]
+    fn every_preset_validates() {
+        for (name, p) in [
+            ("baseline", Policy::baseline()),
+            ("liveness_only", Policy::liveness_only()),
+            ("liveness_offload", Policy::liveness_offload()),
+            ("full_memory", Policy::full_memory()),
+            ("superneurons", Policy::superneurons()),
+            ("superneurons_no_cache", Policy::superneurons_no_cache()),
+            ("superneurons_cuda_alloc", Policy::superneurons_cuda_alloc()),
+            ("synchronous", Policy::superneurons().synchronous()),
+            (
+                "bf16",
+                Policy::superneurons().with_precision(sn_graph::Precision::bf16_mixed()),
+            ),
+        ] {
+            assert_eq!(p.validate(), Ok(()), "preset {name} must validate");
+        }
+    }
+
+    #[test]
+    fn validate_rejects_contradictory_knobs() {
+        let p = Policy {
+            prefetch: true,
+            ..Policy::baseline()
+        };
+        assert!(p.validate().is_err(), "prefetch without offload");
+        let p = Policy {
+            eager_offload: true,
+            ..Policy::baseline()
+        };
+        assert!(p.validate().is_err(), "eager_offload without offload");
+        let p = Policy::superneurons().with_prefetch_depth(0);
+        assert!(p.validate().is_err(), "prefetch with zero depth");
+        let p = Policy {
+            eager_offload: true,
+            ..Policy::superneurons()
+        };
+        assert!(
+            p.validate().is_err(),
+            "eager_offload bypassing tensor_cache"
+        );
+        let p = Policy {
+            recompute: RecomputeMode::CostAware,
+            ..Policy::baseline()
+        };
+        assert!(p.validate().is_err(), "recompute without liveness");
+    }
+
+    #[test]
+    fn default_prefetch_depth_is_the_historical_window() {
+        assert_eq!(Policy::baseline().prefetch_depth, DEFAULT_PREFETCH_DEPTH);
+        assert_eq!(Policy::superneurons().prefetch_depth, 8);
+        assert_eq!(
+            Policy::superneurons().with_prefetch_depth(4).prefetch_depth,
+            4
+        );
     }
 
     #[test]

@@ -73,6 +73,7 @@ impl Framework {
                 eager_offload: false,
                 tensor_cache: false,
                 prefetch: false,
+                prefetch_depth: sn_runtime::policy::DEFAULT_PREFETCH_DEPTH,
                 pinned_host: true,
                 sync_transfers: false,
                 recompute: RecomputeMode::None,
@@ -94,6 +95,7 @@ impl Framework {
                 eager_offload: false,
                 tensor_cache: false,
                 prefetch: false,
+                prefetch_depth: sn_runtime::policy::DEFAULT_PREFETCH_DEPTH,
                 pinned_host: true,
                 sync_transfers: false,
                 recompute: RecomputeMode::SpeedCentric,
@@ -110,7 +112,8 @@ impl Framework {
                 offload: true,
                 eager_offload: true,
                 tensor_cache: false,
-                prefetch: false,    // on-demand fetches stall the compute stream
+                prefetch: false, // on-demand fetches stall the compute stream
+                prefetch_depth: sn_runtime::policy::DEFAULT_PREFETCH_DEPTH,
                 pinned_host: false, // pageable staging: ~50% PCIe bandwidth
                 sync_transfers: false,
                 recompute: RecomputeMode::None,

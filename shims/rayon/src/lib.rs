@@ -92,8 +92,21 @@ where
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
+    par_map_workers(items, current_num_threads(), f)
+}
+
+/// [`par_map`] with an explicit worker count, independent of the machine's
+/// hardware parallelism. The determinism contract of callers like the
+/// autotuner is "same inputs ⇒ same outputs for **any** worker count" —
+/// this entry point lets tests exercise that on a single-core host.
+pub fn par_map_workers<T, R, F>(items: &[T], workers: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
     let n = items.len();
-    let threads = current_num_threads().min(n);
+    let threads = workers.min(n);
     if threads <= 1 {
         return items.iter().map(&f).collect();
     }
@@ -149,6 +162,16 @@ mod tests {
             Vec::<u64>::new()
         );
         assert_eq!(super::par_map(&[7u64], |x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn par_map_workers_is_order_identical_across_worker_counts() {
+        let items: Vec<u64> = (0..97).collect();
+        let reference: Vec<u64> = items.iter().map(|x| x * x + 1).collect();
+        for workers in [1, 2, 3, 4, 8, 97, 200] {
+            let got = super::par_map_workers(&items, workers, |x| x * x + 1);
+            assert_eq!(got, reference, "workers={workers}");
+        }
     }
 
     #[test]
